@@ -1,0 +1,20 @@
+//! # hydra-app — workload generators for the paper's experiments
+//!
+//! * [`udp::UdpCbr`] / [`udp::UdpSink`] — the controllable-rate UDP
+//!   application of §5 (payload sized for 1140 B MAC frames);
+//! * [`flood::Flooder`] / [`flood::FloodSink`] — fixed-rate broadcast
+//!   flooding standing in for DSR/AODV route chatter (§6.3);
+//! * [`file::FileSender`] / [`file::FileReceiver`] — the one-way 0.2 MB
+//!   TCP file transfer (§5) with content verification and completion
+//!   timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod flood;
+pub mod udp;
+
+pub use file::{FileReceiver, FileSender, PAPER_FILE_BYTES};
+pub use flood::{FloodSink, Flooder};
+pub use udp::{UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};

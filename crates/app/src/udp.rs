@@ -1,0 +1,211 @@
+//! UDP constant-bit-rate source and measuring sink (paper §5: "an
+//! application that simply sent UDP packets at a controllable rate").
+
+use hydra_sim::{Duration, Instant};
+use hydra_wire::Endpoint;
+
+/// Link/stack overhead between a UDP payload and its MAC frame:
+/// MAC header 26 + FCS 4 + shim 37 + IP 20 + UDP 8.
+pub const UDP_FRAME_OVERHEAD: usize = 26 + 4 + 37 + 20 + 8;
+
+/// The UDP payload size that yields the paper's 1140 B MAC frames.
+pub const PAPER_UDP_PAYLOAD: usize = 1140 - UDP_FRAME_OVERHEAD;
+
+/// A CBR source: one `payload_len`-byte datagram every `interval`.
+#[derive(Debug)]
+pub struct UdpCbr {
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Our source port.
+    pub src_port: u16,
+    /// Datagram payload size.
+    pub payload_len: usize,
+    /// Inter-packet interval.
+    pub interval: Duration,
+    /// First transmission time.
+    pub start: Instant,
+    /// Stop time (exclusive); `None` = run forever.
+    pub stop: Option<Instant>,
+    next_send: Instant,
+    seq: u32,
+    /// Datagrams emitted.
+    pub packets_sent: u64,
+    /// Payload bytes emitted.
+    pub bytes_sent: u64,
+}
+
+impl UdpCbr {
+    /// Creates a source; first packet at `start`.
+    pub fn new(dst: Endpoint, src_port: u16, payload_len: usize, interval: Duration, start: Instant) -> Self {
+        assert!(payload_len >= 4, "payload must hold a sequence number");
+        UdpCbr {
+            dst,
+            src_port,
+            payload_len,
+            interval,
+            start,
+            stop: None,
+            next_send: start,
+            seq: 0,
+            packets_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Limits the sending window.
+    pub fn until(mut self, stop: Instant) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Emits all datagrams due by `now`; returns payloads and the next
+    /// wake-up time (None when finished).
+    pub fn poll(&mut self, now: Instant) -> (Vec<Vec<u8>>, Option<Instant>) {
+        let mut out = Vec::new();
+        while self.next_send <= now {
+            if let Some(stop) = self.stop {
+                if self.next_send >= stop {
+                    return (out, None);
+                }
+            }
+            let mut payload = vec![0u8; self.payload_len];
+            payload[..4].copy_from_slice(&self.seq.to_be_bytes());
+            // Deterministic filler so corruption tests can verify content.
+            for (i, b) in payload[4..].iter_mut().enumerate() {
+                *b = (self.seq as usize + i) as u8;
+            }
+            self.seq += 1;
+            self.packets_sent += 1;
+            self.bytes_sent += self.payload_len as u64;
+            out.push(payload);
+            self.next_send += self.interval;
+        }
+        (out, Some(self.next_send))
+    }
+}
+
+/// A sink recording goodput.
+#[derive(Debug, Default)]
+pub struct UdpSink {
+    /// Datagrams received.
+    pub packets: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Distinct sequence numbers seen (duplicates detected).
+    pub duplicates: u64,
+    /// Highest sequence number seen + 1.
+    pub highest_seq: u32,
+    /// First arrival.
+    pub first_rx: Option<Instant>,
+    /// Latest arrival.
+    pub last_rx: Option<Instant>,
+    seen_window: std::collections::VecDeque<u32>,
+}
+
+impl UdpSink {
+    /// Creates a sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one received datagram.
+    pub fn on_datagram(&mut self, now: Instant, payload: &[u8]) {
+        if payload.len() >= 4 {
+            let seq = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            if self.seen_window.contains(&seq) {
+                self.duplicates += 1;
+                return;
+            }
+            if self.seen_window.len() >= 128 {
+                self.seen_window.pop_front();
+            }
+            self.seen_window.push_back(seq);
+            self.highest_seq = self.highest_seq.max(seq + 1);
+        }
+        self.packets += 1;
+        self.bytes += payload.len() as u64;
+        if self.first_rx.is_none() {
+            self.first_rx = Some(now);
+        }
+        self.last_rx = Some(now);
+    }
+
+    /// Application-level throughput in bits/s over `window`.
+    pub fn throughput_bps(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_wire::Ipv4Addr;
+
+    fn dst() -> Endpoint {
+        Endpoint::new(Ipv4Addr::from_node_id(1), 9000)
+    }
+
+    #[test]
+    fn paper_payload_gives_1140_byte_frames() {
+        assert_eq!(PAPER_UDP_PAYLOAD + UDP_FRAME_OVERHEAD, 1140);
+        assert_eq!(PAPER_UDP_PAYLOAD, 1045);
+    }
+
+    #[test]
+    fn cbr_emits_on_schedule() {
+        let mut cbr = UdpCbr::new(dst(), 1, 100, Duration::from_millis(10), Instant::ZERO);
+        let (pkts, next) = cbr.poll(Instant::ZERO);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(next, Some(Instant::from_millis(10)));
+        // Nothing due yet.
+        let (pkts, _) = cbr.poll(Instant::from_millis(5));
+        assert!(pkts.is_empty());
+        // Catch up over a long gap.
+        let (pkts, _) = cbr.poll(Instant::from_millis(50));
+        assert_eq!(pkts.len(), 5);
+        assert_eq!(cbr.packets_sent, 6);
+    }
+
+    #[test]
+    fn cbr_respects_stop() {
+        let mut cbr = UdpCbr::new(dst(), 1, 100, Duration::from_millis(10), Instant::ZERO)
+            .until(Instant::from_millis(25));
+        let (pkts, next) = cbr.poll(Instant::from_millis(100));
+        assert_eq!(pkts.len(), 3); // t = 0, 10, 20
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn payload_carries_sequence() {
+        let mut cbr = UdpCbr::new(dst(), 1, 64, Duration::from_millis(1), Instant::ZERO);
+        let (pkts, _) = cbr.poll(Instant::from_millis(2));
+        assert_eq!(u32::from_be_bytes(pkts[0][..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_be_bytes(pkts[2][..4].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn sink_counts_and_dedups() {
+        let mut sink = UdpSink::new();
+        let mut p = vec![0u8; 100];
+        sink.on_datagram(Instant::from_millis(1), &p);
+        sink.on_datagram(Instant::from_millis(2), &p); // duplicate seq 0
+        p[..4].copy_from_slice(&1u32.to_be_bytes());
+        sink.on_datagram(Instant::from_millis(3), &p);
+        assert_eq!(sink.packets, 2);
+        assert_eq!(sink.duplicates, 1);
+        assert_eq!(sink.bytes, 200);
+        assert_eq!(sink.first_rx, Some(Instant::from_millis(1)));
+        assert_eq!(sink.last_rx, Some(Instant::from_millis(3)));
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut sink = UdpSink::new();
+        sink.bytes = 1_000_000;
+        let bps = sink.throughput_bps(Duration::from_secs(8));
+        assert!((bps - 1_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Micro-benchmarks for the aggregation MAC's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hydra_core::{assemble, AggPolicy, Mac, MacConfig, MacInput, QueuedMpdu, QueueKind, TxQueues};
+use hydra_phy::{OnAirFrame, PhyProfile, Rate};
+use hydra_sim::{Instant, Rng};
+use hydra_wire::aggregate::AggregateBuilder;
+use hydra_wire::subframe::{FrameType, SubframeRepr};
+use hydra_wire::MacAddr;
+
+fn mpdu(dst: u16, len: usize) -> QueuedMpdu {
+    QueuedMpdu {
+        next_hop: MacAddr::from_node_id(dst),
+        src: MacAddr::from_node_id(0),
+        payload: vec![0xAB; len],
+        no_ack: false,
+        enqueued_at: Instant::ZERO,
+    }
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut cfg = MacConfig::hydra(Rate::R2_60);
+    cfg.agg = AggPolicy::broadcast();
+    let profile = PhyProfile::hydra();
+    c.bench_function("assemble_ba_3acks_3data", |b| {
+        b.iter_batched(
+            || {
+                let mut q = TxQueues::new(100);
+                for _ in 0..3 {
+                    q.push(mpdu(2, 77), QueueKind::Broadcast);
+                    q.push(mpdu(1, 1434), QueueKind::Unicast);
+                }
+                q
+            },
+            |mut q| assemble(&mut q, &cfg, &profile, MacAddr::from_node_id(9), 500, None),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_receive_process(c: &mut Criterion) {
+    // A full receive-path iteration: parse + CRC-check + deliver + ACK arm.
+    let me = MacAddr::from_node_id(7);
+    let peer = MacAddr::from_node_id(1);
+    let repr = |no_ack: bool, addr1: MacAddr| SubframeRepr {
+        frame_type: FrameType::Data,
+        retry: false,
+        no_ack,
+        duration_us: 500,
+        addr1,
+        addr2: peer,
+        addr3: peer,
+    };
+    let mut b = AggregateBuilder::new();
+    for _ in 0..3 {
+        b.push_broadcast(&repr(true, me), &vec![0u8; 77]);
+    }
+    for _ in 0..3 {
+        b.push_unicast(&repr(false, me), &vec![0u8; 1434]);
+    }
+    let (phy_hdr, psdu, slots) = b.finish(Rate::R2_60.code(), Rate::R2_60.code());
+
+    c.bench_function("mac_rx_aggregate_3acks_3data", |bch| {
+        bch.iter_batched(
+            || {
+                Mac::new(me, MacConfig::hydra(Rate::R2_60), PhyProfile::hydra(), Rng::seed_from_u64(1))
+            },
+            |mut mac| {
+                let frame = OnAirFrame::Aggregate {
+                    phy_hdr,
+                    psdu: psdu.clone(),
+                    slots: slots.clone(),
+                };
+                mac.handle(Instant::from_micros(10), MacInput::Rx(black_box(frame)))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_assemble, bench_receive_process);
+criterion_main!(benches);

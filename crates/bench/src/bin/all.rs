@@ -1,0 +1,10 @@
+//! Regenerates every table and figure; writes results/experiments.txt.
+use std::io::Write;
+fn main() {
+    let opts = hydra_bench::experiments::Opts::default();
+    let text = hydra_bench::experiments::run_all(opts);
+    std::fs::create_dir_all("results").ok();
+    let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");
+    f.write_all(text.as_bytes()).expect("write results");
+    eprintln!("wrote results/experiments.txt");
+}

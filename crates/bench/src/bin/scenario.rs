@@ -1,0 +1,166 @@
+//! A flexible scenario runner: explore configurations the paper never
+//! measured without writing code.
+//!
+//! ```text
+//! cargo run --release -p hydra-bench --bin scenario -- \
+//!     [tcp|udp] [--hops N | --star] [--policy na|ua|ba|dba|ba-nofwd]
+//!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N]
+//!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--max-agg-kb N]
+//!     [--block-ack] [--drop P] [--corrupt P]
+//! ```
+
+use hydra_core::AckPolicy;
+use hydra_netsim::{Policy, TcpScenario, TopologyKind, UdpScenario};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
+
+#[derive(Debug)]
+struct Args {
+    tcp: bool,
+    topo: TopologyKind,
+    policy: Policy,
+    rate: Rate,
+    bcast_rate: Option<Rate>,
+    seeds: u64,
+    file_kb: usize,
+    interval_ms: f64,
+    flood_ms: Option<u64>,
+    max_agg_kb: usize,
+    block_ack: bool,
+    drop: f64,
+    corrupt: f64,
+}
+
+fn parse_rate(s: &str) -> Rate {
+    match s {
+        "0.65" => Rate::R0_65,
+        "1.3" | "1.30" => Rate::R1_30,
+        "1.95" => Rate::R1_95,
+        "2.6" | "2.60" => Rate::R2_60,
+        "3.9" | "3.90" => Rate::R3_90,
+        "5.2" | "5.20" => Rate::R5_20,
+        "5.85" => Rate::R5_85,
+        "6.5" | "6.50" => Rate::R6_50,
+        _ => die(&format!("unknown rate {s}")),
+    }
+}
+
+fn parse_policy(s: &str) -> Policy {
+    match s {
+        "na" => Policy::Na,
+        "ua" => Policy::Ua,
+        "ba" => Policy::Ba,
+        "dba" => Policy::Dba,
+        "ba-nofwd" => Policy::BaNoForward,
+        _ => die(&format!("unknown policy {s}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\nsee the module docs (`--help` in source) for usage");
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        tcp: true,
+        topo: TopologyKind::Linear(2),
+        policy: Policy::Ba,
+        rate: Rate::R1_30,
+        bcast_rate: None,
+        seeds: 3,
+        file_kb: 200,
+        interval_ms: 17.0,
+        flood_ms: None,
+        max_agg_kb: 5,
+        block_ack: false,
+        drop: 0.0,
+        corrupt: 0.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut hops = 2usize;
+    let mut star = false;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| die("missing value"))
+        };
+        match argv[i].as_str() {
+            "tcp" => a.tcp = true,
+            "udp" => a.tcp = false,
+            "--hops" => hops = val(&mut i).parse().unwrap_or_else(|_| die("bad --hops")),
+            "--star" => star = true,
+            "--policy" => a.policy = parse_policy(&val(&mut i)),
+            "--rate" => a.rate = parse_rate(&val(&mut i)),
+            "--bcast-rate" => a.bcast_rate = Some(parse_rate(&val(&mut i))),
+            "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
+            "--file-kb" => a.file_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --file-kb")),
+            "--interval-ms" => a.interval_ms = val(&mut i).parse().unwrap_or_else(|_| die("bad --interval-ms")),
+            "--flood-ms" => a.flood_ms = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad --flood-ms"))),
+            "--max-agg-kb" => a.max_agg_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --max-agg-kb")),
+            "--block-ack" => a.block_ack = true,
+            "--drop" => a.drop = val(&mut i).parse().unwrap_or_else(|_| die("bad --drop")),
+            "--corrupt" => a.corrupt = val(&mut i).parse().unwrap_or_else(|_| die("bad --corrupt")),
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    a.topo = if star { TopologyKind::Star } else { TopologyKind::Linear(hops) };
+    a
+}
+
+fn main() {
+    let a = parse();
+    println!("scenario: {a:?}\n");
+    if a.tcp {
+        let mut sum = 0.0;
+        for seed in 1..=a.seeds {
+            let mut s = TcpScenario::new(a.topo, a.policy, a.rate).with_seed(seed);
+            s.broadcast_rate = a.bcast_rate;
+            s.file_bytes = a.file_kb * 1024;
+            s.max_aggregate = a.max_agg_kb * 1024;
+            if a.block_ack {
+                s.ack_policy = AckPolicy::Block;
+            }
+            if a.drop > 0.0 || a.corrupt > 0.0 {
+                s.fault = Some((a.drop, a.corrupt));
+            }
+            let r = s.run();
+            println!(
+                "seed {seed}: {} {:.3} Mbps (sessions: {:?})",
+                if r.completed { "ok  " } else { "STUCK" },
+                r.throughput_bps / 1e6,
+                r.per_session_bps.iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
+            );
+            if seed == 1 {
+                let relay = r.report.relay();
+                println!(
+                    "        relay: {} TXs, avg {:.0} B, {:.2} subframes, time-ovh {:.1}%, {} retries",
+                    relay.tx_data_frames,
+                    relay.avg_frame_size,
+                    relay.avg_subframes,
+                    relay.time_overhead * 100.0,
+                    relay.retries
+                );
+            }
+            sum += r.throughput_bps;
+        }
+        println!("\nmean throughput: {:.3} Mbps over {} seeds", sum / a.seeds as f64 / 1e6, a.seeds);
+    } else {
+        let TopologyKind::Linear(hops) = a.topo else { die("udp supports linear topologies only") };
+        let mut sum = 0.0;
+        for seed in 1..=a.seeds {
+            let mut s = UdpScenario::new(hops, a.policy, a.rate, Duration::from_secs_f64(a.interval_ms / 1e3))
+                .with_seed(seed);
+            s.max_aggregate = a.max_agg_kb * 1024;
+            if let Some(f) = a.flood_ms {
+                s = s.with_flooding(Duration::from_millis(f));
+            }
+            let r = s.run();
+            println!("seed {seed}: goodput {:.3} Mbps", r.goodput_bps / 1e6);
+            sum += r.goodput_bps;
+        }
+        println!("\nmean goodput: {:.3} Mbps over {} seeds", sum / a.seeds as f64 / 1e6, a.seeds);
+    }
+}

@@ -1,0 +1,16 @@
+//! # hydra-bench — the experiment harness
+//!
+//! One function per table/figure of the paper, each returning a
+//! [`report::Table`] comparing the paper's reported numbers against this
+//! reproduction. Thin binaries in `src/bin/` print individual
+//! experiments; `src/bin/all.rs` regenerates everything and writes the
+//! results file that EXPERIMENTS.md quotes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,128 @@
+//! Minimal table rendering (markdown + aligned console output).
+
+use std::fmt::Write as _;
+
+/// A results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title (printed above the table).
+    pub title: String,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], w: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, width) in cells.iter().zip(w) {
+                let _ = write!(s, " {c:width$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &w));
+        let mut sep = String::from("|");
+        for width in &w {
+            let _ = write!(sep, "{:-<1$}|", "", width + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &w));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats bits/s as Mbps with 3 decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.3}", bps / 1e6)
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats bytes.
+pub fn bytes(b: f64) -> String {
+    format!("{b:.0}B")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "verylongheader"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note");
+        let s = t.render();
+        assert!(s.contains("## T"));
+        assert!(s.contains("verylongheader"));
+        assert!(s.contains("> note"));
+        // Separator line present.
+        assert!(s.lines().nth(2).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbps(1_234_000.0), "1.234");
+        assert_eq!(pct(0.224), "22.4%");
+        assert_eq!(bytes(765.4), "765B");
+    }
+}

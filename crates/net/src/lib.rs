@@ -1,0 +1,16 @@
+//! # hydra-net — IPv4 network layer with static routing
+//!
+//! The paper forces its linear and star topologies with static routes
+//! (all nodes are in radio range, so dynamic route discovery would
+//! collapse everything to one hop). This crate provides exactly that:
+//! a static route table, a static IP↔MAC mapping, TTL-checked
+//! forwarding, and local delivery/demux.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod routing;
+pub mod stack;
+
+pub use routing::{ArpTable, RouteTable};
+pub use stack::{NetConfig, NetCounters, NetStack, NetVerdict};

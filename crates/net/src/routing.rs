@@ -1,0 +1,115 @@
+//! Static routing and address resolution.
+
+use std::collections::HashMap;
+
+use hydra_wire::{Ipv4Addr, MacAddr};
+
+/// A static route table: destination host → next-hop host.
+///
+/// Host routes only — the experiment networks are a handful of nodes, and
+/// Click on the testbed was configured the same way.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    routes: HashMap<Ipv4Addr, Ipv4Addr>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a host route.
+    pub fn add(&mut self, dst: Ipv4Addr, next_hop: Ipv4Addr) {
+        self.routes.insert(dst, next_hop);
+    }
+
+    /// Looks up the next hop toward `dst`.
+    pub fn next_hop(&self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.routes.get(&dst).copied()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no routes are configured.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Static IP ↔ MAC resolution (the simulation convention ties both to the
+/// node id, so no ARP traffic is needed — matching the testbed's static
+/// configuration).
+#[derive(Debug, Clone, Default)]
+pub struct ArpTable {
+    map: HashMap<Ipv4Addr, MacAddr>,
+}
+
+impl ArpTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard table for nodes `0..n` using the id conventions.
+    pub fn for_nodes(n: u16) -> Self {
+        let mut t = Self::new();
+        for id in 0..n {
+            t.add(Ipv4Addr::from_node_id(id), MacAddr::from_node_id(id));
+        }
+        t
+    }
+
+    /// Adds a binding.
+    pub fn add(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.map.insert(ip, mac);
+    }
+
+    /// Resolves an IP to a MAC address.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        if ip.is_broadcast() {
+            return Some(MacAddr::BROADCAST);
+        }
+        self.map.get(&ip).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_lookup() {
+        let mut r = RouteTable::new();
+        assert!(r.is_empty());
+        r.add(Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(1));
+        assert_eq!(r.next_hop(Ipv4Addr::from_node_id(2)), Some(Ipv4Addr::from_node_id(1)));
+        assert_eq!(r.next_hop(Ipv4Addr::from_node_id(5)), None);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn route_replace() {
+        let mut r = RouteTable::new();
+        r.add(Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(1));
+        r.add(Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(3));
+        assert_eq!(r.next_hop(Ipv4Addr::from_node_id(2)), Some(Ipv4Addr::from_node_id(3)));
+    }
+
+    #[test]
+    fn arp_for_nodes() {
+        let t = ArpTable::for_nodes(3);
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(0)), Some(MacAddr::from_node_id(0)));
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(2)), Some(MacAddr::from_node_id(2)));
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(9)), None);
+    }
+
+    #[test]
+    fn arp_broadcast() {
+        let t = ArpTable::new();
+        assert_eq!(t.resolve(Ipv4Addr::BROADCAST), Some(MacAddr::BROADCAST));
+    }
+}

@@ -1,0 +1,28 @@
+//! # hydra-netsim — node assembly, topologies, scenarios, metrics
+//!
+//! Wires the sans-IO layers ([`hydra_core::Mac`], [`hydra_net::NetStack`],
+//! [`hydra_tcp::TcpStack`], the apps) to the event queue and the shared
+//! [`hydra_phy::Medium`], and packages the paper's experimental setups as
+//! reusable [`scenario`] presets:
+//!
+//! * [`scenario::TcpScenario`] — one-way 0.2 MB file transfers over
+//!   linear chains and the 4-node star (paper §6.2, §6.4);
+//! * [`scenario::UdpScenario`] — CBR traffic with optional per-node
+//!   broadcast flooding (paper §6.1–6.3).
+//!
+//! Every run is deterministic in its seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod node;
+pub mod scenario;
+pub mod topology;
+pub mod world;
+
+pub use metrics::{mbps, NodeReport, RunReport};
+pub use node::{Apps, Node};
+pub use scenario::{Policy, TcpRunResult, TcpScenario, TopologyKind, UdpRunResult, UdpScenario};
+pub use topology::Topology;
+pub use world::World;

@@ -1,0 +1,67 @@
+//! A simulated Hydra node: MAC + network stack + TCP + applications.
+
+use hydra_app::{FileReceiver, FileSender, FloodSink, Flooder, UdpCbr, UdpSink};
+use hydra_core::Mac;
+use hydra_net::NetStack;
+use hydra_sim::Instant;
+use hydra_tcp::{SocketHandle, TcpStack};
+use hydra_wire::ipv4::{IpProtocol, Ipv4Repr};
+use hydra_wire::{udp, Endpoint, UdpRepr};
+
+/// The applications attached to one node. Concrete (not trait objects):
+/// the paper's experiments use exactly these.
+#[derive(Debug, Default)]
+pub struct Apps {
+    /// UDP CBR sources.
+    pub udp_sources: Vec<UdpCbr>,
+    /// UDP sink (any destination port).
+    pub udp_sink: Option<UdpSink>,
+    /// Broadcast flooder.
+    pub flooder: Option<Flooder>,
+    /// Flood beacon counter.
+    pub flood_sink: FloodSink,
+    /// TCP file senders with their sockets.
+    pub file_tx: Vec<(FileSender, SocketHandle)>,
+    /// TCP file receivers with their sockets.
+    pub file_rx: Vec<(FileReceiver, SocketHandle)>,
+}
+
+/// One simulated node.
+#[derive(Debug)]
+pub struct Node {
+    /// Node index.
+    pub id: usize,
+    /// The aggregation MAC.
+    pub mac: Mac,
+    /// IPv4 + static routing.
+    pub net: NetStack,
+    /// TCP sockets.
+    pub tcp: TcpStack,
+    /// Applications.
+    pub apps: Apps,
+    /// Next scheduled TCP wake (dedup).
+    pub next_tcp_wake: Option<Instant>,
+    /// Next scheduled app wake (dedup).
+    pub next_app_wake: Option<Instant>,
+    /// Receptions lost to collisions/half-duplex at this node.
+    pub collisions_seen: u64,
+    /// Frames dropped by the channel model before this receiver.
+    pub channel_drops: u64,
+}
+
+impl Node {
+    /// Builds a UDP segment (header + payload, checksum complete).
+    pub fn make_udp_segment(&self, dst: Endpoint, src_port: u16, payload: &[u8]) -> Vec<u8> {
+        let ip = Ipv4Repr {
+            src: self.net.addr(),
+            dst: dst.addr,
+            protocol: IpProtocol::Udp,
+            ttl: 64,
+            payload_len: udp::HEADER_LEN + payload.len(),
+        };
+        let repr = UdpRepr { src_port, dst_port: dst.port };
+        let mut buf = vec![0u8; udp::HEADER_LEN + payload.len()];
+        repr.emit(&ip, payload, &mut buf);
+        buf
+    }
+}

@@ -1,0 +1,157 @@
+//! Topology builders: the paper's linear chains and star (Figures 5 & 6).
+//!
+//! All nodes are within carrier-sense range of each other (2.5 m spacing
+//! on the testbed), so multi-hop behaviour comes purely from *static
+//! routes*, exactly as in the paper ("we used static routing to force
+//! the topologies").
+
+use hydra_net::{ArpTable, NetConfig, NetStack, RouteTable};
+use hydra_wire::Ipv4Addr;
+
+/// A topology: node count + static routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Number of nodes.
+    pub n: usize,
+    /// Host routes: (at_node, destination, next_hop).
+    pub routes: Vec<(usize, Ipv4Addr, Ipv4Addr)>,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+impl Topology {
+    /// A linear chain with `hops` hops (`hops + 1` nodes): node 0 is the
+    /// paper's node 1 (TCP server / traffic source), the last node is the
+    /// client/sink (paper Figure 5).
+    pub fn linear(hops: usize) -> Topology {
+        assert!(hops >= 1);
+        let n = hops + 1;
+        let mut routes = Vec::new();
+        for at in 0..n {
+            for dst in 0..n {
+                if at == dst {
+                    continue;
+                }
+                let next = if dst > at { at + 1 } else { at - 1 };
+                routes.push((at, Ipv4Addr::from_node_id(dst as u16), Ipv4Addr::from_node_id(next as u16)));
+            }
+        }
+        Topology {
+            n,
+            routes,
+            name: match hops {
+                1 => "1-hop",
+                2 => "2-hop linear",
+                3 => "3-hop linear",
+                _ => "linear",
+            },
+        }
+    }
+
+    /// The paper's star (Figure 6): four nodes, center relay.
+    ///
+    /// Index mapping to the paper's numbering: 0 ↔ node 1 (the common
+    /// TCP client/receiver), 1 ↔ node 2 (center relay), 2 ↔ node 3 and
+    /// 3 ↔ node 4 (the two TCP servers). Both sessions run two hops
+    /// through the center; at the relay, TCP data flows toward node 0
+    /// while TCP ACKs flow back toward nodes 2 and 3 (paper §6.4.5).
+    pub fn star() -> Topology {
+        let ip = |i: usize| Ipv4Addr::from_node_id(i as u16);
+        let mut routes = Vec::new();
+        // Leaves reach everyone through the center (node 1).
+        for leaf in [0usize, 2, 3] {
+            for dst in 0..4 {
+                if dst != leaf {
+                    routes.push((leaf, ip(dst), ip(1)));
+                }
+            }
+        }
+        // The center is directly connected to every leaf.
+        for dst in [0usize, 2, 3] {
+            routes.push((1, ip(dst), ip(dst)));
+        }
+        Topology { n: 4, routes, name: "star" }
+    }
+
+    /// Builds the per-node network stacks.
+    pub fn build_net_stacks(&self) -> Vec<NetStack> {
+        (0..self.n)
+            .map(|i| {
+                let mut table = RouteTable::new();
+                for (at, dst, next) in &self.routes {
+                    if *at == i {
+                        table.add(*dst, *next);
+                    }
+                }
+                NetStack::new(NetConfig::for_node(i as u16), table, ArpTable::for_nodes(self.n as u16))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_2hop_routes_through_relay() {
+        let t = Topology::linear(2);
+        assert_eq!(t.n, 3);
+        let stacks = t.build_net_stacks();
+        // Node 0 reaches node 2 via node 1.
+        assert_eq!(
+            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(2)),
+            Some(Ipv4Addr::from_node_id(1))
+        );
+        // The relay reaches both ends directly.
+        assert_eq!(
+            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(2)),
+            Some(Ipv4Addr::from_node_id(2))
+        );
+        assert_eq!(
+            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)),
+            Some(Ipv4Addr::from_node_id(0))
+        );
+    }
+
+    #[test]
+    fn linear_3hop_has_two_relays() {
+        let t = Topology::linear(3);
+        assert_eq!(t.n, 4);
+        let stacks = t.build_net_stacks();
+        // 0 -> 3 goes 0 -> 1 -> 2 -> 3.
+        assert_eq!(
+            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)),
+            Some(Ipv4Addr::from_node_id(1))
+        );
+        assert_eq!(
+            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(3)),
+            Some(Ipv4Addr::from_node_id(2))
+        );
+        assert_eq!(
+            stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)),
+            Some(Ipv4Addr::from_node_id(1))
+        );
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let t = Topology::star();
+        let stacks = t.build_net_stacks();
+        // Server (2) reaches client (0) via center (1).
+        assert_eq!(
+            stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)),
+            Some(Ipv4Addr::from_node_id(1))
+        );
+        // Center delivers directly.
+        assert_eq!(
+            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)),
+            Some(Ipv4Addr::from_node_id(0))
+        );
+        // Client reaches both servers via the center.
+        assert_eq!(
+            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)),
+            Some(Ipv4Addr::from_node_id(1))
+        );
+    }
+}

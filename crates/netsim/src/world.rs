@@ -1,0 +1,361 @@
+//! The event loop: glues MACs, the medium, the channel model, network
+//! stacks, TCP, and applications together under virtual time.
+
+use std::collections::HashMap;
+
+use hydra_core::{Mac, MacConfig, MacInput, MacOutput};
+use hydra_phy::medium::TxId;
+use hydra_phy::{apply_channel, ChannelStack, Medium, OnAirFrame, PhyProfile};
+use hydra_sim::{Duration, EventQueue, Instant, Rng, TimerToken};
+use hydra_tcp::TcpStack;
+use hydra_wire::ipv4::IpProtocol;
+use hydra_wire::MacAddr;
+
+use crate::node::{Apps, Node};
+use crate::topology::Topology;
+
+/// Carrier-sense detection latency: a node whose backoff expires in the
+/// same instant another node starts transmitting has not sensed it yet,
+/// so same-slot collisions happen as on real hardware.
+pub const CS_DELAY: Duration = Duration::from_micros(1);
+
+#[derive(Debug)]
+enum Event {
+    /// A MAC timer fires.
+    MacTimer { node: usize, token: TimerToken },
+    /// A transmission's airtime elapsed.
+    TxEnd { tx: TxId, node: usize },
+    /// Carrier-sense edge reaches a node.
+    CsEdge { node: usize, busy: bool },
+    /// TCP timer wake.
+    TcpWake { node: usize },
+    /// Application timer wake (CBR/flooder schedules).
+    AppWake { node: usize },
+}
+
+/// The simulation world.
+pub struct World {
+    /// Virtual-time event queue.
+    events: EventQueue<Event>,
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// The shared radio medium.
+    pub medium: Medium,
+    /// PHY profile shared by all nodes.
+    pub profile: PhyProfile,
+    channel: ChannelStack,
+    channel_rng: Rng,
+    in_flight: HashMap<TxId, (usize, OnAirFrame)>,
+    /// Frames whose reception was destroyed by overlap, per run.
+    pub collisions: u64,
+}
+
+impl World {
+    /// Builds a world over `topology` with per-node MAC configs supplied
+    /// by `mac_config(node_index)`.
+    pub fn new(
+        topology: &Topology,
+        profile: PhyProfile,
+        channel: ChannelStack,
+        seed: u64,
+        mut mac_config: impl FnMut(usize) -> MacConfig,
+    ) -> Self {
+        let mut master = Rng::seed_from_u64(seed);
+        let medium = Medium::full_mesh(topology.n, &profile);
+        let nets = topology.build_net_stacks();
+        let nodes = nets
+            .into_iter()
+            .enumerate()
+            .map(|(i, net)| {
+                let mac = Mac::new(
+                    MacAddr::from_node_id(i as u16),
+                    mac_config(i),
+                    profile.clone(),
+                    master.fork(i as u64 + 1),
+                );
+                Node {
+                    id: i,
+                    tcp: TcpStack::new(net.addr()),
+                    mac,
+                    net,
+                    apps: Apps::default(),
+                    next_tcp_wake: None,
+                    next_app_wake: None,
+                    collisions_seen: 0,
+                    channel_drops: 0,
+                }
+            })
+            .collect();
+        let channel_rng = master.fork(0xC0DE);
+        World {
+            events: EventQueue::new(),
+            nodes,
+            medium,
+            profile,
+            channel,
+            channel_rng,
+            in_flight: HashMap::new(),
+            collisions: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.events.now()
+    }
+
+    // ------------------------------------------------------------------
+    // Bootstrapping
+    // ------------------------------------------------------------------
+
+    /// Kick all application and TCP schedules at t = 0 (or later).
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.schedule_app_wake(i, self.now());
+            self.pump_tcp(i);
+        }
+    }
+
+    fn schedule_app_wake(&mut self, node: usize, at: Instant) {
+        let n = &mut self.nodes[node];
+        if n.next_app_wake.is_none_or(|t| at < t) {
+            n.next_app_wake = Some(at);
+            self.events.schedule_at(at, Event::AppWake { node });
+        }
+    }
+
+    fn schedule_tcp_wake(&mut self, node: usize) {
+        let Some(at) = self.nodes[node].tcp.poll_timeout() else { return };
+        let at = at.max(self.now());
+        let n = &mut self.nodes[node];
+        if n.next_tcp_wake.is_none_or(|t| at < t) {
+            n.next_tcp_wake = Some(at);
+            self.events.schedule_at(at, Event::TcpWake { node });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs until the queue drains or `deadline` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, _, ev) = self.events.pop().expect("peeked");
+            self.dispatch(ev);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until `pred(world)` or the deadline; checks after each event.
+    /// Returns true if the predicate fired.
+    pub fn run_until_condition(&mut self, deadline: Instant, mut pred: impl FnMut(&World) -> bool) -> bool {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                return false;
+            }
+            let (_, _, ev) = self.events.pop().expect("peeked");
+            self.dispatch(ev);
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        let now = self.now();
+        match ev {
+            Event::MacTimer { node, token } => self.mac_input(node, MacInput::Timer(token)),
+            Event::CsEdge { node, busy } => {
+                self.mac_input(node, if busy { MacInput::ChannelBusy } else { MacInput::ChannelIdle })
+            }
+            Event::TxEnd { tx, node } => self.on_tx_end(tx, node),
+            Event::TcpWake { node } => {
+                self.nodes[node].next_tcp_wake = None;
+                self.nodes[node].tcp.on_tick(now);
+                self.pump_tcp(node);
+            }
+            Event::AppWake { node } => {
+                self.nodes[node].next_app_wake = None;
+                self.poll_apps(node);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MAC plumbing
+    // ------------------------------------------------------------------
+
+    fn mac_input(&mut self, node: usize, input: MacInput) {
+        let now = self.now();
+        let outs = self.nodes[node].mac.handle(now, input);
+        self.process_mac_outputs(node, outs);
+    }
+
+    fn process_mac_outputs(&mut self, node: usize, outs: Vec<MacOutput>) {
+        for out in outs {
+            match out {
+                MacOutput::SetTimer { token, at } => {
+                    self.events.schedule_at(at.max(self.now()), Event::MacTimer { node, token });
+                }
+                MacOutput::StartTx(frame) => self.start_tx(node, frame),
+                MacOutput::Deliver { payload, .. } => self.deliver_up(node, payload),
+                MacOutput::UnicastDropped { .. } => {
+                    // TCP recovers by RTO; UDP loss is final. Nothing to do.
+                }
+            }
+        }
+    }
+
+    fn start_tx(&mut self, node: usize, frame: OnAirFrame) {
+        let airtime = frame.airtime(&self.profile).total();
+        let (tx, edges) = self.medium.start_tx(node);
+        for e in edges {
+            self.events
+                .schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
+        }
+        self.in_flight.insert(tx, (node, frame));
+        self.events.schedule_after(airtime, Event::TxEnd { tx, node });
+    }
+
+    fn on_tx_end(&mut self, tx: TxId, node: usize) {
+        let (deliveries, edges) = self.medium.end_tx(tx);
+        for e in edges {
+            self.events
+                .schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
+        }
+        let (_, frame) = self.in_flight.remove(&tx).expect("unknown tx");
+        // Tell the transmitter first (it arms its response timeout), then
+        // fan out receptions in deterministic node order.
+        self.mac_input(node, MacInput::TxDone);
+        for d in deliveries {
+            if !d.clean {
+                self.collisions += 1;
+                self.nodes[d.receiver].collisions_seen += 1;
+                continue;
+            }
+            let rx = apply_channel(&frame, d.snr_db, &mut self.channel, &mut self.channel_rng, &self.profile);
+            match rx {
+                Some(rx) => self.mac_input(d.receiver, MacInput::Rx(rx)),
+                None => self.nodes[d.receiver].channel_drops += 1,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Upward delivery: network layer, TCP, apps
+    // ------------------------------------------------------------------
+
+    fn deliver_up(&mut self, node: usize, payload: Vec<u8>) {
+        use hydra_net::NetVerdict;
+        let now = self.now();
+        let verdict = self.nodes[node].net.receive(&payload);
+        match verdict {
+            NetVerdict::Forward { next_hop, mpdu_payload } => {
+                let src = self.nodes[node].mac.addr();
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu_payload });
+            }
+            NetVerdict::DeliverTcp { ip, tcp, payload } => {
+                self.nodes[node].tcp.on_segment(now, &ip, &tcp, &payload);
+                // Pump immediately: this yields the per-segment ACKs the
+                // paper's client produces (one 160 B ACK frame per data
+                // segment).
+                self.pump_tcp(node);
+            }
+            NetVerdict::DeliverUdp { udp: _, payload, .. } => {
+                if let Some(sink) = self.nodes[node].apps.udp_sink.as_mut() {
+                    sink.on_datagram(now, &payload);
+                }
+            }
+            NetVerdict::DeliverRaw { payload, .. } => {
+                self.nodes[node].apps.flood_sink.on_beacon(&payload);
+            }
+            NetVerdict::Drop => {}
+        }
+    }
+
+    /// Runs the TCP send path of a node: app pumps, socket polls, network
+    /// wrap, MAC enqueue.
+    pub fn pump_tcp(&mut self, node: usize) {
+        let now = self.now();
+        // Applications first (fill send buffers / drain receive buffers).
+        {
+            let n = &mut self.nodes[node];
+            for (sender, sock) in &mut n.apps.file_tx {
+                sender.pump(now, n.tcp.socket(*sock));
+            }
+            for (recv, sock) in &mut n.apps.file_rx {
+                recv.pump(now, n.tcp.socket(*sock));
+            }
+        }
+        // Emit segments.
+        let segs = self.nodes[node].tcp.poll_transmit(now);
+        for seg in segs {
+            let send = self.nodes[node].net.send_l4(IpProtocol::Tcp, seg.dst, &seg.bytes);
+            if let Some((next_hop, mpdu)) = send {
+                let src = self.nodes[node].mac.addr();
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+            }
+        }
+        // Post-send app pass: sending may have freed buffer space and the
+        // receiver may have drained (window update already rode the ACK).
+        {
+            let n = &mut self.nodes[node];
+            for (sender, sock) in &mut n.apps.file_tx {
+                sender.pump(now, n.tcp.socket(*sock));
+            }
+        }
+        self.schedule_tcp_wake(node);
+    }
+
+    /// Polls CBR sources and flooders; enqueues due packets.
+    fn poll_apps(&mut self, node: usize) {
+        let now = self.now();
+        let mut next_wake: Option<Instant> = None;
+        let mut udp_out: Vec<(hydra_wire::Endpoint, u16, Vec<u8>)> = Vec::new();
+        let mut flood_out: Vec<Vec<u8>> = Vec::new();
+        {
+            let n = &mut self.nodes[node];
+            for src in &mut n.apps.udp_sources {
+                let (pkts, wake) = src.poll(now);
+                for p in pkts {
+                    udp_out.push((src.dst, src.src_port, p));
+                }
+                if let Some(w) = wake {
+                    next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
+                }
+            }
+            if let Some(f) = &mut n.apps.flooder {
+                let (beacons, wake) = f.poll(now);
+                flood_out = beacons;
+                if let Some(w) = wake {
+                    next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
+                }
+            }
+        }
+        for (dst, src_port, payload) in udp_out {
+            let seg = self.nodes[node].make_udp_segment(dst, src_port, &payload);
+            let send = self.nodes[node].net.send_l4(IpProtocol::Udp, dst.addr, &seg);
+            if let Some((next_hop, mpdu)) = send {
+                let src = self.nodes[node].mac.addr();
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+            }
+        }
+        for beacon in flood_out {
+            let (next_hop, mpdu) = self.nodes[node].net.send_raw_broadcast(&beacon);
+            let src = self.nodes[node].mac.addr();
+            self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+        }
+        if let Some(w) = next_wake {
+            self.schedule_app_wake(node, w);
+        }
+    }
+}
+

@@ -1,0 +1,155 @@
+//! End-to-end integration: full stack (app → TCP → IP → MAC → PHY →
+//! medium and back) on the paper's topologies.
+
+use hydra_netsim::{Policy, TcpScenario, TopologyKind, UdpScenario};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
+
+#[test]
+fn two_hop_tcp_transfer_completes_under_every_policy() {
+    for policy in Policy::ALL {
+        let r = TcpScenario::new(TopologyKind::Linear(2), policy, Rate::R1_30).run();
+        assert!(r.completed, "{}: transfer did not complete", policy.name());
+        assert!(
+            r.throughput_bps > 50_000.0,
+            "{}: implausibly low throughput {}",
+            policy.name(),
+            r.throughput_bps
+        );
+        assert!(
+            r.throughput_bps < 1_300_000.0,
+            "{}: throughput above line rate {}",
+            policy.name(),
+            r.throughput_bps
+        );
+    }
+}
+
+#[test]
+fn three_hop_tcp_transfer_completes() {
+    let r = TcpScenario::new(TopologyKind::Linear(3), Policy::Ba, Rate::R2_60).run();
+    assert!(r.completed);
+    assert!(r.throughput_bps > 50_000.0);
+}
+
+#[test]
+fn star_runs_two_sessions() {
+    let r = TcpScenario::new(TopologyKind::Star, Policy::Ba, Rate::R1_30).run();
+    assert!(r.completed);
+    assert_eq!(r.per_session_bps.len(), 2);
+    for t in &r.per_session_bps {
+        assert!(*t > 20_000.0, "session throughput {t}");
+    }
+}
+
+#[test]
+fn aggregation_ordering_holds_at_high_rate() {
+    // The paper's headline: BA > UA > NA (Figure 11), most visible at
+    // the highest rate.
+    let na = TcpScenario::new(TopologyKind::Linear(2), Policy::Na, Rate::R2_60).run();
+    let ua = TcpScenario::new(TopologyKind::Linear(2), Policy::Ua, Rate::R2_60).run();
+    let ba = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R2_60).run();
+    assert!(na.completed && ua.completed && ba.completed);
+    assert!(
+        ua.throughput_bps > na.throughput_bps * 1.2,
+        "UA {} should clearly beat NA {}",
+        ua.throughput_bps,
+        na.throughput_bps
+    );
+    assert!(
+        ba.throughput_bps > ua.throughput_bps,
+        "BA {} should beat UA {}",
+        ba.throughput_bps,
+        ua.throughput_bps
+    );
+}
+
+#[test]
+fn classified_acks_flow_in_ba_but_not_ua() {
+    let ua = TcpScenario::new(TopologyKind::Linear(2), Policy::Ua, Rate::R1_30).run();
+    let ba = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).run();
+    let ua_acks: u64 = ua.report.nodes.iter().map(|n| n.acks_classified).sum();
+    let ba_acks: u64 = ba.report.nodes.iter().map(|n| n.acks_classified).sum();
+    assert_eq!(ua_acks, 0, "UA must not classify ACKs");
+    assert!(ba_acks > 50, "BA must classify many ACKs, got {ba_acks}");
+    // The server overhears relay frames whose ACK subframes are addressed
+    // to it... and the client overhears ACK subframes addressed to the
+    // relay: decode-and-drop must be happening somewhere.
+    let filtered: u64 = ba.report.nodes.iter().map(|n| n.bcast_filtered).sum();
+    assert!(filtered > 0, "decode-and-drop should occur");
+}
+
+#[test]
+fn udp_one_hop_flows() {
+    let r = UdpScenario::new(1, Policy::Ua, Rate::R0_65, Duration::from_millis(10)).run();
+    // Offered load 1045 B / 10 ms ≈ 0.84 Mbps > capacity: saturated.
+    assert!(r.goodput_bps > 200_000.0, "goodput {}", r.goodput_bps);
+    assert!(r.goodput_bps < 650_000.0);
+}
+
+#[test]
+fn udp_two_hop_aggregation_beats_na() {
+    let na = UdpScenario::new(2, Policy::Na, Rate::R1_30, Duration::from_millis(12)).run();
+    let ua = UdpScenario::new(2, Policy::Ua, Rate::R1_30, Duration::from_millis(12)).run();
+    assert!(
+        ua.goodput_bps > na.goodput_bps,
+        "UA {} must beat NA {}",
+        ua.goodput_bps,
+        na.goodput_bps
+    );
+}
+
+#[test]
+fn flooding_reduces_goodput_more_without_aggregation() {
+    // Flooding only bites when the link is saturated (12 ms CBR interval
+    // offers ~0.7 Mbps against ~0.4 Mbps of 2-hop NA capacity).
+    let quiet = UdpScenario::new(2, Policy::Na, Rate::R1_30, Duration::from_millis(12)).run();
+    let noisy = UdpScenario::new(2, Policy::Na, Rate::R1_30, Duration::from_millis(12))
+        .with_flooding(Duration::from_millis(100))
+        .run();
+    assert!(
+        noisy.goodput_bps < quiet.goodput_bps,
+        "flooding must hurt: {} vs {}",
+        noisy.goodput_bps,
+        quiet.goodput_bps
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(7).run();
+    let b = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(7).run();
+    assert_eq!(a.throughput_bps, b.throughput_bps);
+    assert_eq!(a.report.total_data_txs(), b.report.total_data_txs());
+    assert_eq!(a.report.relay().avg_frame_size, b.report.relay().avg_frame_size);
+    // A different seed changes backoff draws; results differ slightly.
+    let c = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(8).run();
+    assert!(c.completed);
+}
+
+#[test]
+fn relay_aggregates_under_ba() {
+    let r = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R2_60).run();
+    let relay = r.report.relay();
+    assert!(
+        relay.avg_subframes > 1.5,
+        "relay should aggregate: avg {} subframes",
+        relay.avg_subframes
+    );
+    assert!(relay.avg_frame_size > 1500.0, "avg frame {}", relay.avg_frame_size);
+}
+
+#[test]
+fn na_sends_single_subframe_frames() {
+    let r = TcpScenario::new(TopologyKind::Linear(2), Policy::Na, Rate::R1_30).run();
+    for n in &r.report.nodes {
+        if n.tx_data_frames > 0 {
+            assert!(
+                (n.avg_subframes - 1.0).abs() < 1e-9,
+                "node {} sent {} subframes/frame under NA",
+                n.node,
+                n.avg_subframes
+            );
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Channel models: who gets corrupted, and why.
+//!
+//! A [`ChannelModel`] makes per-subframe corruption decisions for each
+//! reception. Models compose with [`ChannelStack`]; the standard Hydra
+//! channel is AWGN (SNR/BER driven) + coherence staleness (the paper's
+//! 120 Ksample aggregate-size cliff). A smoltcp-style [`FaultInjector`]
+//! is available for robustness testing.
+//!
+//! Corruption is applied to the *actual frame bytes* — a corrupted
+//! subframe really fails its CRC at the receiver, exercising the same
+//! code path a real radio would.
+
+use hydra_sim::Rng;
+use hydra_wire::aggregate::{Portion, SubframeSlot};
+use hydra_wire::subframe::HEADER_LEN;
+
+use crate::ber::{block_error_prob, coded_ber};
+use crate::frame::OnAirFrame;
+use crate::profile::PhyProfile;
+use crate::rates::Rate;
+
+/// Context for one subframe's corruption decision.
+#[derive(Debug, Clone, Copy)]
+pub struct SubframeCtx {
+    /// First sample of this subframe within the PSDU (after preamble).
+    pub start_sample: u64,
+    /// One past the last sample.
+    pub end_sample: u64,
+    /// The rate this subframe is modulated at.
+    pub rate: Rate,
+    /// On-air bytes of the subframe (header + payload + FCS + pad).
+    pub bytes: usize,
+    /// Link SNR in dB (after implementation loss).
+    pub snr_db: f64,
+}
+
+/// A channel model: decides corruption per subframe and drop per frame.
+pub trait ChannelModel {
+    /// True if this subframe should be corrupted.
+    fn subframe_corrupt(&mut self, ctx: &SubframeCtx, rng: &mut Rng) -> bool;
+
+    /// True if the entire frame should vanish (e.g. fault injection or
+    /// preamble loss). Default: never.
+    fn frame_dropped(&mut self, _rng: &mut Rng) -> bool {
+        false
+    }
+}
+
+/// A perfect channel. Useful for protocol-logic tests.
+#[derive(Debug, Clone, Default)]
+pub struct IdealChannel;
+
+impl ChannelModel for IdealChannel {
+    fn subframe_corrupt(&mut self, _ctx: &SubframeCtx, _rng: &mut Rng) -> bool {
+        false
+    }
+}
+
+/// AWGN channel: per-subframe error probability from the BER model.
+#[derive(Debug, Clone, Default)]
+pub struct AwgnChannel;
+
+impl ChannelModel for AwgnChannel {
+    fn subframe_corrupt(&mut self, ctx: &SubframeCtx, rng: &mut Rng) -> bool {
+        let ber = coded_ber(ctx.rate, ctx.snr_db);
+        let p = block_error_prob(ber, ctx.bytes as u64 * 8);
+        rng.chance(p)
+    }
+}
+
+/// Channel-estimate staleness (paper §6.1).
+///
+/// The preamble's channel estimate ages as the frame plays out; subframes
+/// whose tail lands beyond the coherence budget see a corruption
+/// probability ramping from 0 to 1 over `ramp` samples. This produces
+/// the paper's Figure 7 behaviour: throughput climbs with aggregation
+/// size, then collapses once aggregates outgrow ~120 Ksamples.
+#[derive(Debug, Clone)]
+pub struct CoherenceChannel {
+    /// Samples of "safe" budget.
+    pub threshold: u64,
+    /// Ramp width in samples.
+    pub ramp: u64,
+}
+
+impl CoherenceChannel {
+    /// Builds from a PHY profile.
+    pub fn from_profile(p: &PhyProfile) -> Self {
+        CoherenceChannel { threshold: p.coherence_samples, ramp: p.coherence_ramp.max(1) }
+    }
+
+    /// Corruption probability for a subframe ending at `end_sample`.
+    pub fn corruption_prob(&self, end_sample: u64) -> f64 {
+        if end_sample <= self.threshold {
+            0.0
+        } else {
+            (((end_sample - self.threshold) as f64) / self.ramp as f64).min(1.0)
+        }
+    }
+}
+
+impl ChannelModel for CoherenceChannel {
+    fn subframe_corrupt(&mut self, ctx: &SubframeCtx, rng: &mut Rng) -> bool {
+        rng.chance(self.corruption_prob(ctx.end_sample))
+    }
+}
+
+/// smoltcp-style fault injection: random frame drops and subframe hits.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    /// Probability a whole frame disappears.
+    pub drop_chance: f64,
+    /// Probability each subframe is corrupted.
+    pub corrupt_chance: f64,
+}
+
+impl ChannelModel for FaultInjector {
+    fn subframe_corrupt(&mut self, _ctx: &SubframeCtx, rng: &mut Rng) -> bool {
+        rng.chance(self.corrupt_chance)
+    }
+
+    fn frame_dropped(&mut self, rng: &mut Rng) -> bool {
+        rng.chance(self.drop_chance)
+    }
+}
+
+/// Composition: a subframe is corrupted if *any* layer corrupts it.
+#[derive(Default)]
+pub struct ChannelStack {
+    layers: Vec<Box<dyn ChannelModel + Send>>,
+}
+
+impl ChannelStack {
+    /// The empty (ideal) stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard Hydra channel: AWGN + coherence staleness.
+    pub fn hydra(profile: &PhyProfile) -> Self {
+        ChannelStack::new()
+            .with(AwgnChannel)
+            .with(CoherenceChannel::from_profile(profile))
+    }
+
+    /// Adds a layer.
+    pub fn with(mut self, layer: impl ChannelModel + Send + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+}
+
+impl core::fmt::Debug for ChannelStack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ChannelStack({} layers)", self.layers.len())
+    }
+}
+
+impl ChannelModel for ChannelStack {
+    fn subframe_corrupt(&mut self, ctx: &SubframeCtx, rng: &mut Rng) -> bool {
+        // Evaluate all layers (no short-circuit) so RNG consumption is
+        // independent of outcomes — keeps runs comparable across configs.
+        let mut corrupt = false;
+        for l in &mut self.layers {
+            corrupt |= l.subframe_corrupt(ctx, rng);
+        }
+        corrupt
+    }
+
+    fn frame_dropped(&mut self, rng: &mut Rng) -> bool {
+        let mut dropped = false;
+        for l in &mut self.layers {
+            dropped |= l.frame_dropped(rng);
+        }
+        dropped
+    }
+}
+
+/// Applies a channel model to a frame copy bound for one receiver.
+///
+/// Returns `None` if the frame is dropped entirely; otherwise the frame
+/// with corrupted subframes' bytes damaged in place (one covered byte
+/// flipped — enough to fail the CRC; the length field is spared so that
+/// framing survives, matching the paper's receive process which treats
+/// each subframe CRC independently).
+pub fn apply_channel(
+    frame: &OnAirFrame,
+    snr_db: f64,
+    model: &mut dyn ChannelModel,
+    rng: &mut Rng,
+    profile: &PhyProfile,
+) -> Option<OnAirFrame> {
+    if model.frame_dropped(rng) {
+        return None;
+    }
+    match frame {
+        OnAirFrame::Control(bytes) => {
+            let ctx = SubframeCtx {
+                start_sample: 0,
+                end_sample: profile.samples_for(bytes.len(), profile.base_rate),
+                rate: profile.base_rate,
+                bytes: bytes.len(),
+                snr_db,
+            };
+            let mut out = bytes.clone();
+            if model.subframe_corrupt(&ctx, rng) {
+                corrupt_byte(&mut out, 2, rng); // hit duration/addr region
+            }
+            Some(OnAirFrame::Control(out))
+        }
+        OnAirFrame::Aggregate { phy_hdr, psdu, slots } => {
+            let bcast_rate = Rate::from_code(phy_hdr.bcast_rate).unwrap_or(profile.base_rate);
+            let ucast_rate = Rate::from_code(phy_hdr.ucast_rate).unwrap_or(profile.base_rate);
+            let mut out = psdu.clone();
+            let mut cursor = profile.samples_for(profile.phy_header_bytes, profile.base_rate);
+            for slot in slots {
+                let rate = match slot.portion {
+                    Portion::Broadcast => bcast_rate,
+                    Portion::Unicast => ucast_rate,
+                };
+                let len = slot.range.len();
+                let samples = profile.samples_for(len, rate);
+                let ctx = SubframeCtx {
+                    start_sample: cursor,
+                    end_sample: cursor + samples,
+                    rate,
+                    bytes: len,
+                    snr_db,
+                };
+                cursor += samples;
+                if model.subframe_corrupt(&ctx, rng) {
+                    corrupt_subframe(&mut out, slot, rng);
+                }
+            }
+            Some(OnAirFrame::Aggregate { phy_hdr: *phy_hdr, psdu: out, slots: slots.clone() })
+        }
+    }
+}
+
+/// Flips one random byte of the FCS-covered region of `slot`, avoiding
+/// the length field (bytes 22..24 of the header) so framing survives.
+fn corrupt_subframe(psdu: &mut [u8], slot: &SubframeSlot, rng: &mut Rng) {
+    let covered = HEADER_LEN + slot.payload_len; // header + payload (FCS-covered)
+    debug_assert!(covered >= HEADER_LEN);
+    // Candidate positions: [0, covered) minus the length field at 22..24.
+    let mut pos = rng.below(covered as u64 - 2) as usize;
+    if pos >= 22 {
+        pos += 2;
+    }
+    let at = slot.range.start + pos;
+    if at < psdu.len() {
+        psdu[at] ^= 1 << rng.below(8);
+    }
+}
+
+fn corrupt_byte(bytes: &mut [u8], at: usize, rng: &mut Rng) {
+    if !bytes.is_empty() {
+        let at = at.min(bytes.len() - 1);
+        bytes[at] ^= 1 << rng.below(8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_wire::aggregate::AggregateBuilder;
+    use hydra_wire::subframe::{FrameType, SubframeRepr};
+    use hydra_wire::MacAddr;
+
+    fn make_aggregate(n_ucast: usize, payload_len: usize, rate: Rate) -> OnAirFrame {
+        let repr = SubframeRepr {
+            frame_type: FrameType::Data,
+            retry: false,
+            no_ack: false,
+            duration_us: 0,
+            addr1: MacAddr::from_node_id(1),
+            addr2: MacAddr::from_node_id(0),
+            addr3: MacAddr::from_node_id(0),
+        };
+        let mut b = AggregateBuilder::new();
+        for _ in 0..n_ucast {
+            b.push_unicast(&repr, &vec![0xAB; payload_len]);
+        }
+        let (phy_hdr, psdu, slots) = b.finish(rate.code(), rate.code());
+        OnAirFrame::Aggregate { phy_hdr, psdu, slots }
+    }
+
+    #[test]
+    fn ideal_channel_never_corrupts() {
+        let p = PhyProfile::hydra();
+        let f = make_aggregate(3, 1434, Rate::R2_60);
+        let mut rng = Rng::seed_from_u64(1);
+        let out = apply_channel(&f, 25.0, &mut IdealChannel, &mut rng, &p).unwrap();
+        match (f, out) {
+            (OnAirFrame::Aggregate { psdu: a, .. }, OnAirFrame::Aggregate { psdu: b, .. }) => {
+                assert_eq!(a, b);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn awgn_at_operating_point_is_quasi_lossless() {
+        let p = PhyProfile::hydra();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut model = AwgnChannel;
+        let eff_snr = p.default_snr_db - p.implementation_loss_db;
+        let mut corrupted = 0;
+        for _ in 0..200 {
+            let f = make_aggregate(3, 1434, Rate::R2_60);
+            let out = apply_channel(&f, eff_snr, &mut model, &mut rng, &p).unwrap();
+            let (OnAirFrame::Aggregate { psdu: a, .. }, OnAirFrame::Aggregate { psdu: b, .. }) = (&f, &out)
+            else {
+                panic!()
+            };
+            if a != &b[..] {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted <= 2, "expected quasi-lossless, got {corrupted}/200");
+    }
+
+    #[test]
+    fn awgn_kills_64qam_at_operating_point() {
+        let p = PhyProfile::hydra();
+        let mut rng = Rng::seed_from_u64(3);
+        let mut model = AwgnChannel;
+        let eff_snr = p.default_snr_db - p.implementation_loss_db;
+        let mut corrupted = 0;
+        for _ in 0..50 {
+            let f = make_aggregate(1, 1434, Rate::R6_50);
+            let out = apply_channel(&f, eff_snr, &mut model, &mut rng, &p).unwrap();
+            let (OnAirFrame::Aggregate { psdu: a, .. }, OnAirFrame::Aggregate { psdu: b, .. }) = (&f, &out)
+            else {
+                panic!()
+            };
+            if a != &b[..] {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted >= 45, "64-QAM should be broken: {corrupted}/50");
+    }
+
+    #[test]
+    fn coherence_prob_ramps() {
+        let c = CoherenceChannel { threshold: 120_000, ramp: 20_000 };
+        assert_eq!(c.corruption_prob(0), 0.0);
+        assert_eq!(c.corruption_prob(120_000), 0.0);
+        assert!((c.corruption_prob(130_000) - 0.5).abs() < 1e-9);
+        assert_eq!(c.corruption_prob(140_000), 1.0);
+        assert_eq!(c.corruption_prob(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn coherence_kills_tail_subframes_of_oversized_aggregates() {
+        let p = PhyProfile::hydra();
+        // 8 x 1464 B at 0.65 Mbps ≈ 288 Ksamples: far past the budget.
+        let f = make_aggregate(8, 1434, Rate::R0_65);
+        let mut model = CoherenceChannel::from_profile(&p);
+        let mut rng = Rng::seed_from_u64(4);
+        let out = apply_channel(&f, 25.0, &mut model, &mut rng, &p).unwrap();
+        let (OnAirFrame::Aggregate { psdu: orig, slots, .. }, OnAirFrame::Aggregate { psdu: hit, .. }) =
+            (&f, &out)
+        else {
+            panic!()
+        };
+        // First subframe (ends ~36 Ksamples) intact; last (ends ~288 Ks) corrupt.
+        let first = &slots[0].range;
+        let last = &slots[7].range;
+        assert_eq!(orig[first.clone()], hit[first.clone()]);
+        assert_ne!(orig[last.clone()], hit[last.clone()]);
+    }
+
+    #[test]
+    fn small_aggregates_survive_coherence() {
+        let p = PhyProfile::hydra();
+        // 3 x 1464 B at 2.6 Mbps ≈ 36 Ksamples: well within budget.
+        let f = make_aggregate(3, 1434, Rate::R2_60);
+        let mut model = CoherenceChannel::from_profile(&p);
+        let mut rng = Rng::seed_from_u64(5);
+        let out = apply_channel(&f, 25.0, &mut model, &mut rng, &p).unwrap();
+        let (OnAirFrame::Aggregate { psdu: a, .. }, OnAirFrame::Aggregate { psdu: b, .. }) = (&f, &out)
+        else {
+            panic!()
+        };
+        assert_eq!(a, &b[..]);
+    }
+
+    #[test]
+    fn fault_injector_drops_frames() {
+        let p = PhyProfile::hydra();
+        let mut model = FaultInjector { drop_chance: 1.0, corrupt_chance: 0.0 };
+        let mut rng = Rng::seed_from_u64(6);
+        let f = make_aggregate(1, 100, Rate::R1_30);
+        assert!(apply_channel(&f, 25.0, &mut model, &mut rng, &p).is_none());
+    }
+
+    #[test]
+    fn fault_injector_corrupts_control_frames() {
+        let p = PhyProfile::hydra();
+        let mut model = FaultInjector { drop_chance: 0.0, corrupt_chance: 1.0 };
+        let mut rng = Rng::seed_from_u64(7);
+        let rts = hydra_wire::ControlFrame::Rts {
+            duration_us: 100,
+            ra: MacAddr::from_node_id(1),
+            ta: MacAddr::from_node_id(2),
+        };
+        let f = OnAirFrame::Control(rts.to_bytes());
+        let out = apply_channel(&f, 25.0, &mut model, &mut rng, &p).unwrap();
+        let OnAirFrame::Control(bytes) = out else { panic!() };
+        assert!(hydra_wire::ControlFrame::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn corruption_preserves_framing() {
+        // Even when every subframe is corrupted, all subframes must still
+        // be found by the parser (length fields are spared).
+        let p = PhyProfile::hydra();
+        let mut model = FaultInjector { drop_chance: 0.0, corrupt_chance: 1.0 };
+        let mut rng = Rng::seed_from_u64(8);
+        let f = make_aggregate(4, 1434, Rate::R2_60);
+        let out = apply_channel(&f, 25.0, &mut model, &mut rng, &p).unwrap();
+        let OnAirFrame::Aggregate { phy_hdr, psdu, .. } = out else { panic!() };
+        let parsed = hydra_wire::parse_aggregate(&phy_hdr, &psdu);
+        assert_eq!(parsed.len(), 4);
+        assert!(parsed.iter().all(|s| !s.fcs_ok));
+    }
+
+    #[test]
+    fn stack_composes() {
+        let p = PhyProfile::hydra();
+        let mut stack = ChannelStack::new()
+            .with(IdealChannel)
+            .with(FaultInjector { drop_chance: 0.0, corrupt_chance: 1.0 });
+        let mut rng = Rng::seed_from_u64(9);
+        let f = make_aggregate(1, 500, Rate::R1_30);
+        let out = apply_channel(&f, 25.0, &mut stack, &mut rng, &p).unwrap();
+        let (OnAirFrame::Aggregate { psdu: a, .. }, OnAirFrame::Aggregate { psdu: b, .. }) = (&f, &out)
+        else {
+            panic!()
+        };
+        assert_ne!(a, &b[..]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hydra-phy — the Hydra 802.11n-like PHY model
+//!
+//! Models the physical layer of the paper's Hydra prototype (Table 1):
+//!
+//! * [`rates`] — the 0.65–6.5 Mbps MCS ladder (802.11n ÷ 10);
+//! * [`profile`] — timing/sampling constants calibrated against the
+//!   paper's own numbers (see DESIGN.md §6);
+//! * [`frame`] — on-air frames and airtime breakdowns;
+//! * [`ber`] — AWGN BER math (Q-function, M-QAM approximations);
+//! * [`channel`] — composable channel models: AWGN, channel-estimate
+//!   coherence staleness (the 120 Ksample cliff of paper §6.1), fault
+//!   injection;
+//! * [`medium`] — the shared broadcast medium with carrier-sense edges,
+//!   half-duplex constraints, and collision tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod channel;
+pub mod frame;
+pub mod medium;
+pub mod profile;
+pub mod rates;
+
+pub use channel::{
+    apply_channel, AwgnChannel, ChannelModel, ChannelStack, CoherenceChannel, FaultInjector,
+    IdealChannel, SubframeCtx,
+};
+pub use frame::{Airtime, OnAirFrame};
+pub use medium::{BusyEdge, Delivery, Medium, TxId};
+pub use profile::PhyProfile;
+pub use rates::{CodeRate, Modulation, Rate};

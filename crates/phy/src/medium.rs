@@ -1,0 +1,304 @@
+//! The shared broadcast medium: propagation, carrier sense, collisions.
+//!
+//! Sans-IO: the medium is a pure state machine. The event loop calls
+//! [`Medium::start_tx`] when a node begins transmitting and
+//! [`Medium::end_tx`] when the airtime elapses; the medium reports
+//! carrier-sense busy/idle edges and, at end of transmission, which
+//! receivers got a clean copy.
+//!
+//! Collision semantics: two transmissions overlapping at an in-range
+//! receiver destroy each other there (no capture — conservative, and the
+//! paper's topologies keep all nodes in carrier-sense range so collisions
+//! only arise from same-slot backoff expiry). A node never receives while
+//! transmitting (half-duplex).
+
+use crate::profile::PhyProfile;
+
+/// Identifies one in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// A carrier-sense transition at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyEdge {
+    /// The node whose carrier sense changed.
+    pub node: usize,
+    /// The new state.
+    pub busy: bool,
+}
+
+/// Outcome of a transmission at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// The receiving node.
+    pub receiver: usize,
+    /// True if no overlap (collision / half-duplex) damaged the copy.
+    pub clean: bool,
+    /// Link SNR for the channel model, already net of implementation loss.
+    pub snr_db: f64,
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    id: TxId,
+    tx_node: usize,
+    /// Per-node interference flag, set if any overlap occurred at that
+    /// node during this transmission's lifetime.
+    interfered: Vec<bool>,
+}
+
+/// The broadcast medium connecting `n` nodes.
+#[derive(Debug)]
+pub struct Medium {
+    n: usize,
+    in_range: Vec<Vec<bool>>,
+    snr_db: Vec<Vec<f64>>,
+    active: Vec<ActiveTx>,
+    /// Per node: number of in-range foreign transmissions currently on air.
+    heard: Vec<usize>,
+    next_id: u64,
+}
+
+impl Medium {
+    /// A fully connected medium with uniform effective SNR
+    /// (link SNR − implementation loss), the paper's §5 setup.
+    pub fn full_mesh(n: usize, profile: &PhyProfile) -> Self {
+        let eff = profile.default_snr_db - profile.implementation_loss_db;
+        Medium {
+            n,
+            in_range: vec![vec![true; n]; n],
+            snr_db: vec![vec![eff; n]; n],
+            active: Vec::new(),
+            heard: vec![0; n],
+            next_id: 0,
+        }
+    }
+
+    /// Overrides one directed link.
+    pub fn set_link(&mut self, from: usize, to: usize, in_range: bool, snr_db: f64) {
+        self.in_range[from][to] = in_range;
+        self.snr_db[from][to] = snr_db;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// True if `node` senses the channel busy (hears a foreign
+    /// transmission or is transmitting itself).
+    pub fn is_busy(&self, node: usize) -> bool {
+        self.heard[node] > 0 || self.active.iter().any(|a| a.tx_node == node)
+    }
+
+    /// True if `node` is currently transmitting.
+    pub fn is_transmitting(&self, node: usize) -> bool {
+        self.active.iter().any(|a| a.tx_node == node)
+    }
+
+    /// Begins a transmission from `node`. Returns the transmission id and
+    /// the carrier-sense edges it causes at other nodes.
+    pub fn start_tx(&mut self, node: usize) -> (TxId, Vec<BusyEdge>) {
+        let id = TxId(self.next_id);
+        self.next_id += 1;
+
+        let mut interfered = vec![false; self.n];
+        for r in 0..self.n {
+            if r == node {
+                continue;
+            }
+            // New reception at r is damaged if any other transmission is
+            // already audible there, or r itself is mid-transmission.
+            let overlapped = self
+                .active
+                .iter()
+                .any(|a| a.tx_node == r || self.in_range[a.tx_node][r]);
+            if overlapped && self.in_range[node][r] {
+                interfered[r] = true;
+            }
+        }
+        // The new transmission damages ongoing receptions where it is audible,
+        // and the new transmitter can no longer receive anything (half-duplex).
+        for a in &mut self.active {
+            for r in 0..self.n {
+                if r == a.tx_node {
+                    continue;
+                }
+                if r == node || self.in_range[node][r] {
+                    a.interfered[r] = true;
+                }
+            }
+        }
+
+        let mut edges = Vec::new();
+        for r in 0..self.n {
+            if r != node && self.in_range[node][r] {
+                let was_busy = self.is_busy(r);
+                self.heard[r] += 1;
+                if !was_busy {
+                    edges.push(BusyEdge { node: r, busy: true });
+                }
+            }
+        }
+
+        self.active.push(ActiveTx { id, tx_node: node, interfered });
+        (id, edges)
+    }
+
+    /// Ends a transmission: returns deliveries and carrier-sense edges.
+    pub fn end_tx(&mut self, id: TxId) -> (Vec<Delivery>, Vec<BusyEdge>) {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.id == id)
+            .expect("end_tx for unknown transmission");
+        let tx = self.active.remove(idx);
+
+        let mut deliveries = Vec::new();
+        let mut edges = Vec::new();
+        for r in 0..self.n {
+            if r == tx.tx_node || !self.in_range[tx.tx_node][r] {
+                continue;
+            }
+            self.heard[r] -= 1;
+            if !self.is_busy(r) {
+                edges.push(BusyEdge { node: r, busy: false });
+            }
+            deliveries.push(Delivery {
+                receiver: r,
+                clean: !tx.interfered[r],
+                snr_db: self.snr_db[tx.tx_node][r],
+            });
+        }
+        (deliveries, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium(n: usize) -> Medium {
+        Medium::full_mesh(n, &PhyProfile::hydra())
+    }
+
+    #[test]
+    fn single_tx_delivers_clean_to_all() {
+        let mut m = medium(3);
+        let (id, edges) = m.start_tx(0);
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|e| e.busy));
+        assert!(m.is_busy(1));
+        assert!(m.is_busy(0)); // transmitting counts as busy
+        let (deliveries, edges) = m.end_tx(id);
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|d| d.clean));
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|e| !e.busy));
+        assert!(!m.is_busy(0));
+    }
+
+    #[test]
+    fn overlapping_txs_collide_at_receivers() {
+        let mut m = medium(4);
+        let (a, _) = m.start_tx(0);
+        let (b, _) = m.start_tx(1);
+        let (da, _) = m.end_tx(a);
+        let (db, _) = m.end_tx(b);
+        // Node 2 and 3 heard both: both copies dirty.
+        for d in da.iter().chain(db.iter()) {
+            if d.receiver >= 2 {
+                assert!(!d.clean, "receiver {} should see a collision", d.receiver);
+            }
+        }
+        // The transmitters can't hear each other's frame (half-duplex overlap).
+        assert!(!da.iter().find(|d| d.receiver == 1).unwrap().clean);
+        assert!(!db.iter().find(|d| d.receiver == 0).unwrap().clean);
+    }
+
+    #[test]
+    fn sequential_txs_do_not_collide() {
+        let mut m = medium(3);
+        let (a, _) = m.start_tx(0);
+        let (da, _) = m.end_tx(a);
+        let (b, _) = m.start_tx(1);
+        let (db, _) = m.end_tx(b);
+        assert!(da.iter().all(|d| d.clean));
+        assert!(db.iter().all(|d| d.clean));
+    }
+
+    #[test]
+    fn interference_flag_sticks_after_early_end() {
+        // B starts during A; B ends; A's receivers are still damaged.
+        let mut m = medium(3);
+        let (a, _) = m.start_tx(0);
+        let (b, _) = m.start_tx(1);
+        let (_, _) = m.end_tx(b);
+        let (da, _) = m.end_tx(a);
+        assert!(da.iter().all(|d| !d.clean));
+    }
+
+    #[test]
+    fn busy_edges_deduplicate() {
+        let mut m = medium(3);
+        let (a, e1) = m.start_tx(0);
+        assert_eq!(e1.len(), 2);
+        // Second overlapping tx: node 2 was already busy, no new edge.
+        let (b, e2) = m.start_tx(1);
+        assert!(e2.is_empty());
+        let (_, e3) = m.end_tx(a);
+        // Node 2 still hears b; node 1 is transmitting: no idle edges yet.
+        assert!(e3.is_empty());
+        let (_, e4) = m.end_tx(b);
+        assert_eq!(e4.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_nodes_unaffected() {
+        let mut m = medium(3);
+        // Cut 0 <-> 2 both ways.
+        m.set_link(0, 2, false, 0.0);
+        m.set_link(2, 0, false, 0.0);
+        let (a, edges) = m.start_tx(0);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].node, 1);
+        assert!(!m.is_busy(2));
+        let (d, _) = m.end_tx(a);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].receiver, 1);
+    }
+
+    #[test]
+    fn hidden_terminal_collision() {
+        // 0 and 2 can't hear each other but both reach 1: classic hidden
+        // terminal. Both transmit; 1 gets nothing clean.
+        let mut m = medium(3);
+        m.set_link(0, 2, false, 0.0);
+        m.set_link(2, 0, false, 0.0);
+        let (a, _) = m.start_tx(0);
+        assert!(!m.is_busy(2), "2 can't hear 0");
+        let (b, _) = m.start_tx(2);
+        let (da, _) = m.end_tx(a);
+        let (db, _) = m.end_tx(b);
+        assert!(!da.iter().find(|d| d.receiver == 1).unwrap().clean);
+        assert!(!db.iter().find(|d| d.receiver == 1).unwrap().clean);
+    }
+
+    #[test]
+    fn snr_reported_per_link() {
+        let mut m = medium(2);
+        m.set_link(0, 1, true, 11.5);
+        let (a, _) = m.start_tx(0);
+        let (d, _) = m.end_tx(a);
+        assert_eq!(d[0].snr_db, 11.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transmission")]
+    fn double_end_panics() {
+        let mut m = medium(2);
+        let (a, _) = m.start_tx(0);
+        let _ = m.end_tx(a);
+        let _ = m.end_tx(a);
+    }
+}

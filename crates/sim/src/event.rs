@@ -1,0 +1,216 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! Events are `(Instant, payload)` pairs popped in time order. Ties are
+//! broken by insertion order (FIFO), which makes runs fully deterministic:
+//! two events scheduled for the same instant always execute in the order
+//! they were scheduled, regardless of heap internals.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Instant;
+
+/// Monotonically increasing id assigned to every scheduled event.
+///
+/// Exposed so callers can implement *lazy cancellation*: remember the id,
+/// and when the event pops, ignore it if it has been superseded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first,
+// breaking ties by sequence number (earlier insertion pops first).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Instant,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or t = 0 before any pop).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time — scheduling into the past
+    /// is always a logic error in a DES.
+    pub fn schedule_at(&mut self, at: Instant, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::Duration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Removes and returns the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(Instant, EventId, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now, "heap returned an out-of-order event");
+            self.now = e.at;
+            (e.at, EventId(e.seq), e.payload)
+        })
+    }
+
+    /// The time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(30), "c");
+        q.schedule_at(Instant::from_micros(10), "a");
+        q.schedule_at(Instant::from_micros(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_micros(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), ());
+        q.schedule_at(Instant::from_micros(20), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_micros(10));
+        q.pop();
+        assert_eq!(q.now(), Instant::from_micros(20));
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), "first");
+        q.pop();
+        q.schedule_after(Duration::from_micros(5), "second");
+        let (t, _, _) = q.pop().unwrap();
+        assert_eq!(t, Instant::from_micros(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), ());
+        q.pop();
+        q.schedule_at(Instant::from_micros(5), ());
+    }
+
+    #[test]
+    fn event_ids_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_micros(1), ());
+        let b = q.schedule_at(Instant::from_micros(1), ());
+        assert!(b > a);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(7), ());
+        assert_eq!(q.peek_time(), Some(Instant::from_micros(7)));
+        assert_eq!(q.now(), Instant::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(Instant::from_micros(1), ());
+        q.schedule_at(Instant::from_micros(2), ());
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

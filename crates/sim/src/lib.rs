@@ -1,0 +1,34 @@
+//! # hydra-sim — deterministic discrete-event simulation engine
+//!
+//! The substrate every other crate in this workspace runs on. Provides:
+//!
+//! * [`time::Instant`] / [`time::Duration`] — nanosecond virtual time;
+//! * [`event::EventQueue`] — a time-ordered queue with deterministic FIFO
+//!   tie-breaking;
+//! * [`rng::Rng`] — a self-contained xoshiro256++ generator, so results are
+//!   bit-stable across platforms and dependency upgrades;
+//! * [`timer::TimerSet`] — generation-counted lazy-cancellation timers;
+//! * [`stats`] — Welford accumulators and per-category time ledgers;
+//! * [`trace::Tracer`] — cheap, capturable event tracing.
+//!
+//! Design note: the network layers in this workspace are written *sans-IO*
+//! (pure state machines with typed inputs/outputs, as in smoltcp). This
+//! crate deliberately knows nothing about networking; it only orders
+//! events. The glue lives in `hydra-netsim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timer;
+pub mod trace;
+
+pub use event::{EventId, EventQueue};
+pub use rng::Rng;
+pub use stats::{Running, TimeLedger};
+pub use time::{Duration, Instant};
+pub use timer::{TimerSet, TimerToken};
+pub use trace::{Level, Tracer};

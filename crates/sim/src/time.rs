@@ -1,0 +1,393 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Modelled after `smoltcp`'s own `Instant`/`Duration` pair: the simulator
+//! must not depend on wall-clock time, so we define our own monotonic
+//! nanosecond-resolution types. Nanoseconds are fine-grained enough for
+//! sub-microsecond PHY events (one bit at 6.5 Mbps is ~154 ns) while a
+//! `u64` still spans ~584 years of simulated time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Instant = Instant { nanos: 0 };
+    /// The far future; used as an "infinite" deadline sentinel.
+    pub const FAR_FUTURE: Instant = Instant { nanos: u64::MAX };
+
+    /// Creates an instant from raw nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant { nanos }
+    }
+
+    /// Creates an instant from microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        Instant { nanos: micros * 1_000 }
+    }
+
+    /// Creates an instant from milliseconds since the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        Instant { nanos: millis * 1_000_000 }
+    }
+
+    /// Creates an instant from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Instant { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Microseconds since the epoch (truncating).
+    pub const fn as_micros(&self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub const fn as_millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float (for reporting only; never feed
+    /// floats back into event scheduling).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; the simulator never asks
+    /// for a negative elapsed time, so this indicates a scheduling bug.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        assert!(
+            earlier.nanos <= self.nanos,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration::from_nanos(self.nanos - earlier.nanos)
+    }
+
+    /// `self - earlier`, or `Duration::ZERO` if `earlier` is in the future.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant::from_nanos(
+            self.nanos
+                .checked_add(rhs.as_nanos())
+                .expect("Instant overflow"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant::from_nanos(
+            self.nanos
+                .checked_sub(rhs.as_nanos())
+                .expect("Instant underflow"),
+        )
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Human-friendly: seconds with microsecond precision.
+        write!(f, "{}.{:06}s", self.nanos / 1_000_000_000, (self.nanos % 1_000_000_000) / 1_000)
+    }
+}
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+    /// Maximum representable duration; used as an "infinite" timeout.
+    pub const MAX: Duration = Duration { nanos: u64::MAX };
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration { nanos }
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration { nanos: micros * 1_000 }
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration { nanos: millis * 1_000_000 }
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// Intended for configuration input (e.g. "flooding interval 0.5 s");
+    /// the result is exact to the nanosecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid duration: {secs}");
+        Duration { nanos: (secs * 1e9).round() as u64 }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Microseconds (truncating).
+    pub const fn as_micros(&self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Milliseconds (truncating).
+    pub const fn as_millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Seconds as a float (reporting only).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.nanos == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(rhs.nanos))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        self.nanos.checked_add(rhs.nanos).map(Duration::from_nanos)
+    }
+
+    /// Multiplies by an integer factor.
+    pub fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_mul(rhs))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Airtime helper: the duration needed to send `bits` at `bits_per_sec`.
+    ///
+    /// Rounds up to the next nanosecond so that airtime is never
+    /// underestimated (an underestimate could let a receiver finish
+    /// "before" the transmitter, breaking event ordering).
+    pub fn for_bits(bits: u64, bits_per_sec: u64) -> Duration {
+        assert!(bits_per_sec > 0, "zero rate");
+        // nanos = ceil(bits * 1e9 / rate); use u128 to avoid overflow.
+        let nanos = ((bits as u128) * 1_000_000_000u128 + (bits_per_sec as u128 - 1))
+            / bits_per_sec as u128;
+        Duration::from_nanos(nanos as u64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_nanos(self.nanos.checked_add(rhs.nanos).expect("Duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_nanos(self.nanos.checked_sub(rhs.nanos).expect("Duration underflow"))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration::from_nanos(self.nanos.checked_mul(rhs).expect("Duration overflow"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration::from_nanos(self.nanos / rhs)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.nanos >= 1_000_000 {
+            write!(f, "{:.3}ms", self.nanos as f64 / 1e6)
+        } else if self.nanos >= 1_000 {
+            write!(f, "{:.3}us", self.nanos as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_constructors_agree() {
+        assert_eq!(Instant::from_secs(2), Instant::from_millis(2_000));
+        assert_eq!(Instant::from_millis(3), Instant::from_micros(3_000));
+        assert_eq!(Instant::from_micros(5), Instant::from_nanos(5_000));
+    }
+
+    #[test]
+    fn instant_arithmetic_roundtrips() {
+        let t = Instant::from_millis(10);
+        let d = Duration::from_micros(250);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).duration_since(t), d);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let early = Instant::from_millis(1);
+        let late = Instant::from_millis(2);
+        assert_eq!(early.saturating_duration_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_duration_since(early), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_negative() {
+        let _ = Instant::from_millis(1).duration_since(Instant::from_millis(2));
+    }
+
+    #[test]
+    fn duration_for_bits_exact() {
+        // 650 kbps: 650 bits take exactly 1 ms.
+        assert_eq!(Duration::for_bits(650, 650_000), Duration::from_millis(1));
+        // 1 bit at 1 Gbps = 1 ns.
+        assert_eq!(Duration::for_bits(1, 1_000_000_000), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn duration_for_bits_rounds_up() {
+        // 1 bit at 3 bps = 333_333_333.33.. ns, must round up.
+        assert_eq!(Duration::for_bits(1, 3), Duration::from_nanos(333_333_334));
+        // Never zero for a nonzero number of bits.
+        assert!(Duration::for_bits(1, u64::MAX / 2).as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_for_bits_large_values_no_overflow() {
+        // 10^12 bits at 1 bps would overflow u64 nanos * rate without u128.
+        let d = Duration::for_bits(10_000_000, 1_000);
+        assert_eq!(d, Duration::from_secs(10_000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Duration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(12)), "12.000s");
+        assert_eq!(format!("{}", Instant::from_micros(1_500_000)), "1.500000s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Duration::from_micros(1);
+        let b = Duration::from_micros(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = Instant::from_micros(1);
+        let y = Instant::from_micros(2);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+
+    #[test]
+    fn from_secs_f64_roundtrip() {
+        let d = Duration::from_secs_f64(0.125);
+        assert_eq!(d, Duration::from_millis(125));
+    }
+}

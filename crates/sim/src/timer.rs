@@ -1,0 +1,131 @@
+//! Cancellable timers on top of the (non-cancelling) event queue.
+//!
+//! The event queue never removes entries; instead each logical timer slot
+//! carries a *generation* counter. Arming a timer bumps the generation and
+//! returns a [`TimerToken`]; when the corresponding event pops, the owner
+//! asks [`TimerSet::is_current`] whether the token is still the live one.
+//! Re-arming or cancelling invalidates all earlier tokens for that slot.
+//! This is the standard lazy-cancellation idiom and keeps the queue
+//! allocation-free on cancel.
+
+/// Identifies one armed occurrence of a timer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken {
+    slot: usize,
+    generation: u64,
+}
+
+impl TimerToken {
+    /// The slot index this token belongs to.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+/// Tracks the live generation of a fixed set of timer slots.
+///
+/// Slots are indexed by a caller-defined `usize` (typically a small enum
+/// cast to `usize`).
+#[derive(Debug, Clone)]
+pub struct TimerSet {
+    generations: Vec<u64>,
+    armed: Vec<bool>,
+}
+
+impl TimerSet {
+    /// Creates a set with `slots` independent timer slots, all disarmed.
+    pub fn new(slots: usize) -> Self {
+        TimerSet { generations: vec![0; slots], armed: vec![false; slots] }
+    }
+
+    /// Arms (or re-arms) a slot, invalidating any previously issued token.
+    pub fn arm(&mut self, slot: usize) -> TimerToken {
+        self.generations[slot] += 1;
+        self.armed[slot] = true;
+        TimerToken { slot, generation: self.generations[slot] }
+    }
+
+    /// Cancels a slot. Outstanding tokens become stale.
+    pub fn cancel(&mut self, slot: usize) {
+        self.generations[slot] += 1;
+        self.armed[slot] = false;
+    }
+
+    /// True if `token` is the currently armed occurrence of its slot.
+    ///
+    /// A firing timer should call this and silently drop stale tokens.
+    pub fn is_current(&self, token: TimerToken) -> bool {
+        self.armed[token.slot] && self.generations[token.slot] == token.generation
+    }
+
+    /// Marks a fired (current) token as consumed: the slot becomes disarmed.
+    ///
+    /// Returns whether the token was current; callers typically write
+    /// `if !timers.fire(tok) { return; }`.
+    pub fn fire(&mut self, token: TimerToken) -> bool {
+        if self.is_current(token) {
+            self.armed[token.slot] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the slot currently has a live (armed, unfired) timer.
+    pub fn is_armed(&self, slot: usize) -> bool {
+        self.armed[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_fire_cycle() {
+        let mut t = TimerSet::new(2);
+        let tok = t.arm(0);
+        assert!(t.is_armed(0));
+        assert!(t.fire(tok));
+        assert!(!t.is_armed(0));
+        // Firing twice is a no-op.
+        assert!(!t.fire(tok));
+    }
+
+    #[test]
+    fn rearm_invalidates_old_token() {
+        let mut t = TimerSet::new(1);
+        let old = t.arm(0);
+        let new = t.arm(0);
+        assert!(!t.is_current(old));
+        assert!(t.is_current(new));
+        assert!(!t.fire(old));
+        assert!(t.fire(new));
+    }
+
+    #[test]
+    fn cancel_invalidates() {
+        let mut t = TimerSet::new(1);
+        let tok = t.arm(0);
+        t.cancel(0);
+        assert!(!t.is_current(tok));
+        assert!(!t.fire(tok));
+        assert!(!t.is_armed(0));
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut t = TimerSet::new(3);
+        let a = t.arm(0);
+        let b = t.arm(2);
+        t.cancel(0);
+        assert!(!t.is_current(a));
+        assert!(t.is_current(b));
+    }
+
+    #[test]
+    fn token_reports_slot() {
+        let mut t = TimerSet::new(5);
+        assert_eq!(t.arm(3).slot(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Lightweight event tracing.
+//!
+//! Layers call [`Tracer::log`] with a severity and a lazily formatted
+//! message. Tracing is compiled in but cheap when disabled (a level check
+//! before formatting). Captured entries can be dumped for debugging or
+//! asserted on in tests, similar in spirit to smoltcp's packet logging.
+
+use crate::time::Instant;
+use core::fmt;
+
+/// Trace severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-byte / per-symbol detail. Very noisy.
+    Trace,
+    /// Per-frame events (tx start, rx ok, CRC failure...).
+    Debug,
+    /// Infrequent, notable events (connection open, route change).
+    Info,
+    /// Malformed input, drops, exhausted retries.
+    Warn,
+}
+
+/// One captured trace entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Virtual time the entry was logged at.
+    pub at: Instant,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component, e.g. `"mac[2]"`.
+    pub source: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:5?} {}: {}", self.at, self.level, self.source, self.message)
+    }
+}
+
+/// A trace collector with a minimum level and optional capture buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    min_level: Option<Level>,
+    capture: Vec<Entry>,
+    echo: bool,
+    capacity: usize,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for experiment runs).
+    pub fn disabled() -> Self {
+        Tracer { min_level: None, capture: Vec::new(), echo: false, capacity: 0 }
+    }
+
+    /// A tracer capturing entries at `min_level` and above, keeping at most
+    /// `capacity` entries (oldest dropped first).
+    pub fn capturing(min_level: Level, capacity: usize) -> Self {
+        Tracer { min_level: Some(min_level), capture: Vec::new(), echo: false, capacity }
+    }
+
+    /// Also print each entry to stderr as it is logged.
+    pub fn with_echo(mut self) -> Self {
+        self.echo = true;
+        self
+    }
+
+    /// True if a message at `level` would be recorded.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        matches!(self.min_level, Some(min) if level >= min)
+    }
+
+    /// Records a message; `render` runs only if the level is enabled.
+    pub fn log(&mut self, at: Instant, level: Level, source: &str, render: impl FnOnce() -> String) {
+        if !self.enabled(level) {
+            return;
+        }
+        let entry = Entry { at, level, source: source.to_string(), message: render() };
+        if self.echo {
+            eprintln!("{entry}");
+        }
+        if self.capacity > 0 {
+            if self.capture.len() == self.capacity {
+                self.capture.remove(0);
+            }
+            self.capture.push(entry);
+        }
+    }
+
+    /// All captured entries, oldest first.
+    pub fn entries(&self) -> &[Entry] {
+        &self.capture
+    }
+
+    /// Drops all captured entries.
+    pub fn clear(&mut self) {
+        self.capture.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_skips_render() {
+        let mut t = Tracer::disabled();
+        let mut rendered = false;
+        t.log(Instant::ZERO, Level::Warn, "x", || {
+            rendered = true;
+            String::new()
+        });
+        assert!(!rendered);
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::capturing(Level::Info, 10);
+        t.log(Instant::ZERO, Level::Debug, "x", || "dropped".into());
+        t.log(Instant::ZERO, Level::Info, "x", || "kept".into());
+        t.log(Instant::ZERO, Level::Warn, "x", || "kept too".into());
+        assert_eq!(t.entries().len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Tracer::capturing(Level::Trace, 2);
+        for i in 0..5 {
+            t.log(Instant::from_micros(i), Level::Debug, "x", || format!("{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].message, "3");
+        assert_eq!(t.entries()[1].message, "4");
+    }
+
+    #[test]
+    fn entry_display_contains_fields() {
+        let e = Entry {
+            at: Instant::from_millis(1),
+            level: Level::Warn,
+            source: "mac[0]".into(),
+            message: "retry limit".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("mac[0]"));
+        assert!(s.contains("retry limit"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Tracer::capturing(Level::Trace, 4);
+        t.log(Instant::ZERO, Level::Debug, "x", || "m".into());
+        t.clear();
+        assert!(t.entries().is_empty());
+    }
+}

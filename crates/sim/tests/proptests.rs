@@ -1,0 +1,95 @@
+//! Property tests for the simulation engine's core invariants.
+
+use proptest::prelude::*;
+
+use hydra_sim::{Duration, EventQueue, Instant, Rng, TimerSet};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(Instant::from_nanos(*t), i);
+        }
+        let mut last: Option<(Instant, usize)> = None;
+        while let Some((at, _, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt, "time went backwards");
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO violated for ties");
+                }
+            }
+            prop_assert_eq!(at, Instant::from_nanos(times[idx]));
+            last = Some((at, idx));
+        }
+    }
+
+    #[test]
+    fn event_queue_interleaved_schedule_pop(ops in proptest::collection::vec((0u64..1000, any::<bool>()), 1..300)) {
+        // Arbitrary interleaving of schedule/pop never violates monotonic time.
+        let mut q = EventQueue::new();
+        let mut last_popped = Instant::ZERO;
+        for (delay, do_pop) in ops {
+            if do_pop {
+                if let Some((at, _, _)) = q.pop() {
+                    prop_assert!(at >= last_popped);
+                    last_popped = at;
+                }
+            } else {
+                q.schedule_after(Duration::from_micros(delay), ());
+            }
+        }
+    }
+
+    #[test]
+    fn rng_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000, n in 1usize..100) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..n {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        let mut fa = a.fork(stream);
+        let mut fb = b.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    #[test]
+    fn timers_stale_tokens_never_fire(slots in 1usize..8, ops in proptest::collection::vec((0usize..8, 0u8..3), 1..100)) {
+        let mut set = TimerSet::new(slots);
+        let mut live: Vec<Option<hydra_sim::TimerToken>> = vec![None; slots];
+        for (slot, op) in ops {
+            let slot = slot % slots;
+            match op {
+                0 => live[slot] = Some(set.arm(slot)),
+                1 => {
+                    set.cancel(slot);
+                    live[slot] = None;
+                }
+                _ => {
+                    if let Some(tok) = live[slot].take() {
+                        prop_assert!(set.fire(tok), "live token must fire");
+                        prop_assert!(!set.fire(tok), "token must not fire twice");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duration_for_bits_never_underestimates(bits in 0u64..10_000_000, rate in 1u64..10_000_000) {
+        let d = Duration::for_bits(bits, rate);
+        // d * rate >= bits * 1e9 (airtime covers the bits).
+        let lhs = d.as_nanos() as u128 * rate as u128;
+        let rhs = bits as u128 * 1_000_000_000u128;
+        prop_assert!(lhs >= rhs);
+        // And it never overshoots by more than one nanosecond's worth.
+        prop_assert!(lhs - rhs < rate as u128);
+    }
+}

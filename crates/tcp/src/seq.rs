@@ -1,0 +1,84 @@
+//! Wrapping 32-bit sequence-number arithmetic (RFC 793 §3.3).
+
+/// `a < b` in sequence space.
+#[inline]
+pub fn lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+#[inline]
+pub fn le(a: u32, b: u32) -> bool {
+    !lt(b, a)
+}
+
+/// `a > b` in sequence space.
+#[inline]
+pub fn gt(a: u32, b: u32) -> bool {
+    lt(b, a)
+}
+
+/// `a >= b` in sequence space.
+#[inline]
+pub fn ge(a: u32, b: u32) -> bool {
+    !lt(a, b)
+}
+
+/// `a + n` in sequence space.
+#[inline]
+pub fn add(a: u32, n: usize) -> u32 {
+    a.wrapping_add(n as u32)
+}
+
+/// Distance from `b` to `a` (`a - b`), valid when `a >= b` and the true
+/// distance is < 2^31.
+#[inline]
+pub fn sub(a: u32, b: u32) -> u32 {
+    a.wrapping_sub(b)
+}
+
+/// Clamps `x` into `[lo, hi]` in sequence space (all within 2^31).
+#[inline]
+pub fn max(a: u32, b: u32) -> u32 {
+    if ge(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(lt(1, 2));
+        assert!(le(2, 2));
+        assert!(gt(3, 2));
+        assert!(ge(2, 2));
+        assert!(!lt(2, 1));
+    }
+
+    #[test]
+    fn ordering_across_wraparound() {
+        let near_max = u32::MAX - 10;
+        let wrapped = 5u32;
+        assert!(lt(near_max, wrapped), "wrapped value is 'later'");
+        assert!(gt(wrapped, near_max));
+        assert_eq!(sub(wrapped, near_max), 16);
+        assert_eq!(add(near_max, 16), 5);
+    }
+
+    #[test]
+    fn max_in_seq_space() {
+        assert_eq!(max(5, 9), 9);
+        assert_eq!(max(u32::MAX - 1, 3), 3, "wrapped is later");
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(add(u32::MAX, 1), 0);
+        assert_eq!(add(0, 1500), 1500);
+    }
+}

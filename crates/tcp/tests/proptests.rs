@@ -1,0 +1,118 @@
+//! Property tests: TCP reassembly must reconstruct the exact byte stream
+//! under arbitrary segmentation, reordering (bounded), and duplication.
+
+use proptest::prelude::*;
+
+use hydra_sim::Instant;
+use hydra_tcp::{seq, Connection, TcpConfig, TcpState};
+use hydra_wire::tcp::{TcpFlags, TcpRepr};
+use hydra_wire::{Endpoint, Ipv4Addr};
+
+fn established_receiver(iss_peer: u32) -> Connection {
+    let local = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80);
+    let mut c = Connection::listen(TcpConfig::hydra_paper(), local, 500);
+    c.set_remote_addr(Ipv4Addr::new(10, 0, 0, 1));
+    let now = Instant::ZERO;
+    c.on_segment(
+        now,
+        &TcpRepr { src_port: 9, dst_port: 80, seq: iss_peer, ack: 0, flags: TcpFlags::SYN, window: 65_000 },
+        &[],
+    );
+    let (synack, _) = c.poll_transmit(now).expect("syn-ack");
+    c.on_segment(
+        now,
+        &TcpRepr {
+            src_port: 9,
+            dst_port: 80,
+            seq: iss_peer.wrapping_add(1),
+            ack: synack.seq.wrapping_add(1),
+            flags: TcpFlags::ACK,
+            window: 65_000,
+        },
+        &[],
+    );
+    assert_eq!(c.state(), TcpState::Established);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reassembly_exact_under_segmentation_reorder_and_dup(
+        stream in proptest::collection::vec(any::<u8>(), 1..3000),
+        cuts in proptest::collection::vec(1usize..200, 1..30),
+        swap_seed in any::<u64>(),
+        dup_every in 2usize..6,
+        iss in any::<u32>(), // exercises sequence wraparound
+    ) {
+        // Split the stream into segments at arbitrary cut sizes.
+        let mut segments: Vec<(usize, Vec<u8>)> = Vec::new(); // (offset, bytes)
+        let mut at = 0;
+        let mut cut_iter = cuts.iter().cycle();
+        while at < stream.len() {
+            let len = (*cut_iter.next().unwrap()).min(stream.len() - at);
+            segments.push((at, stream[at..at + len].to_vec()));
+            at += len;
+        }
+
+        // Bounded reordering: swap adjacent pairs pseudo-randomly. The
+        // receive window is large, so any order within it reassembles.
+        let mut rng = swap_seed;
+        let mut order: Vec<usize> = (0..segments.len()).collect();
+        for i in 1..order.len() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if rng & 1 == 1 {
+                order.swap(i - 1, i);
+            }
+        }
+
+        // Duplicate every n-th delivery.
+        let mut deliveries: Vec<usize> = Vec::new();
+        for (k, idx) in order.iter().enumerate() {
+            deliveries.push(*idx);
+            if k % dup_every == 0 {
+                deliveries.push(*idx);
+            }
+        }
+
+        let mut c = established_receiver(iss);
+        let base = seq::add(iss, 1);
+        let now = Instant::ZERO;
+        let mut received: Vec<u8> = Vec::new();
+        for idx in deliveries {
+            let (off, bytes) = &segments[idx];
+            let repr = TcpRepr {
+                src_port: 9,
+                dst_port: 80,
+                seq: seq::add(base, *off),
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 65_000,
+            };
+            c.on_segment(now, &repr, bytes);
+            received.extend(c.recv_drain());
+        }
+        received.extend(c.recv_drain());
+        prop_assert_eq!(received, stream, "stream must reassemble exactly");
+        // Final cumulative ACK covers everything.
+        let (ack, _) = c.poll_transmit(now).expect("final ack");
+        prop_assert_eq!(ack.ack, seq::add(base, segments.last().map(|(o, b)| o + b.len()).unwrap_or(0)));
+    }
+
+    #[test]
+    fn seq_ordering_total_within_half_space(a in any::<u32>(), d in 1u32..0x7FFF_FFFF) {
+        let b = a.wrapping_add(d);
+        prop_assert!(seq::lt(a, b));
+        prop_assert!(seq::gt(b, a));
+        prop_assert!(seq::le(a, b));
+        prop_assert!(!seq::ge(a, b) || a == b);
+        prop_assert_eq!(seq::sub(b, a), d);
+    }
+
+    #[test]
+    fn seq_add_sub_roundtrip(a in any::<u32>(), n in 0usize..0x7FFF_FFFF) {
+        let b = seq::add(a, n);
+        prop_assert_eq!(seq::sub(b, a) as usize, n);
+    }
+}

@@ -1,0 +1,36 @@
+//! Wire-format error type.
+
+use core::fmt;
+
+/// Errors returned by frame/packet parsers.
+///
+/// Parsers never panic on malformed input: a corrupted frame off the
+/// simulated channel must surface as a recoverable error, exactly like a
+/// real NIC driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A length field points outside the buffer.
+    BadLength,
+    /// A checksum or FCS did not verify.
+    Checksum,
+    /// A field holds a value the parser does not understand.
+    Malformed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadLength => write!(f, "length field out of bounds"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+            WireError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias for parser results.
+pub type Result<T> = core::result::Result<T, WireError>;

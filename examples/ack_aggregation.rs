@@ -1,0 +1,44 @@
+//! Watch the cross-layer classifier at work.
+//!
+//! Runs the BA scenario and prints the life of the TCP ACK stream: how
+//! many pure ACKs each node classified into the broadcast queue, how many
+//! broadcast subframes each node accepted or decode-and-dropped, and what
+//! the relay's frames looked like. This is the paper's §3.3/§4.2.4
+//! mechanism made visible.
+//!
+//! Run with: `cargo run --release --example ack_aggregation`
+
+use hydra_agg::netsim::{Policy, TcpScenario, TopologyKind};
+use hydra_agg::phy::Rate;
+
+fn main() {
+    let scenario = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+    let result = scenario.run();
+    assert!(result.completed);
+
+    println!("2-hop BA transfer at 1.3 Mbps — ACK-as-broadcast in numbers\n");
+    println!("node 0 = TCP server (data source)");
+    println!("node 1 = relay");
+    println!("node 2 = TCP client (sends one pure ACK per data segment)\n");
+
+    for n in &result.report.nodes {
+        println!("node {}:", n.node);
+        println!("  pure TCP ACKs classified to broadcast queue: {}", n.acks_classified);
+        println!("  broadcast subframes accepted (addressed to me): {}", n.bcast_ok);
+        println!("  broadcast subframes decode-and-dropped:        {}", n.bcast_filtered);
+        println!(
+            "  data frames sent: {} (avg {:.0} B, {:.2} subframes, {} bcast / {} ucast subframes)",
+            n.tx_data_frames, n.avg_frame_size, n.avg_subframes, n.subframes_sent.1, n.subframes_sent.0
+        );
+        println!();
+    }
+
+    println!("Reading the numbers:");
+    println!("- the client (2) classifies its ACKs; they travel in broadcast portions");
+    println!("  addressed to the relay, with no RTS/CTS and no link-level ACK;");
+    println!("- the relay (1) re-classifies them and prepends them to data frames");
+    println!("  flowing the *other* way — the server hears them for free;");
+    println!("- every node overhears broadcast subframes meant for someone else and");
+    println!("  drops them after decoding (the decode-and-drop counter).");
+    println!("\nend-to-end throughput: {:.3} Mbps", result.throughput_bps / 1e6);
+}

@@ -1,0 +1,108 @@
+//! Dissect an aggregated frame byte by byte.
+//!
+//! Builds the exact frame the paper's relay transmits in steady state —
+//! three pure TCP ACKs in the broadcast portion (at the base rate) and
+//! three full TCP data segments in the unicast portion (at 2.6 Mbps) —
+//! then parses it back and prints the layout, sizes, airtime, and sample
+//! budget. Pure wire/PHY API; no simulation involved.
+//!
+//! Run with: `cargo run --release --example frame_anatomy`
+
+use hydra_agg::phy::{OnAirFrame, PhyProfile, Rate};
+use hydra_agg::wire::aggregate::AggregateBuilder;
+use hydra_agg::wire::subframe::{FrameType, SubframeRepr};
+use hydra_agg::wire::tcp::{TcpFlags, TcpRepr};
+use hydra_agg::wire::{build_tcp_packet, is_pure_tcp_ack, parse_aggregate, EncapProto, EncapRepr, Ipv4Addr, MacAddr};
+
+fn main() {
+    let server = MacAddr::from_node_id(0);
+    let relay = MacAddr::from_node_id(1);
+    let client = MacAddr::from_node_id(2);
+
+    // Three pure TCP ACKs (client -> server, next hop = server from the relay).
+    let ack_repr = TcpRepr { src_port: 5001, dst_port: 6001, seq: 1, ack: 4072, flags: TcpFlags::ACK, window: 65000 };
+    let encap = EncapRepr { proto: EncapProto::Ipv4, src_node: 2, dst_node: 0, packet_id: 7 };
+    let ack_payload = build_tcp_packet(encap, Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(0), 63, &ack_repr, &[]);
+    println!("pure TCP ACK MPDU payload: {} B (shim 37 + IP 20 + TCP 20)", ack_payload.len());
+    println!("classifier verdict: is_pure_tcp_ack = {}\n", is_pure_tcp_ack(&ack_payload));
+
+    // Three MSS data segments (server -> client).
+    let data_repr = TcpRepr { src_port: 6001, dst_port: 5001, seq: 4072, ack: 1, flags: TcpFlags::ACK, window: 65000 };
+    let data_payload = build_tcp_packet(
+        EncapRepr { proto: EncapProto::Ipv4, src_node: 0, dst_node: 2, packet_id: 41 },
+        Ipv4Addr::from_node_id(0),
+        Ipv4Addr::from_node_id(2),
+        63,
+        &data_repr,
+        &vec![0x5A; 1357],
+    );
+    println!("full-MSS data MPDU payload: {} B\n", data_payload.len());
+
+    // Assemble the relay's frame: ACKs first (broadcast portion), data after.
+    let mut builder = AggregateBuilder::new();
+    for _ in 0..3 {
+        let repr = SubframeRepr {
+            frame_type: FrameType::Data,
+            retry: false,
+            no_ack: true, // broadcast service, unicast address
+            duration_us: 0,
+            addr1: server,
+            addr2: relay,
+            addr3: client,
+        };
+        builder.push_broadcast(&repr, &ack_payload);
+    }
+    for _ in 0..3 {
+        let repr = SubframeRepr {
+            frame_type: FrameType::Data,
+            retry: false,
+            no_ack: false,
+            duration_us: 2500,
+            addr1: client,
+            addr2: relay,
+            addr3: server,
+        };
+        builder.push_unicast(&repr, &data_payload);
+    }
+    let (phy_hdr, psdu, slots) = builder.finish(Rate::R0_65.code(), Rate::R2_60.code());
+
+    println!("PHY header (paper Figure 2): {:?}", phy_hdr);
+    println!("PSDU: {} B total = {} broadcast + {} unicast\n", psdu.len(), phy_hdr.bcast_len, phy_hdr.ucast_len);
+
+    for (i, s) in slots.iter().enumerate() {
+        println!(
+            "subframe {i}: {:?} bytes {}..{} ({} B on air, {} B payload)",
+            s.portion,
+            s.range.start,
+            s.range.end,
+            s.range.len(),
+            s.payload_len
+        );
+    }
+
+    // Parse it back the way a receiver would.
+    let parsed = parse_aggregate(&phy_hdr, &psdu);
+    println!("\nreceiver view:");
+    for (i, p) in parsed.iter().enumerate() {
+        let v = p.view();
+        println!(
+            "  subframe {i}: {:?}, addr1 {}, no_ack {}, CRC {}",
+            p.portion,
+            v.addr1(),
+            v.is_no_ack(),
+            if p.fcs_ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    // Airtime and the coherence budget.
+    let profile = PhyProfile::hydra();
+    let frame = OnAirFrame::Aggregate { phy_hdr, psdu, slots };
+    let air = frame.airtime(&profile);
+    println!("\nairtime: preamble {} + PHY hdr {} + bcast {} + ucast {} = {}",
+        air.preamble, air.phy_header, air.bcast, air.ucast, air.total());
+    println!(
+        "PSDU samples: {} of the ~{} Ksample coherence budget",
+        frame.psdu_samples(&profile),
+        profile.coherence_samples / 1000
+    );
+}
