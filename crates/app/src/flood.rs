@@ -107,7 +107,8 @@ mod tests {
 
     #[test]
     fn stop_bound() {
-        let mut f = Flooder::new(Duration::from_millis(100), 32, Instant::ZERO).until(Instant::from_millis(250));
+        let mut f =
+            Flooder::new(Duration::from_millis(100), 32, Instant::ZERO).until(Instant::from_millis(250));
         let (b, next) = f.poll(Instant::from_secs(10));
         assert_eq!(b.len(), 3);
         assert_eq!(next, None);

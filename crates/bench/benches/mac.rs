@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use hydra_core::{assemble, AggPolicy, Mac, MacConfig, MacInput, QueuedMpdu, QueueKind, TxQueues};
+use hydra_core::{assemble, AggPolicy, Mac, MacConfig, MacInput, QueueKind, QueuedMpdu, TxQueues};
 use hydra_phy::{OnAirFrame, PhyProfile, Rate};
 use hydra_sim::{Instant, Rng};
 use hydra_wire::aggregate::AggregateBuilder;
@@ -64,15 +64,9 @@ fn bench_receive_process(c: &mut Criterion) {
 
     c.bench_function("mac_rx_aggregate_3acks_3data", |bch| {
         bch.iter_batched(
-            || {
-                Mac::new(me, MacConfig::hydra(Rate::R2_60), PhyProfile::hydra(), Rng::seed_from_u64(1))
-            },
+            || Mac::new(me, MacConfig::hydra(Rate::R2_60), PhyProfile::hydra(), Rng::seed_from_u64(1)),
             |mut mac| {
-                let frame = OnAirFrame::Aggregate {
-                    phy_hdr,
-                    psdu: psdu.clone(),
-                    slots: slots.clone(),
-                };
+                let frame = OnAirFrame::Aggregate { phy_hdr, psdu: psdu.clone(), slots: slots.clone() };
                 mac.handle(Instant::from_micros(10), MacInput::Rx(black_box(frame)))
             },
             criterion::BatchSize::SmallInput,

@@ -9,7 +9,9 @@ use hydra_wire::crc::crc32;
 use hydra_wire::phy_hdr::RateCode;
 use hydra_wire::subframe::{FrameType, SubframeRepr};
 use hydra_wire::tcp::{TcpFlags, TcpRepr};
-use hydra_wire::{build_tcp_packet, is_pure_tcp_ack, parse_aggregate, EncapProto, EncapRepr, Ipv4Addr, MacAddr};
+use hydra_wire::{
+    build_tcp_packet, is_pure_tcp_ack, parse_aggregate, EncapProto, EncapRepr, Ipv4Addr, MacAddr,
+};
 
 fn repr() -> SubframeRepr {
     SubframeRepr {
@@ -35,9 +37,7 @@ fn bench_crc(c: &mut Criterion) {
 
 fn bench_subframe(c: &mut Criterion) {
     let payload = vec![0x42u8; 1434];
-    c.bench_function("subframe_emit_1464B", |b| {
-        b.iter(|| repr().to_bytes(black_box(&payload)))
-    });
+    c.bench_function("subframe_emit_1464B", |b| b.iter(|| repr().to_bytes(black_box(&payload))));
 }
 
 fn bench_aggregate(c: &mut Criterion) {
@@ -73,7 +73,8 @@ fn bench_classifier(c: &mut Criterion) {
     let encap = EncapRepr { proto: EncapProto::Ipv4, src_node: 0, dst_node: 2, packet_id: 9 };
     let t = TcpRepr { src_port: 1, dst_port: 2, seq: 7, ack: 8, flags: TcpFlags::ACK, window: 1000 };
     let pure = build_tcp_packet(encap, Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(0), 64, &t, &[]);
-    let data = build_tcp_packet(encap, Ipv4Addr::from_node_id(0), Ipv4Addr::from_node_id(2), 64, &t, &[0u8; 1357]);
+    let data =
+        build_tcp_packet(encap, Ipv4Addr::from_node_id(0), Ipv4Addr::from_node_id(2), 64, &t, &[0u8; 1357]);
     c.bench_function("classify_pure_ack", |b| b.iter(|| is_pure_tcp_ack(black_box(&pure))));
     c.bench_function("classify_data_segment", |b| b.iter(|| is_pure_tcp_ack(black_box(&data))));
 }

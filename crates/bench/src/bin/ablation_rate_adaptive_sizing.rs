@@ -1,4 +1,5 @@
 //! Regenerates one experiment of the paper; see hydra_bench::experiments.
 fn main() {
-    hydra_bench::experiments::ablation_rate_adaptive_sizing(hydra_bench::experiments::Opts::default()).print();
+    hydra_bench::experiments::ablation_rate_adaptive_sizing(hydra_bench::experiments::Opts::default())
+        .print();
 }

@@ -1,7 +1,28 @@
 //! Regenerates every table and figure; writes results/experiments.txt.
+//!
+//! ```text
+//! cargo run --release -p hydra-bench --bin all [-- --seeds N --threads N]
+//! ```
 use std::io::Write;
+
 fn main() {
-    let opts = hydra_bench::experiments::Opts::default();
+    let mut opts = hydra_bench::experiments::Opts::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                opts.seeds = argv.get(i).and_then(|v| v.parse().ok()).expect("bad --seeds");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = argv.get(i).and_then(|v| v.parse().ok()).expect("bad --threads");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
     let text = hydra_bench::experiments::run_all(opts);
     std::fs::create_dir_all("results").ok();
     let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");

@@ -1,16 +1,20 @@
 //! A flexible scenario runner: explore configurations the paper never
-//! measured without writing code.
+//! measured without writing code. Builds one declarative
+//! [`ScenarioSpec`] from flags and drives it through the parallel
+//! [`ExperimentRunner`].
 //!
 //! ```text
 //! cargo run --release -p hydra-bench --bin scenario -- \
-//!     [tcp|udp] [--hops N | --star] [--policy na|ua|ba|dba|ba-nofwd]
-//!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N]
+//!     [tcp|udp] [--hops N | --star | --grid WxH | --cross]
+//!     [--policy na|ua|ba|dba|ba-nofwd]
+//!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N] [--threads N]
 //!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--max-agg-kb N]
 //!     [--block-ack] [--drop P] [--corrupt P]
 //! ```
 
+use hydra_bench::ExperimentRunner;
 use hydra_core::AckPolicy;
-use hydra_netsim::{Policy, TcpScenario, TopologyKind, UdpScenario};
+use hydra_netsim::{Flooding, Policy, ScenarioSpec, TopologyKind, Traffic};
 use hydra_phy::Rate;
 use hydra_sim::Duration;
 
@@ -22,6 +26,7 @@ struct Args {
     rate: Rate,
     bcast_rate: Option<Rate>,
     seeds: u64,
+    threads: usize,
     file_kb: usize,
     interval_ms: f64,
     flood_ms: Option<u64>,
@@ -56,6 +61,16 @@ fn parse_policy(s: &str) -> Policy {
     }
 }
 
+fn parse_grid(s: &str) -> TopologyKind {
+    let (w, h) = s.split_once('x').unwrap_or_else(|| die("expected --grid WxH"));
+    let w: usize = w.parse().unwrap_or_else(|_| die("bad grid width"));
+    let h: usize = h.parse().unwrap_or_else(|_| die("bad grid height"));
+    if w == 0 || h == 0 || w * h < 2 {
+        die(&format!("--grid {w}x{h} has fewer than 2 nodes"));
+    }
+    TopologyKind::Grid { w, h }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\nsee the module docs (`--help` in source) for usage");
     std::process::exit(2);
@@ -69,6 +84,7 @@ fn parse() -> Args {
         rate: Rate::R1_30,
         bcast_rate: None,
         seeds: 3,
+        threads: 0,
         file_kb: 200,
         interval_ms: 17.0,
         flood_ms: None,
@@ -79,8 +95,6 @@ fn parse() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut hops = 2usize;
-    let mut star = false;
     while i < argv.len() {
         let val = |i: &mut usize| -> String {
             *i += 1;
@@ -89,14 +103,21 @@ fn parse() -> Args {
         match argv[i].as_str() {
             "tcp" => a.tcp = true,
             "udp" => a.tcp = false,
-            "--hops" => hops = val(&mut i).parse().unwrap_or_else(|_| die("bad --hops")),
-            "--star" => star = true,
+            "--hops" => {
+                a.topo = TopologyKind::Linear(val(&mut i).parse().unwrap_or_else(|_| die("bad --hops")))
+            }
+            "--star" => a.topo = TopologyKind::Star,
+            "--grid" => a.topo = parse_grid(&val(&mut i)),
+            "--cross" => a.topo = TopologyKind::Cross,
             "--policy" => a.policy = parse_policy(&val(&mut i)),
             "--rate" => a.rate = parse_rate(&val(&mut i)),
             "--bcast-rate" => a.bcast_rate = Some(parse_rate(&val(&mut i))),
             "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
+            "--threads" => a.threads = val(&mut i).parse().unwrap_or_else(|_| die("bad --threads")),
             "--file-kb" => a.file_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --file-kb")),
-            "--interval-ms" => a.interval_ms = val(&mut i).parse().unwrap_or_else(|_| die("bad --interval-ms")),
+            "--interval-ms" => {
+                a.interval_ms = val(&mut i).parse().unwrap_or_else(|_| die("bad --interval-ms"))
+            }
             "--flood-ms" => a.flood_ms = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad --flood-ms"))),
             "--max-agg-kb" => a.max_agg_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --max-agg-kb")),
             "--block-ack" => a.block_ack = true,
@@ -106,61 +127,60 @@ fn parse() -> Args {
         }
         i += 1;
     }
-    a.topo = if star { TopologyKind::Star } else { TopologyKind::Linear(hops) };
     a
+}
+
+fn spec_from(a: &Args) -> ScenarioSpec {
+    let mut spec = if a.tcp {
+        let mut s = ScenarioSpec::tcp(a.topo, a.policy, a.rate);
+        s.traffic = Traffic::FileTransfer { bytes: a.file_kb * 1024 };
+        s
+    } else {
+        ScenarioSpec::udp(a.topo, a.policy, a.rate, Duration::from_secs_f64(a.interval_ms / 1e3))
+    };
+    spec.broadcast_rate = a.bcast_rate;
+    spec.max_aggregate = a.max_agg_kb * 1024;
+    if a.block_ack {
+        spec.ack_policy = AckPolicy::Block;
+    }
+    if a.drop > 0.0 || a.corrupt > 0.0 {
+        spec.fault = Some((a.drop, a.corrupt));
+    }
+    if let Some(f) = a.flood_ms {
+        spec.flooding = Some(Flooding { interval: Duration::from_millis(f), payload: 120 });
+    }
+    spec
 }
 
 fn main() {
     let a = parse();
-    println!("scenario: {a:?}\n");
-    if a.tcp {
-        let mut sum = 0.0;
-        for seed in 1..=a.seeds {
-            let mut s = TcpScenario::new(a.topo, a.policy, a.rate).with_seed(seed);
-            s.broadcast_rate = a.bcast_rate;
-            s.file_bytes = a.file_kb * 1024;
-            s.max_aggregate = a.max_agg_kb * 1024;
-            if a.block_ack {
-                s.ack_policy = AckPolicy::Block;
-            }
-            if a.drop > 0.0 || a.corrupt > 0.0 {
-                s.fault = Some((a.drop, a.corrupt));
-            }
-            let r = s.run();
-            println!(
-                "seed {seed}: {} {:.3} Mbps (sessions: {:?})",
-                if r.completed { "ok  " } else { "STUCK" },
-                r.throughput_bps / 1e6,
-                r.per_session_bps.iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
-            );
-            if seed == 1 {
-                let relay = r.report.relay();
-                println!(
-                    "        relay: {} TXs, avg {:.0} B, {:.2} subframes, time-ovh {:.1}%, {} retries",
-                    relay.tx_data_frames,
-                    relay.avg_frame_size,
-                    relay.avg_subframes,
-                    relay.time_overhead * 100.0,
-                    relay.retries
-                );
-            }
-            sum += r.throughput_bps;
-        }
-        println!("\nmean throughput: {:.3} Mbps over {} seeds", sum / a.seeds as f64 / 1e6, a.seeds);
-    } else {
-        let TopologyKind::Linear(hops) = a.topo else { die("udp supports linear topologies only") };
-        let mut sum = 0.0;
-        for seed in 1..=a.seeds {
-            let mut s = UdpScenario::new(hops, a.policy, a.rate, Duration::from_secs_f64(a.interval_ms / 1e3))
-                .with_seed(seed);
-            s.max_aggregate = a.max_agg_kb * 1024;
-            if let Some(f) = a.flood_ms {
-                s = s.with_flooding(Duration::from_millis(f));
-            }
-            let r = s.run();
-            println!("seed {seed}: goodput {:.3} Mbps", r.goodput_bps / 1e6);
-            sum += r.goodput_bps;
-        }
-        println!("\nmean goodput: {:.3} Mbps over {} seeds", sum / a.seeds as f64 / 1e6, a.seeds);
+    let spec = spec_from(&a);
+    println!("scenario: {spec:?}\n");
+    let runner = ExperimentRunner::new(a.threads);
+    let cell = runner.run_sweep(std::slice::from_ref(&spec), a.seeds).remove(0);
+    let metric = if a.tcp { "throughput" } else { "goodput" };
+    for (i, r) in cell.runs.iter().enumerate() {
+        // Print the derived world seed so any run can be replayed
+        // exactly via ScenarioSpec::with_seed(world_seed).run().
+        println!(
+            "run {} (world seed {:#018x}): {} {:.3} Mbps (flows: {:?})",
+            i + 1,
+            ExperimentRunner::run_seed(&spec, i as u64 + 1),
+            if r.completed { "ok  " } else { "STUCK" },
+            r.throughput_bps / 1e6,
+            r.per_flow_bps.iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
+        );
     }
+    if let (Some(&relay), Some(first)) = (spec.relays().first(), cell.runs.first()) {
+        let rel = &first.report.nodes[relay];
+        println!(
+            "\nrelay (node {relay}, run 1): {} TXs, avg {:.0} B, {:.2} subframes, time-ovh {:.1}%, {} retries",
+            rel.tx_data_frames,
+            rel.avg_frame_size,
+            rel.avg_subframes,
+            rel.time_overhead * 100.0,
+            rel.retries
+        );
+    }
+    println!("\nmean {metric}: {:.3} Mbps over {} seeds", cell.mean_throughput_bps() / 1e6, a.seeds);
 }

@@ -1,47 +1,61 @@
 //! One function per table/figure of the paper's evaluation (§6).
 //!
-//! Each returns a [`Table`] with the paper's numbers (where published)
-//! side by side with this reproduction's measurements. Absolute values
-//! depend on testbed quirks we cannot recover; the *shapes* — who wins,
-//! by roughly what factor, where crossovers fall — are the claims being
-//! reproduced (see EXPERIMENTS.md for per-experiment commentary).
+//! Each experiment is expressed as *data*: a grid of [`ScenarioSpec`]s
+//! expanded over seeds and executed by the parallel
+//! [`ExperimentRunner`], then folded into a [`Table`] with the paper's
+//! numbers (where published) side by side with this reproduction's
+//! measurements. Absolute values depend on testbed quirks we cannot
+//! recover; the *shapes* — who wins, by roughly what factor, where
+//! crossovers fall — are the claims being reproduced (see
+//! EXPERIMENTS.md for per-experiment commentary).
 
-use hydra_netsim::{Policy, TcpRunResult, TcpScenario, TopologyKind, UdpScenario};
+use hydra_core::{AckPolicy, AggSizing};
+use hydra_netsim::{Flooding, Policy, ScenarioSpec, TopologyKind};
 use hydra_phy::Rate;
 use hydra_sim::Duration;
 
 use crate::paper;
 use crate::report::{bytes, mbps, pct, Table};
+use crate::runner::{CellResult, ExperimentRunner};
 
 /// Harness options.
 #[derive(Debug, Clone, Copy)]
 pub struct Opts {
     /// Seeds averaged per TCP data point.
     pub seeds: u64,
+    /// Runner worker threads (0 = one per available CPU).
+    pub threads: usize,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { seeds: 3 }
+        Opts { seeds: 3, threads: 0 }
+    }
+}
+
+impl Opts {
+    fn runner(&self) -> ExperimentRunner {
+        ExperimentRunner::new(self.threads)
     }
 }
 
 /// The four experiment rates.
 pub const RATES: [Rate; 4] = Rate::EXPERIMENT;
 
-fn tcp_run(topo: TopologyKind, policy: Policy, rate: Rate, bcast: Option<Rate>, seed: u64) -> TcpRunResult {
-    let mut s = TcpScenario::new(topo, policy, rate).with_seed(seed);
-    s.broadcast_rate = bcast;
-    s.run()
+/// A TCP file-transfer spec with an optional fixed broadcast rate.
+fn tcp(topo: TopologyKind, policy: Policy, rate: Rate, bcast: Option<Rate>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::tcp(topo, policy, rate);
+    spec.broadcast_rate = bcast;
+    spec
 }
 
-/// Mean end-to-end throughput over `opts.seeds` seeds (bit/s).
-pub fn tcp_avg(topo: TopologyKind, policy: Policy, rate: Rate, bcast: Option<Rate>, opts: Opts) -> f64 {
-    let mut sum = 0.0;
-    for seed in 1..=opts.seeds {
-        sum += tcp_run(topo, policy, rate, bcast, seed).throughput_bps;
-    }
-    sum / opts.seeds as f64
+/// A linear-chain UDP CBR spec with the source interval in microseconds.
+fn udp(hops: usize, policy: Policy, rate: Rate, interval_us: u64) -> ScenarioSpec {
+    ScenarioSpec::udp(TopologyKind::Linear(hops), policy, rate, Duration::from_micros(interval_us))
+}
+
+fn means(row: &[CellResult]) -> Vec<f64> {
+    row.iter().map(CellResult::mean_throughput_bps).collect()
 }
 
 // ----------------------------------------------------------------------
@@ -51,22 +65,37 @@ pub fn tcp_avg(topo: TopologyKind, policy: Policy, rate: Rate, bcast: Option<Rat
 /// Figure 7: throughput climbs with the aggregation cap, then collapses
 /// once aggregates outgrow the ~120 Ksample channel-coherence budget
 /// (5 / 11 / 15 KB at 0.65 / 1.3 / 1.95 Mbps).
-pub fn fig07_agg_size(_opts: Opts) -> Table {
+pub fn fig07_agg_size(opts: Opts) -> Table {
     let sizes_kb = [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 20];
     let rates = [Rate::R0_65, Rate::R1_30, Rate::R1_95];
+    let grid: Vec<Vec<ScenarioSpec>> = sizes_kb
+        .iter()
+        .map(|kb| {
+            rates
+                .iter()
+                .map(|&rate| {
+                    let mut spec = ScenarioSpec::udp(
+                        TopologyKind::Linear(1),
+                        Policy::Ua,
+                        rate,
+                        Duration::from_millis(4),
+                    );
+                    spec.max_aggregate = kb * 1024;
+                    spec.duration = Duration::from_secs(10);
+                    spec
+                })
+                .collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Figure 7 — UDP throughput (Mbps) vs max aggregation size, 1-hop",
         &["max agg (KB)", "0.65 Mbps", "1.30 Mbps", "1.95 Mbps"],
     );
-    for kb in sizes_kb {
+    for (kb, row) in sizes_kb.iter().zip(results) {
         let mut cells = vec![format!("{kb}")];
-        for rate in rates {
-            let mut s = UdpScenario::new(1, Policy::Ua, rate, Duration::from_millis(4));
-            s.max_aggregate = kb * 1024;
-            s.measure = Duration::from_secs(10);
-            let r = s.run();
-            cells.push(mbps(r.goodput_bps));
-        }
+        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
         t.row(cells);
     }
     for (rate, thr) in paper::FIG7_THRESHOLDS {
@@ -84,23 +113,29 @@ pub fn fig07_agg_size(_opts: Opts) -> Table {
 /// The paper's UDP app semantics ("data interval 3 s") are unrecoverable;
 /// we reproduce its *operating point* by offering the load the paper's UA
 /// sustained (~1.1× NA capacity), as documented in DESIGN.md §5.
-pub fn table2_udp(_opts: Opts) -> Table {
+pub fn table2_udp(opts: Opts) -> Table {
+    let intervals = [(Rate::R0_65, 30_600u64), (Rate::R1_30, 17_400)];
+    let grid: Vec<Vec<ScenarioSpec>> = intervals
+        .iter()
+        .map(|&(rate, us)| vec![udp(2, Policy::Na, rate, us), udp(2, Policy::Ua, rate, us)])
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Table 2 — 2-hop UDP throughput (Mbps)",
         &["rate", "NA paper", "NA here", "UA paper", "UA here", "gain paper", "gain here"],
     );
-    let intervals = [(Rate::R0_65, 30_600u64), (Rate::R1_30, 17_400)];
-    for ((rate, us), (p_rate, p_na, p_ua, p_gain)) in intervals.into_iter().zip(paper::TABLE2) {
+    for ((&(rate, _), row), (p_rate, p_na, p_ua, p_gain)) in intervals.iter().zip(&results).zip(paper::TABLE2)
+    {
         assert_eq!(rate.mbps(), p_rate);
-        let na = UdpScenario::new(2, Policy::Na, rate, Duration::from_micros(us)).run();
-        let ua = UdpScenario::new(2, Policy::Ua, rate, Duration::from_micros(us)).run();
-        let gain = (ua.goodput_bps / na.goodput_bps - 1.0) * 100.0;
+        let (na, ua) = (row[0].first().throughput_bps, row[1].first().throughput_bps);
+        let gain = (ua / na - 1.0) * 100.0;
         t.row(vec![
             format!("{rate}"),
             format!("{p_na:.3}"),
-            mbps(na.goodput_bps),
+            mbps(na),
             format!("{p_ua:.3}"),
-            mbps(ua.goodput_bps),
+            mbps(ua),
             format!("{p_gain:.1}%"),
             format!("{gain:.1}%"),
         ]);
@@ -115,18 +150,25 @@ pub fn table2_udp(_opts: Opts) -> Table {
 
 /// Figure 8: one-way TCP transfer, NA vs UA, 2- and 3-hop chains.
 pub fn fig08_unicast_tcp(opts: Opts) -> Table {
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            [(2, Policy::Na), (2, Policy::Ua), (3, Policy::Na), (3, Policy::Ua)]
+                .into_iter()
+                .map(|(hops, pol)| tcp(TopologyKind::Linear(hops), pol, rate, None))
+                .collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 8 — TCP throughput (Mbps): unicast aggregation",
         &["rate", "2-hop NA", "2-hop UA", "3-hop NA", "3-hop UA"],
     );
-    for rate in RATES {
-        t.row(vec![
-            format!("{rate}"),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Na, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ua, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(3), Policy::Na, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(3), Policy::Ua, rate, None, opts)),
-        ]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let mut cells = vec![format!("{rate}")];
+        cells.extend(means(row).iter().map(|&m| mbps(m)));
+        t.row(cells);
     }
     t.note("paper: UA > NA everywhere; improvement grows with rate; 2-hop > 3-hop");
     t
@@ -137,22 +179,31 @@ pub fn fig08_unicast_tcp(opts: Opts) -> Table {
 // ----------------------------------------------------------------------
 
 /// Figure 9: 2-hop UDP goodput vs flooding interval, aggregation on/off.
-pub fn fig09_flooding(_opts: Opts) -> Table {
+pub fn fig09_flooding(opts: Opts) -> Table {
+    let floods = [50u64, 100, 250, 500, 1000, 2000, 5000];
+    let grid: Vec<Vec<ScenarioSpec>> = floods
+        .iter()
+        .map(|&f| {
+            let mut row = Vec::new();
+            for (rate, us) in [(Rate::R0_65, 30_600u64), (Rate::R1_30, 17_400)] {
+                for pol in [Policy::Na, Policy::Ba] {
+                    let mut spec = udp(2, pol, rate, us);
+                    spec.flooding = Some(Flooding { interval: Duration::from_millis(f), payload: 120 });
+                    row.push(spec);
+                }
+            }
+            row
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Figure 9 — 2-hop UDP goodput (Mbps) under per-node flooding",
         &["flood interval", "0.65 NA", "0.65 BA", "1.30 NA", "1.30 BA"],
     );
-    let floods = [50u64, 100, 250, 500, 1000, 2000, 5000];
-    for f in floods {
-        let mut cells = vec![format!("{:.2}s", f as f64 / 1000.0)];
-        for (rate, us) in [(Rate::R0_65, 30_600u64), (Rate::R1_30, 17_400)] {
-            for pol in [Policy::Na, Policy::Ba] {
-                let r = UdpScenario::new(2, pol, rate, Duration::from_micros(us))
-                    .with_flooding(Duration::from_millis(f))
-                    .run();
-                cells.push(mbps(r.goodput_bps));
-            }
-        }
+    for (f, row) in floods.iter().zip(&results) {
+        let mut cells = vec![format!("{:.2}s", *f as f64 / 1000.0)];
+        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
         t.row(cells);
     }
     t.note("paper: gap between aggregation and NA widens as the flooding interval shrinks");
@@ -167,18 +218,28 @@ pub fn fig09_flooding(_opts: Opts) -> Table {
 /// Figure 10: 2-hop TCP; the broadcast (ACK) portion rides at a fixed
 /// rate while the unicast rate sweeps.
 pub fn fig10_fixed_bcast(opts: Opts) -> Table {
+    let two = TopologyKind::Linear(2);
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            vec![
+                tcp(two, Policy::Ba, rate, Some(Rate::R0_65)),
+                tcp(two, Policy::Ba, rate, Some(Rate::R1_30)),
+                tcp(two, Policy::Ba, rate, Some(Rate::R2_60)),
+                tcp(two, Policy::Ua, rate, None),
+            ]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 10 — TCP throughput (Mbps), BA with fixed broadcast rate",
         &["unicast rate", "BA(0.65)", "BA(1.3)", "BA(2.6)", "UA"],
     );
-    for rate in RATES {
-        t.row(vec![
-            format!("{rate}"),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, Some(Rate::R0_65), opts)),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, Some(Rate::R1_30), opts)),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, Some(Rate::R2_60), opts)),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ua, rate, None, opts)),
-        ]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let mut cells = vec![format!("{rate}")];
+        cells.extend(means(row).iter().map(|&m| mbps(m)));
+        t.row(cells);
     }
     t.note("paper: BA(0.65) beats UA only at 0.65 then falls below; BA(1.3) wins up to 1.3; BA(2.6) wins everywhere");
     t
@@ -190,24 +251,24 @@ pub fn fig10_fixed_bcast(opts: Opts) -> Table {
 
 /// Figure 11: 2-hop TCP, broadcast rate = unicast rate; NA / UA / BA.
 pub fn fig11_2hop(opts: Opts) -> Table {
+    let two = TopologyKind::Linear(2);
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| [Policy::Na, Policy::Ua, Policy::Ba].iter().map(|&p| tcp(two, p, rate, None)).collect())
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 11 — 2-hop TCP throughput (Mbps): NA / UA / BA",
         &["rate", "NA", "UA", "BA", "BA/UA gap"],
     );
     let mut max_gap: f64 = 0.0;
-    for rate in RATES {
-        let na = tcp_avg(TopologyKind::Linear(2), Policy::Na, rate, None, opts);
-        let ua = tcp_avg(TopologyKind::Linear(2), Policy::Ua, rate, None, opts);
-        let ba = tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, None, opts);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
+        let (na, ua, ba) = (m[0], m[1], m[2]);
         let gap = (ba / ua - 1.0) * 100.0;
         max_gap = max_gap.max(gap);
-        t.row(vec![
-            format!("{rate}"),
-            mbps(na),
-            mbps(ua),
-            mbps(ba),
-            format!("{gap:+.1}%"),
-        ]);
+        t.row(vec![format!("{rate}"), mbps(na), mbps(ua), mbps(ba), format!("{gap:+.1}%")]);
     }
     t.note(format!(
         "paper: BA always >= UA, max gap ~{:.0}%; measured max gap {max_gap:.1}%",
@@ -222,21 +283,34 @@ pub fn fig11_2hop(opts: Opts) -> Table {
 
 /// Figure 12: 3-hop linear and the 2-session star (worst-case session).
 pub fn fig12_topologies(opts: Opts) -> Table {
+    let three = TopologyKind::Linear(3);
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            vec![
+                tcp(three, Policy::Na, rate, None),
+                tcp(three, Policy::Ua, rate, None),
+                tcp(three, Policy::Ba, rate, None),
+                tcp(TopologyKind::Star, Policy::Ua, rate, None),
+                tcp(TopologyKind::Star, Policy::Ba, rate, None),
+            ]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 12 — TCP throughput (Mbps): 3-hop linear & star",
         &["rate", "3-hop NA", "3-hop UA", "3-hop BA", "star UA", "star BA"],
     );
     let mut g3: f64 = 0.0;
     let mut gs: f64 = 0.0;
-    for rate in RATES {
-        let na3 = tcp_avg(TopologyKind::Linear(3), Policy::Na, rate, None, opts);
-        let ua3 = tcp_avg(TopologyKind::Linear(3), Policy::Ua, rate, None, opts);
-        let ba3 = tcp_avg(TopologyKind::Linear(3), Policy::Ba, rate, None, opts);
-        let uas = tcp_avg(TopologyKind::Star, Policy::Ua, rate, None, opts);
-        let bas = tcp_avg(TopologyKind::Star, Policy::Ba, rate, None, opts);
-        g3 = g3.max((ba3 / ua3 - 1.0) * 100.0);
-        gs = gs.max((bas / uas - 1.0) * 100.0);
-        t.row(vec![format!("{rate}"), mbps(na3), mbps(ua3), mbps(ba3), mbps(uas), mbps(bas)]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
+        g3 = g3.max((m[2] / m[1] - 1.0) * 100.0);
+        gs = gs.max((m[4] / m[3] - 1.0) * 100.0);
+        let mut cells = vec![format!("{rate}")];
+        cells.extend(m.iter().map(|&x| mbps(x)));
+        t.row(cells);
     }
     t.note(format!(
         "paper: max BA-UA gap {:.1}% (3-hop), {:.1}% (star); measured {g3:.1}% / {gs:.1}%",
@@ -252,18 +326,25 @@ pub fn fig12_topologies(opts: Opts) -> Table {
 
 /// Figure 13: BA vs DBA (relays hold for 3 frames), 2- and 3-hop.
 pub fn fig13_delayed(opts: Opts) -> Table {
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            [(2, Policy::Ba), (2, Policy::Dba), (3, Policy::Ba), (3, Policy::Dba)]
+                .into_iter()
+                .map(|(hops, pol)| tcp(TopologyKind::Linear(hops), pol, rate, None))
+                .collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 13 — TCP throughput (Mbps): BA vs delayed BA",
         &["rate", "2-hop BA", "2-hop DBA", "3-hop BA", "3-hop DBA"],
     );
-    for rate in RATES {
-        t.row(vec![
-            format!("{rate}"),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(2), Policy::Dba, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(3), Policy::Ba, rate, None, opts)),
-            mbps(tcp_avg(TopologyKind::Linear(3), Policy::Dba, rate, None, opts)),
-        ]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let mut cells = vec![format!("{rate}")];
+        cells.extend(means(row).iter().map(|&m| mbps(m)));
+        t.row(cells);
     }
     t.note(format!(
         "paper: DBA ~= BA at low rates; DBA ahead by ~{:.0}% (2-hop) / ~{:.0}% (3-hop) at high rates (smaller than the authors expected)",
@@ -280,23 +361,32 @@ pub fn fig13_delayed(opts: Opts) -> Table {
 /// Figure 14: 3-hop TCP with forward aggregation disabled, isolating the
 /// benefit of combining opposite-direction traffic.
 pub fn fig14_no_forward(opts: Opts) -> Table {
+    let three = TopologyKind::Linear(3);
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            [Policy::Na, Policy::BaNoForward, Policy::Ba].iter().map(|&p| tcp(three, p, rate, None)).collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Figure 14 — 3-hop TCP throughput (Mbps): backward-only aggregation",
         &["rate", "NA", "BA no-forward", "BA", "fwd contribution"],
     );
-    for rate in RATES {
-        let na = tcp_avg(TopologyKind::Linear(3), Policy::Na, rate, None, opts);
-        let nofwd = tcp_avg(TopologyKind::Linear(3), Policy::BaNoForward, rate, None, opts);
-        let ba = tcp_avg(TopologyKind::Linear(3), Policy::Ba, rate, None, opts);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
         t.row(vec![
             format!("{rate}"),
-            mbps(na),
-            mbps(nofwd),
-            mbps(ba),
-            format!("{:+.1}%", (ba / nofwd - 1.0) * 100.0),
+            mbps(m[0]),
+            mbps(m[1]),
+            mbps(m[2]),
+            format!("{:+.1}%", (m[2] / m[1] - 1.0) * 100.0),
         ]);
     }
-    t.note("paper: the BA vs no-forward gap widens with rate (forward aggregation matters more at high rates)");
+    t.note(
+        "paper: the BA vs no-forward gap widens with rate (forward aggregation matters more at high rates)",
+    );
     t
 }
 
@@ -308,27 +398,22 @@ const DETAIL_RATE: Rate = Rate::R1_30;
 
 /// Table 3: 2-hop relay averages — frame size, transmissions relative to
 /// NA, size overhead.
-pub fn table3_relay(_opts: Opts) -> Table {
+pub fn table3_relay(opts: Opts) -> Table {
+    let policies = [(Policy::Na, "NA"), (Policy::Ua, "UA"), (Policy::Ba, "BA"), (Policy::Dba, "DBA")];
+    let specs: Vec<ScenarioSpec> =
+        policies.iter().map(|&(pol, _)| tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None)).collect();
+    let results = opts.runner().run_sweep(&specs, 1);
+    let na_base = results[0].first().report.relay().tx_data_frames as f64;
+
     let mut t = Table::new(
         "Table 3 — 2-hop relay detail (TCP)",
         &["policy", "size paper", "size here", "TXs paper", "TXs here", "ovh paper", "ovh here"],
     );
-    let na_base = tcp_run(TopologyKind::Linear(2), Policy::Na, DETAIL_RATE, None, 1)
-        .report
-        .relay()
-        .tx_data_frames as f64;
-    for ((pol, name), (p_name, p_size, p_tx, p_ovh)) in [
-        (Policy::Na, "NA"),
-        (Policy::Ua, "UA"),
-        (Policy::Ba, "BA"),
-        (Policy::Dba, "DBA"),
-    ]
-    .into_iter()
-    .zip(paper::TABLE3)
+    for ((&(_, name), cell), (p_name, p_size, p_tx, p_ovh)) in
+        policies.iter().zip(&results).zip(paper::TABLE3)
     {
         assert_eq!(name, p_name);
-        let r = tcp_run(TopologyKind::Linear(2), pol, DETAIL_RATE, None, 1);
-        let rel = r.report.relay();
+        let rel = cell.first().report.relay();
         t.row(vec![
             name.into(),
             bytes(p_size),
@@ -339,31 +424,37 @@ pub fn table3_relay(_opts: Opts) -> Table {
             pct(rel.size_overhead),
         ]);
     }
-    t.note("single 0.2 MB transfer at 1.3 Mbps, seed 1 (the paper does not state its rate)");
+    t.note("single 0.2 MB transfer at 1.3 Mbps, one seed (the paper does not state its rate)");
     t
 }
 
 /// Table 4: 2-hop relay time overhead by rate and policy.
-pub fn table4_time_overhead(_opts: Opts) -> Table {
+pub fn table4_time_overhead(opts: Opts) -> Table {
+    let policies = [Policy::Na, Policy::Ua, Policy::Ba, Policy::Dba];
+    let grid: Vec<Vec<ScenarioSpec>> = paper::TABLE4
+        .iter()
+        .map(|&(p_rate, ..)| {
+            let rate = RATES.iter().find(|r| r.mbps() == p_rate).copied().unwrap();
+            policies.iter().map(|&pol| tcp(TopologyKind::Linear(2), pol, rate, None)).collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Table 4 — 2-hop relay time overhead (paper / here, %)",
         &["rate", "NA", "UA", "BA", "DBA"],
     );
-    for (p_rate, p_na, p_ua, p_ba, p_dba) in paper::TABLE4 {
-        let rate = RATES.iter().find(|r| r.mbps() == p_rate).copied().unwrap();
+    for ((p_rate, p_na, p_ua, p_ba, p_dba), row) in paper::TABLE4.iter().zip(&results) {
+        let rate = RATES.iter().find(|r| r.mbps() == *p_rate).copied().unwrap();
         let mut cells = vec![format!("{rate}")];
-        for (pol, p) in [
-            (Policy::Na, p_na),
-            (Policy::Ua, p_ua),
-            (Policy::Ba, p_ba),
-            (Policy::Dba, p_dba),
-        ] {
-            let r = tcp_run(TopologyKind::Linear(2), pol, rate, None, 1);
-            cells.push(format!("{p:.1} / {:.1}", r.report.time_overhead_pct(1)));
+        for (p, cell) in [p_na, p_ua, p_ba, p_dba].into_iter().zip(row) {
+            cells.push(format!("{p:.1} / {:.1}", cell.first().report.time_overhead_pct(1)));
         }
         t.row(cells);
     }
-    t.note("overhead = (headers + control + DIFS + SIFS + backoff) / total attributable airtime at the relay");
+    t.note(
+        "overhead = (headers + control + DIFS + SIFS + backoff) / total attributable airtime at the relay",
+    );
     t.note("the paper's exact ledger is unspecified; orderings and trends are the reproduced claims");
     t
 }
@@ -374,30 +465,27 @@ pub fn table4_time_overhead(_opts: Opts) -> Table {
 
 /// Tables 5, 6, 7: relay frame size / size overhead / TX percentage,
 /// 2-hop vs star.
-pub fn table5_6_7_star(_opts: Opts) -> Vec<Table> {
-    let mut size_t = Table::new(
-        "Table 5 — relay frame size (paper / here, B)",
-        &["policy", "2-hop", "star"],
-    );
-    let mut ovh_t = Table::new(
-        "Table 6 — relay size overhead (paper / here, %)",
-        &["policy", "2-hop", "star"],
-    );
-    let mut tx_t = Table::new(
-        "Table 7 — relay TXs relative to NA (paper / here, %)",
-        &["policy", "2-hop", "star"],
-    );
-    let na2 = tcp_run(TopologyKind::Linear(2), Policy::Na, DETAIL_RATE, None, 1)
-        .report
-        .relay()
-        .tx_data_frames as f64;
+pub fn table5_6_7_star(opts: Opts) -> Vec<Table> {
+    // One NA baseline + (2-hop, star) per policy, all in one sweep.
+    let mut specs = vec![tcp(TopologyKind::Linear(2), Policy::Na, DETAIL_RATE, None)];
+    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
+    for &(pol, _) in &policies {
+        specs.push(tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None));
+        specs.push(tcp(TopologyKind::Star, pol, DETAIL_RATE, None));
+    }
+    let results = opts.runner().run_sweep(&specs, 1);
+
+    let mut size_t = Table::new("Table 5 — relay frame size (paper / here, B)", &["policy", "2-hop", "star"]);
+    let mut ovh_t =
+        Table::new("Table 6 — relay size overhead (paper / here, %)", &["policy", "2-hop", "star"]);
+    let mut tx_t =
+        Table::new("Table 7 — relay TXs relative to NA (paper / here, %)", &["policy", "2-hop", "star"]);
+    let na2 = results[0].first().report.relay().tx_data_frames as f64;
     // Paper convention: star NA baseline = 2x the 2-hop NA count.
     let na_star = na2 * 2.0;
-    for (i, (pol, name)) in [(Policy::Ua, "UA"), (Policy::Ba, "BA")].into_iter().enumerate() {
-        let two = tcp_run(TopologyKind::Linear(2), pol, DETAIL_RATE, None, 1);
-        let star = tcp_run(TopologyKind::Star, pol, DETAIL_RATE, None, 1);
-        let r2 = two.report.relay();
-        let rs = star.report.relay();
+    for (i, (_, name)) in policies.into_iter().enumerate() {
+        let r2 = results[1 + 2 * i].first().report.relay();
+        let rs = results[2 + 2 * i].first().report.relay();
         size_t.row(vec![
             name.into(),
             format!("{:.0} / {:.0}", paper::TABLE5[i].1, r2.avg_frame_size),
@@ -425,28 +513,78 @@ pub fn table5_6_7_star(_opts: Opts) -> Vec<Table> {
 
 /// Table 8: average frame size at server / relay(s) / client for 2-hop
 /// and 3-hop chains under UA and BA.
-pub fn table8_frame_sizes(_opts: Opts) -> Table {
+pub fn table8_frame_sizes(opts: Opts) -> Table {
+    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
+    let grid: Vec<Vec<ScenarioSpec>> = policies
+        .iter()
+        .map(|&(pol, _)| {
+            vec![
+                tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None),
+                tcp(TopologyKind::Linear(3), pol, DETAIL_RATE, None),
+            ]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Table 8 — average frame size per node (paper / here, B)",
         &["policy", "server(2)", "relay(2)", "client(2)", "server(3)", "relay1(3)", "relay2(3)", "client(3)"],
     );
-    for (i, (pol, name)) in [(Policy::Ua, "UA"), (Policy::Ba, "BA")].into_iter().enumerate() {
-        let two = tcp_run(TopologyKind::Linear(2), pol, DETAIL_RATE, None, 1);
-        let three = tcp_run(TopologyKind::Linear(3), pol, DETAIL_RATE, None, 1);
+    for ((i, (_, name)), row) in policies.into_iter().enumerate().zip(&results) {
+        let two = &row[0].first().report;
+        let three = &row[1].first().report;
         let p = paper::TABLE8[i].1;
         let g = |r: &hydra_netsim::RunReport, n: usize| r.nodes[n].avg_frame_size;
         t.row(vec![
             name.into(),
-            format!("{:.0} / {:.0}", p[0], g(&two.report, 0)),
-            format!("{:.0} / {:.0}", p[1], g(&two.report, 1)),
-            format!("{:.0} / {:.0}", p[2], g(&two.report, 2)),
-            format!("{:.0} / {:.0}", p[3], g(&three.report, 0)),
-            format!("{:.0} / {:.0}", p[4], g(&three.report, 1)),
-            format!("{:.0} / {:.0}", p[5], g(&three.report, 2)),
-            format!("{:.0} / {:.0}", p[6], g(&three.report, 3)),
+            format!("{:.0} / {:.0}", p[0], g(two, 0)),
+            format!("{:.0} / {:.0}", p[1], g(two, 1)),
+            format!("{:.0} / {:.0}", p[2], g(two, 2)),
+            format!("{:.0} / {:.0}", p[3], g(three, 0)),
+            format!("{:.0} / {:.0}", p[4], g(three, 1)),
+            format!("{:.0} / {:.0}", p[5], g(three, 2)),
+            format!("{:.0} / {:.0}", p[6], g(three, 3)),
         ]);
     }
     t.note("paper: servers ~2-3 subframe aggregates; clients 2-3 ACK clumps; relay aggregation deepens with hops");
+    t
+}
+
+// ----------------------------------------------------------------------
+// Extension — topologies beyond the paper (grid & cross)
+// ----------------------------------------------------------------------
+
+/// Extension: the paper stops at 3-hop chains and the star; the
+/// declarative topology layer makes larger shapes one variant away.
+/// A 3×2 grid (corner-to-corner session, 3 hops under x-first routing)
+/// and a cross (two sessions sharing one relay) under UA vs BA.
+pub fn ext_topologies(opts: Opts) -> Table {
+    let kinds = [TopologyKind::Grid { w: 3, h: 2 }, TopologyKind::Cross];
+    let rates = [Rate::R1_30, Rate::R2_60];
+    let grid: Vec<Vec<ScenarioSpec>> = rates
+        .iter()
+        .map(|&rate| {
+            kinds.iter().flat_map(|&k| [Policy::Ua, Policy::Ba].map(|p| tcp(k, p, rate, None))).collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
+    let mut t = Table::new(
+        "Extension — TCP throughput (Mbps) on grid & cross topologies",
+        &["rate", "grid UA", "grid BA", "cross UA", "cross BA"],
+    );
+    for (rate, row) in rates.iter().zip(&results) {
+        let mut cells = vec![format!("{rate}")];
+        cells.extend(means(row).iter().map(|&m| mbps(m)));
+        t.row(cells);
+    }
+    t.note(
+        "grid: 3x2, corner-to-corner (3 hops x-first); cross: west->east and north->south sharing one relay",
+    );
+    t.note("worst session reported for the cross, matching the paper's star convention");
+    t.note("grid caveat: x-first routing makes the data (0->1->2->5) and ACK (5->4->3->0) paths");
+    t.note("relay-disjoint, so grid BA gains come from ACK broadcast classification alone — the cross");
+    t.note("isolates the cross-direction relay aggregation the grid cannot show");
     t
 }
 
@@ -456,21 +594,31 @@ pub fn table8_frame_sizes(_opts: Opts) -> Table {
 
 /// Ablation: block ACK (paper §7 future work) vs all-or-nothing, under an
 /// oversized aggregation cap that crosses the coherence cliff.
-pub fn ablation_block_ack(_opts: Opts) -> Table {
-    use hydra_core::AckPolicy;
+pub fn ablation_block_ack(opts: Opts) -> Table {
+    let sizes_kb = [5usize, 8, 11, 14];
+    let grid: Vec<Vec<ScenarioSpec>> = sizes_kb
+        .iter()
+        .map(|&kb| {
+            [AckPolicy::Normal, AckPolicy::Block]
+                .into_iter()
+                .map(|ack| {
+                    let mut spec = tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30, None);
+                    spec.max_aggregate = kb * 1024;
+                    spec.ack_policy = ack;
+                    spec
+                })
+                .collect()
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, 1);
+
     let mut t = Table::new(
         "Ablation — block ACK vs all-or-nothing under coherence stress",
         &["max agg (KB)", "normal ACK", "block ACK"],
     );
-    for kb in [5usize, 8, 11, 14] {
+    for (kb, row) in sizes_kb.iter().zip(&results) {
         let mut cells = vec![format!("{kb}")];
-        for ack in [AckPolicy::Normal, AckPolicy::Block] {
-            let mut s = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(1);
-            s.max_aggregate = kb * 1024;
-            s.ack_policy = ack;
-            let r = s.run();
-            cells.push(mbps(r.throughput_bps));
-        }
+        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
         t.row(cells);
     }
     t.note("block ACK retries only failed subframes, so it degrades gracefully past the cliff");
@@ -479,80 +627,61 @@ pub fn ablation_block_ack(_opts: Opts) -> Table {
 
 /// Ablation: rate-adaptive aggregate sizing (paper §7) — spend a fixed
 /// sample budget instead of a fixed byte cap.
-pub fn ablation_rate_adaptive_sizing(_opts: Opts) -> Table {
-    use hydra_core::AggSizing;
+pub fn ablation_rate_adaptive_sizing(opts: Opts) -> Table {
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            let fixed = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
+            let mut budget = fixed.clone();
+            budget.sizing = Some(AggSizing::CoherenceBudget(110_000));
+            vec![fixed, budget]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Ablation — fixed 5 KB cap vs coherence-budget sizing",
         &["rate", "fixed 5 KB", "110 Ksample budget"],
     );
-    for rate in RATES {
-        let fixed = tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, None, Opts { seeds: 2 });
-        let mut sum = 0.0;
-        for seed in 1..=2u64 {
-            let sc = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, rate).with_seed(seed);
-            let mut world = sc.build_with_sizing(AggSizing::CoherenceBudget(110_000));
-            world.start();
-            let deadline = hydra_sim::Instant::ZERO + hydra_sim::Duration::from_secs(300);
-            world.run_until_condition(deadline, |w| {
-                w.nodes.iter().all(|n| n.apps.file_rx.iter().all(|(r, _)| r.completed_at.is_some()))
-            });
-            let mut thr = f64::INFINITY;
-            for n in &world.nodes {
-                for (rx, _) in &n.apps.file_rx {
-                    thr = thr.min(rx.throughput_bps(hydra_sim::Instant::ZERO).unwrap_or(0.0));
-                }
-            }
-            sum += if thr.is_finite() { thr } else { 0.0 };
-        }
-        t.row(vec![format!("{rate}"), mbps(fixed), mbps(sum / 2.0)]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
+        t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
     }
     t.note("at high rates the sample budget admits larger aggregates than 5 KB, recovering headroom the fixed cap leaves");
     t
 }
 
-/// Runs a prepared world to transfer completion; returns worst-session
-/// throughput (bit/s).
-fn run_world_throughput(mut world: hydra_netsim::World) -> f64 {
-    world.start();
-    let deadline = hydra_sim::Instant::ZERO + hydra_sim::Duration::from_secs(300);
-    world.run_until_condition(deadline, |w| {
-        w.nodes.iter().all(|n| n.apps.file_rx.iter().all(|(r, _)| r.completed_at.is_some()))
-    });
-    let mut thr = f64::INFINITY;
-    for n in &world.nodes {
-        for (rx, _) in &n.apps.file_rx {
-            thr = thr.min(rx.throughput_bps(hydra_sim::Instant::ZERO).unwrap_or(0.0));
-        }
-    }
-    if thr.is_finite() {
-        thr
-    } else {
-        0.0
-    }
-}
-
 /// Ablation: DBA flush-timeout sensitivity (DESIGN.md §7 — the paper
 /// leaves the deadlock guard unspecified).
-pub fn ablation_dba_flush(_opts: Opts) -> Table {
+pub fn ablation_dba_flush(opts: Opts) -> Table {
+    let flushes_ms = [2u64, 5, 10, 20, 40];
+    // Row 0: the BA baselines; the rest: DBA at each flush timeout.
+    let mut grid: Vec<Vec<ScenarioSpec>> = vec![[2usize, 3]
+        .iter()
+        .map(|&h| tcp(TopologyKind::Linear(h), Policy::Ba, Rate::R2_60, None))
+        .collect()];
+    for &flush_ms in &flushes_ms {
+        grid.push(
+            [2usize, 3]
+                .iter()
+                .map(|&h| {
+                    let mut spec = tcp(TopologyKind::Linear(h), Policy::Dba, Rate::R2_60, None);
+                    spec.flush_timeout = Some(Duration::from_millis(flush_ms));
+                    spec
+                })
+                .collect(),
+        );
+    }
+    let mut results = opts.runner().run_grid(grid, opts.seeds);
+    let ba = means(&results.remove(0));
+
     let mut t = Table::new(
         "Ablation — DBA flush timeout sensitivity (2.6 Mbps)",
         &["flush (ms)", "2-hop DBA", "3-hop DBA"],
     );
-    let mut ba = Vec::new();
-    for hops in [2usize, 3] {
-        ba.push(tcp_avg(TopologyKind::Linear(hops), Policy::Ba, Rate::R2_60, None, Opts { seeds: 3 }));
-    }
-    for flush_ms in [2u64, 5, 10, 20, 40] {
-        let mut cells = vec![format!("{flush_ms}")];
-        for hops in [2usize, 3] {
-            let mut sum = 0.0;
-            for seed in 1..=3u64 {
-                let sc = TcpScenario::new(TopologyKind::Linear(hops), Policy::Dba, Rate::R2_60).with_seed(seed);
-                sum += run_world_throughput(sc.build_with_flush(Duration::from_millis(flush_ms)));
-            }
-            cells.push(mbps(sum / 3.0));
-        }
-        t.row(cells);
+    for (flush_ms, row) in flushes_ms.iter().zip(&results) {
+        let m = means(row);
+        t.row(vec![format!("{flush_ms}"), mbps(m[0]), mbps(m[1])]);
     }
     t.note(format!("BA baselines: 2-hop {}, 3-hop {} Mbps", mbps(ba[0]), mbps(ba[1])));
     t.note("longer flushes trade aggregation depth against head-of-line delay");
@@ -561,22 +690,25 @@ pub fn ablation_dba_flush(_opts: Opts) -> Table {
 
 /// Ablation: RTS/CTS on vs off (the paper always uses RTS/CTS; all nodes
 /// are in carrier-sense range, so the handshake is pure overhead here).
-pub fn ablation_rts_cts(_opts: Opts) -> Table {
+pub fn ablation_rts_cts(opts: Opts) -> Table {
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            let with = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
+            let mut without = with.clone();
+            without.rts_cts = false;
+            vec![with, without]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Ablation — RTS/CTS handshake on vs off (2-hop TCP)",
         &["rate", "with RTS/CTS", "without"],
     );
-    for rate in RATES {
-        let with = tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, None, Opts { seeds: 3 });
-        let mut sum = 0.0;
-        for seed in 1..=3u64 {
-            let sc = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, rate).with_seed(seed);
-            sum += run_world_throughput(sc.build_tweaked(|mut cfg| {
-                cfg.rts_cts = false;
-                cfg
-            }));
-        }
-        t.row(vec![format!("{rate}"), mbps(with), mbps(sum / 3.0)]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
+        t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
     }
     t.note("without hidden terminals the handshake costs two control frames + two SIFS per exchange");
     t
@@ -585,20 +717,25 @@ pub fn ablation_rts_cts(_opts: Opts) -> Table {
 /// Ablation: delayed ACKs at the TCP receiver (off in the paper — its
 /// client ACKs every segment; delayed ACKs halve the ACK stream and so
 /// shrink the backward-aggregation benefit).
-pub fn ablation_delayed_ack(_opts: Opts) -> Table {
+pub fn ablation_delayed_ack(opts: Opts) -> Table {
+    let grid: Vec<Vec<ScenarioSpec>> = RATES
+        .iter()
+        .map(|&rate| {
+            let per_seg = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
+            let mut delayed = per_seg.clone();
+            delayed.tcp.delayed_ack = true;
+            vec![per_seg, delayed]
+        })
+        .collect();
+    let results = opts.runner().run_grid(grid, opts.seeds);
+
     let mut t = Table::new(
         "Ablation — TCP delayed ACKs (2-hop, BA)",
         &["rate", "ACK per segment (paper)", "delayed ACKs"],
     );
-    for rate in RATES {
-        let per_seg = tcp_avg(TopologyKind::Linear(2), Policy::Ba, rate, None, Opts { seeds: 3 });
-        let mut sum = 0.0;
-        for seed in 1..=3u64 {
-            let mut sc = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, rate).with_seed(seed);
-            sc.tcp.delayed_ack = true;
-            sum += run_world_throughput(sc.build());
-        }
-        t.row(vec![format!("{rate}"), mbps(per_seg), mbps(sum / 3.0)]);
+    for (rate, row) in RATES.iter().zip(&results) {
+        let m = means(row);
+        t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
     }
     t
 }
@@ -607,17 +744,25 @@ pub fn ablation_delayed_ack(_opts: Opts) -> Table {
 /// §4.2.3: close to the training sequences, where the channel estimate is
 /// freshest). Measured as per-portion CRC failure rates under aggregates
 /// that overrun the coherence budget.
-pub fn ablation_broadcast_position(_opts: Opts) -> Table {
+pub fn ablation_broadcast_position(opts: Opts) -> Table {
+    let sizes_kb = [5usize, 7, 9];
+    let specs: Vec<ScenarioSpec> = sizes_kb
+        .iter()
+        .map(|&kb| {
+            let mut spec = tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R0_65, None);
+            spec.max_aggregate = kb * 1024;
+            spec
+        })
+        .collect();
+    let results = opts.runner().run_sweep(&specs, 1);
+
     let mut t = Table::new(
         "Ablation — positional protection of the broadcast portion (oversized aggregates, 0.65 Mbps)",
         &["max agg (KB)", "bcast CRC loss rate", "unicast portion drop rate"],
     );
-    for kb in [5usize, 7, 9] {
-        let mut sc = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R0_65).with_seed(1);
-        sc.max_aggregate = kb * 1024;
-        let r = sc.run();
+    for (kb, cell) in sizes_kb.iter().zip(&results) {
         let (mut b_ok, mut b_fail, mut u_ok, mut u_fail) = (0u64, 0u64, 0u64, 0u64);
-        for n in &r.report.nodes {
+        for n in &cell.first().report.nodes {
             b_ok += n.bcast_ok + n.bcast_filtered;
             b_fail += n.bcast_crc_fail;
             u_ok += n.unicast_ok;
@@ -660,6 +805,7 @@ pub fn run_all(opts: Opts) -> String {
         emit(t);
     }
     emit(table8_frame_sizes(opts));
+    emit(ext_topologies(opts));
     emit(ablation_block_ack(opts));
     emit(ablation_rate_adaptive_sizing(opts));
     emit(ablation_dba_flush(opts));

@@ -1,10 +1,12 @@
 //! # hydra-bench — the experiment harness
 //!
-//! One function per table/figure of the paper, each returning a
-//! [`report::Table`] comparing the paper's reported numbers against this
-//! reproduction. Thin binaries in `src/bin/` print individual
-//! experiments; `src/bin/all.rs` regenerates everything and writes the
-//! results file that EXPERIMENTS.md quotes.
+//! One function per table/figure of the paper, each expressed as a grid
+//! of [`hydra_netsim::ScenarioSpec`]s driven through the parallel
+//! [`runner::ExperimentRunner`] and folded into a [`report::Table`]
+//! comparing the paper's reported numbers against this reproduction.
+//! Thin binaries in `src/bin/` print individual experiments;
+//! `src/bin/all.rs` regenerates everything and writes the results file
+//! that EXPERIMENTS.md quotes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,5 +14,7 @@
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod runner;
 
 pub use report::Table;
+pub use runner::{CellResult, ExperimentRunner};

@@ -1,0 +1,68 @@
+//! The runner's core guarantee: parallel execution of a fixed sweep
+//! produces byte-identical table output to sequential execution — run
+//! twice, so flaky scheduling would be caught.
+
+use hydra_bench::{ExperimentRunner, Table};
+use hydra_netsim::{Policy, ScenarioSpec, TopologyKind, Traffic};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
+
+/// A small but heterogeneous sweep: TCP and UDP, two policies, two
+/// topologies. File sizes / windows trimmed so debug-mode CI stays fast.
+fn fixed_sweep() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for policy in [Policy::Ua, Policy::Ba] {
+        let mut s = ScenarioSpec::tcp(TopologyKind::Linear(2), policy, Rate::R1_30);
+        s.traffic = Traffic::FileTransfer { bytes: 20 * 1024 };
+        specs.push(s);
+    }
+    let mut star = ScenarioSpec::tcp(TopologyKind::Star, Policy::Ba, Rate::R2_60);
+    star.traffic = Traffic::FileTransfer { bytes: 10 * 1024 };
+    specs.push(star);
+    let mut udp =
+        ScenarioSpec::udp(TopologyKind::Linear(1), Policy::Ua, Rate::R1_30, Duration::from_millis(10));
+    udp.warmup = Duration::from_millis(500);
+    udp.duration = Duration::from_secs(2);
+    specs.push(udp);
+    specs
+}
+
+/// Folds a sweep's results into the rendered table the harness would
+/// print — full float formatting, so any divergence shows up.
+fn render(runner: ExperimentRunner, seeds: u64) -> String {
+    let cells = runner.run_sweep(&fixed_sweep(), seeds);
+    let mut t = Table::new("determinism probe", &["cell", "mean bps", "per-run bps", "TXs"]);
+    for (i, cell) in cells.iter().enumerate() {
+        t.row(vec![
+            format!("{i}"),
+            format!("{:.6}", cell.mean_throughput_bps()),
+            cell.runs.iter().map(|r| format!("{:.6}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
+            cell.runs.iter().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    t.render()
+}
+
+#[test]
+fn parallel_equals_sequential_twice() {
+    let sequential = ExperimentRunner::sequential();
+    let parallel = ExperimentRunner::new(4);
+    let reference = render(sequential, 2);
+    for round in 0..2 {
+        assert_eq!(render(parallel, 2), reference, "parallel diverged on round {round}");
+        assert_eq!(render(sequential, 2), reference, "sequential not stable on round {round}");
+    }
+}
+
+#[test]
+fn run_order_does_not_leak_between_cells() {
+    // Running a cell alone gives the same outcome as running it inside
+    // the full sweep: per-run RNG depends only on (spec hash, seed).
+    let specs = fixed_sweep();
+    let full = ExperimentRunner::new(4).run_sweep(&specs, 1);
+    for (spec, in_sweep) in specs.iter().zip(&full) {
+        let alone = ExperimentRunner::sequential().run_one(spec.clone());
+        assert_eq!(alone.throughput_bps, in_sweep.runs[0].throughput_bps);
+        assert_eq!(alone.report.total_data_txs(), in_sweep.runs[0].report.total_data_txs());
+    }
+}

@@ -73,11 +73,7 @@ impl AggPolicy {
 
     /// UA — unicast aggregation only (paper §3.1).
     pub fn unicast() -> Self {
-        AggPolicy {
-            unicast_aggregation: true,
-            max_unicast_subframes: usize::MAX,
-            ..Self::no_aggregation()
-        }
+        AggPolicy { unicast_aggregation: true, max_unicast_subframes: usize::MAX, ..Self::no_aggregation() }
     }
 
     /// BA — broadcast aggregation + TCP ACKs as broadcasts (paper §3.2/3.3).
@@ -205,7 +201,7 @@ impl MacConfig {
         }
         match self.agg.sizing {
             AggSizing::Fixed(b) if b < 160 => return Err("max aggregate below one subframe".into()),
-            AggSizing::CoherenceBudget(s) if s == 0 => return Err("zero coherence budget".into()),
+            AggSizing::CoherenceBudget(0) => return Err("zero coherence budget".into()),
             _ => {}
         }
         Ok(())

@@ -108,9 +108,9 @@ const SLOT_COUNT: usize = 6;
 /// What to transmit when the SIFS timer fires.
 #[derive(Debug)]
 enum AfterSifs {
-    SendCts(ControlFrame),
-    SendAck(ControlFrame),
-    SendData,
+    Cts(ControlFrame),
+    Ack(ControlFrame),
+    Data,
 }
 
 /// DCF state.
@@ -223,7 +223,9 @@ impl Mac {
     pub fn handle(&mut self, now: Instant, input: MacInput) -> Vec<MacOutput> {
         let mut out = Vec::new();
         match input {
-            MacInput::Enqueue { next_hop, src, payload } => self.on_enqueue(now, next_hop, src, payload, &mut out),
+            MacInput::Enqueue { next_hop, src, payload } => {
+                self.on_enqueue(now, next_hop, src, payload, &mut out)
+            }
             MacInput::ChannelBusy => self.on_busy(now),
             MacInput::ChannelIdle => self.on_idle(now, &mut out),
             MacInput::Rx(frame) => self.on_rx(now, &frame, &mut out),
@@ -256,7 +258,14 @@ impl Mac {
     // Carrier sense and contention
     // ------------------------------------------------------------------
 
-    fn on_enqueue(&mut self, now: Instant, next_hop: MacAddr, src: MacAddr, payload: Vec<u8>, out: &mut Vec<MacOutput>) {
+    fn on_enqueue(
+        &mut self,
+        now: Instant,
+        next_hop: MacAddr,
+        src: MacAddr,
+        payload: Vec<u8>,
+        out: &mut Vec<MacOutput>,
+    ) {
         let class = self.classifier.classify(next_hop, &payload, self.cfg.agg.tcp_ack_as_broadcast);
         let mpdu = QueuedMpdu { next_hop, src, payload, no_ack: class.no_ack, enqueued_at: now };
         self.queues.push(mpdu, class.queue);
@@ -455,8 +464,7 @@ impl Mac {
         match self.state {
             State::TxRts => {
                 self.state = State::AwaitCts;
-                let deadline =
-                    now + self.cfg.sifs + self.control_airtime(CTS_LEN) + self.cfg.timeout_margin;
+                let deadline = now + self.cfg.sifs + self.control_airtime(CTS_LEN) + self.cfg.timeout_margin;
                 let token = self.timers.arm(Slot::CtsTimeout as usize);
                 out.push(MacOutput::SetTimer { token, at: deadline });
             }
@@ -545,9 +553,10 @@ impl Mac {
             s if s == Slot::CtsTimeout as usize => {
                 if self.state == State::AwaitCts {
                     // The wait was real airtime lost to the failed handshake.
-                    self.counters
-                        .time
-                        .add(cat::CONTROL, self.cfg.sifs + self.control_airtime(CTS_LEN) + self.cfg.timeout_margin);
+                    self.counters.time.add(
+                        cat::CONTROL,
+                        self.cfg.sifs + self.control_airtime(CTS_LEN) + self.cfg.timeout_margin,
+                    );
                     self.fail_attempt(now, out);
                 }
             }
@@ -555,23 +564,25 @@ impl Mac {
                 if self.state == State::AwaitAck {
                     self.counters.time.add(
                         cat::CONTROL,
-                        self.cfg.sifs + self.control_airtime(self.expected_ack_len()) + self.cfg.timeout_margin,
+                        self.cfg.sifs
+                            + self.control_airtime(self.expected_ack_len())
+                            + self.cfg.timeout_margin,
                     );
                     self.fail_attempt(now, out);
                 }
             }
             s if s == Slot::Sifs as usize => match self.after_sifs.take() {
-                Some(AfterSifs::SendCts(cts)) => {
+                Some(AfterSifs::Cts(cts)) => {
                     self.counters.tx_cts += 1;
                     self.state = State::TxResponse;
                     out.push(MacOutput::StartTx(OnAirFrame::Control(cts.to_bytes())));
                 }
-                Some(AfterSifs::SendAck(ack)) => {
+                Some(AfterSifs::Ack(ack)) => {
                     self.counters.tx_acks += 1;
                     self.state = State::TxResponse;
                     out.push(MacOutput::StartTx(OnAirFrame::Control(ack.to_bytes())));
                 }
-                Some(AfterSifs::SendData) => {
+                Some(AfterSifs::Data) => {
                     self.counters.time.add(cat::SIFS, self.cfg.sifs);
                     self.start_data_tx(now, out);
                 }
@@ -628,7 +639,7 @@ impl Mac {
                         let cts_dur = Duration::from_micros(duration_us as u64)
                             .saturating_sub(self.cfg.sifs + self.control_airtime(CTS_LEN));
                         let cts = ControlFrame::Cts { duration_us: Self::us16(cts_dur), ra: ta };
-                        self.respond_after_sifs(now, AfterSifs::SendCts(cts), out);
+                        self.respond_after_sifs(now, AfterSifs::Cts(cts), out);
                     } else {
                         self.counters.rx_control_ignored += 1;
                     }
@@ -641,7 +652,7 @@ impl Mac {
                     self.timers.cancel(Slot::CtsTimeout as usize);
                     self.counters.time.add(cat::SIFS, self.cfg.sifs);
                     self.counters.time.add(cat::CONTROL, self.control_airtime(CTS_LEN));
-                    self.respond_after_sifs(now, AfterSifs::SendData, out);
+                    self.respond_after_sifs(now, AfterSifs::Data, out);
                 } else if ra != self.addr {
                     self.set_nav(now, duration_us, out);
                 } else {
@@ -687,7 +698,13 @@ impl Mac {
         }
     }
 
-    fn on_rx_aggregate(&mut self, now: Instant, phy_hdr: &hydra_wire::PhyHeader, psdu: &[u8], out: &mut Vec<MacOutput>) {
+    fn on_rx_aggregate(
+        &mut self,
+        now: Instant,
+        phy_hdr: &hydra_wire::PhyHeader,
+        psdu: &[u8],
+        out: &mut Vec<MacOutput>,
+    ) {
         let parsed = parse_aggregate(phy_hdr, psdu);
 
         // Broadcast portion: per-subframe CRC, deliver-or-drop by address
@@ -743,7 +760,7 @@ impl Mac {
                         self.deliver_unicast(sub, out);
                     }
                     let ack = ControlFrame::Ack { duration_us: 0, ra: transmitter };
-                    self.respond_after_sifs(now, AfterSifs::SendAck(ack), out);
+                    self.respond_after_sifs(now, AfterSifs::Ack(ack), out);
                 } else {
                     self.counters.rx_unicast_crc_drop += 1;
                 }
@@ -758,7 +775,7 @@ impl Mac {
                     }
                 }
                 let ba = ControlFrame::BlockAck { duration_us: 0, ra: transmitter, bitmap };
-                self.respond_after_sifs(now, AfterSifs::SendAck(ba), out);
+                self.respond_after_sifs(now, AfterSifs::Ack(ba), out);
             }
         }
     }
@@ -770,9 +787,7 @@ impl Mac {
         let payload = view.payload();
         // The encap shim carries (src_node via addr2, packet_id) — enough
         // to recognize a re-delivered MPDU.
-        let key = hydra_wire::EncapRepr::parse(payload)
-            .ok()
-            .map(|(e, _)| (view.addr2(), e.packet_id));
+        let key = hydra_wire::EncapRepr::parse(payload).ok().map(|(e, _)| (view.addr2(), e.packet_id));
         if view.is_retry() {
             if let Some(key) = key {
                 if self.dedup.contains(&key) {

@@ -103,7 +103,12 @@ fn enqueue_unicast(h: &mut Harness, id: u32, len: usize) {
 }
 
 /// Builds an incoming data aggregate addressed to `dst` from `src_mac`.
-fn incoming_aggregate(dst: MacAddr, src_mac: MacAddr, payloads: &[Vec<u8>], bcast_to: Option<MacAddr>) -> OnAirFrame {
+fn incoming_aggregate(
+    dst: MacAddr,
+    src_mac: MacAddr,
+    payloads: &[Vec<u8>],
+    bcast_to: Option<MacAddr>,
+) -> OnAirFrame {
     use hydra_wire::aggregate::AggregateBuilder;
     use hydra_wire::subframe::{FrameType, SubframeRepr};
     let mut b = AggregateBuilder::new();
@@ -406,7 +411,7 @@ fn duplicate_retry_delivery_is_filtered() {
     }
     h.tx.clear();
     h.feed(MacInput::TxDone); // finish our ACK response if started
-    // Same packet retried (ACK was lost at the sender).
+                              // Same packet retried (ACK was lost at the sender).
     h.advance(Duration::from_millis(1));
     h.feed(MacInput::Rx(build(true)));
     assert_eq!(h.delivered.len(), 1, "duplicate filtered");

@@ -123,7 +123,12 @@ impl NetStack {
 
     /// Wraps a locally generated L4 segment for transmission. Returns the
     /// next-hop MAC and the MPDU payload, or `None` if no route exists.
-    pub fn send_l4(&mut self, protocol: IpProtocol, dst: Ipv4Addr, l4_bytes: &[u8]) -> Option<(MacAddr, Vec<u8>)> {
+    pub fn send_l4(
+        &mut self,
+        protocol: IpProtocol,
+        dst: Ipv4Addr,
+        l4_bytes: &[u8],
+    ) -> Option<(MacAddr, Vec<u8>)> {
         let Some(next_hop_ip) = self.route_for(dst) else {
             self.counters.no_route += 1;
             return None;

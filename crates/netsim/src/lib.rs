@@ -2,15 +2,17 @@
 //!
 //! Wires the sans-IO layers ([`hydra_core::Mac`], [`hydra_net::NetStack`],
 //! [`hydra_tcp::TcpStack`], the apps) to the event queue and the shared
-//! [`hydra_phy::Medium`], and packages the paper's experimental setups as
-//! reusable [`scenario`] presets:
+//! [`hydra_phy::Medium`], and describes experiments declaratively:
 //!
-//! * [`scenario::TcpScenario`] — one-way 0.2 MB file transfers over
-//!   linear chains and the 4-node star (paper §6.2, §6.4);
-//! * [`scenario::UdpScenario`] — CBR traffic with optional per-node
-//!   broadcast flooding (paper §6.1–6.3).
+//! * [`spec::ScenarioSpec`] — one value = one run: topology, policy,
+//!   rates, traffic mix, flows, warmup/duration, seed. `build()` yields
+//!   a ready [`World`], `run()` a [`spec::RunOutcome`].
+//! * [`scenario::TcpScenario`] / [`scenario::UdpScenario`] — thin
+//!   paper-era front-ends over the spec (file transfers over chains,
+//!   stars, grids, crosses; CBR with optional flooding).
 //!
-//! Every run is deterministic in its seed.
+//! Every run is deterministic in its spec + seed — on any thread, in
+//! any order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,11 +20,13 @@
 pub mod metrics;
 pub mod node;
 pub mod scenario;
+pub mod spec;
 pub mod topology;
 pub mod world;
 
 pub use metrics::{mbps, NodeReport, RunReport};
 pub use node::{Apps, Node};
-pub use scenario::{Policy, TcpRunResult, TcpScenario, TopologyKind, UdpRunResult, UdpScenario};
+pub use scenario::{TcpRunResult, TcpScenario, UdpRunResult, UdpScenario};
+pub use spec::{Flooding, Flow, Policy, RunOutcome, ScenarioSpec, TopologyKind, Traffic};
 pub use topology::Topology;
 pub use world::World;

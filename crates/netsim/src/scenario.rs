@@ -1,89 +1,21 @@
-//! Scenario presets mirroring the paper's experimental setups (§5/§6).
+//! Convenience presets mirroring the paper's experimental setups (§5/§6).
+//!
+//! [`TcpScenario`] and [`UdpScenario`] are thin, stable front-ends over
+//! the declarative [`ScenarioSpec`]: they keep the field names the
+//! paper-era call sites use and delegate all construction and execution
+//! to the spec. New experiment code should build [`ScenarioSpec`]s
+//! directly (and run sweeps through the bench harness's runner).
 
-use hydra_app::{FileReceiver, FileSender, FloodSink, Flooder, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};
-use hydra_core::{AckPolicy, AggPolicy, AggSizing, MacConfig};
-use hydra_phy::{ChannelStack, PhyProfile, Rate};
-use hydra_sim::{Duration, Instant};
+use hydra_core::{AckPolicy, AggPolicy};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
 use hydra_tcp::TcpConfig;
-use hydra_wire::{Endpoint, Ipv4Addr};
 
 use crate::metrics::RunReport;
-use crate::topology::Topology;
+use crate::spec::{ScenarioSpec, Traffic};
 use crate::world::World;
 
-/// The aggregation policies evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Policy {
-    /// No aggregation.
-    Na,
-    /// Unicast aggregation.
-    Ua,
-    /// Broadcast aggregation (+ TCP ACKs as broadcasts).
-    Ba,
-    /// Delayed broadcast aggregation (relays wait for 3 frames).
-    Dba,
-    /// BA with forward aggregation disabled (§6.4.4).
-    BaNoForward,
-}
-
-impl Policy {
-    /// The paper's abbreviation.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Policy::Na => "NA",
-            Policy::Ua => "UA",
-            Policy::Ba => "BA",
-            Policy::Dba => "DBA",
-            Policy::BaNoForward => "BA-nofwd",
-        }
-    }
-
-    /// The aggregation policy for a node. DBA's 3-frame gate applies at
-    /// *relay* nodes only (paper §6.4.3: "forces relay nodes to pause").
-    pub fn agg_for(&self, is_relay: bool) -> AggPolicy {
-        match self {
-            Policy::Na => AggPolicy::no_aggregation(),
-            Policy::Ua => AggPolicy::unicast(),
-            Policy::Ba => AggPolicy::broadcast(),
-            Policy::Dba => {
-                if is_relay {
-                    AggPolicy::delayed_broadcast()
-                } else {
-                    AggPolicy::broadcast()
-                }
-            }
-            Policy::BaNoForward => AggPolicy::broadcast_no_forward(),
-        }
-    }
-
-    /// All policies the paper compares.
-    pub const ALL: [Policy; 5] = [Policy::Na, Policy::Ua, Policy::Ba, Policy::Dba, Policy::BaNoForward];
-}
-
-/// Which topology a scenario runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TopologyKind {
-    /// Linear chain with this many hops.
-    Linear(usize),
-    /// The paper's 4-node star with two TCP sessions.
-    Star,
-}
-
-impl TopologyKind {
-    fn build(&self) -> Topology {
-        match self {
-            TopologyKind::Linear(h) => Topology::linear(*h),
-            TopologyKind::Star => Topology::star(),
-        }
-    }
-
-    fn relays(&self) -> Vec<usize> {
-        match self {
-            TopologyKind::Linear(h) => (1..*h).collect(),
-            TopologyKind::Star => vec![1],
-        }
-    }
-}
+pub use crate::spec::{Policy, TopologyKind};
 
 /// A one-way TCP file-transfer experiment (paper §6.2/6.4).
 #[derive(Debug, Clone)]
@@ -137,107 +69,35 @@ impl TcpScenario {
         self
     }
 
-    fn mac_config(&self, node: usize, relays: &[usize]) -> MacConfig {
-        let mut cfg = MacConfig::hydra(self.rate);
-        cfg.agg = self.policy.agg_for(relays.contains(&node));
-        cfg.agg.sizing = AggSizing::Fixed(self.max_aggregate);
-        cfg.broadcast_rate = self.broadcast_rate;
-        cfg.ack_policy = self.ack_policy;
-        cfg
+    /// The equivalent declarative description of this scenario.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::tcp(self.topology, self.policy, self.rate);
+        spec.broadcast_rate = self.broadcast_rate;
+        spec.traffic = Traffic::FileTransfer { bytes: self.file_bytes };
+        spec.max_aggregate = self.max_aggregate;
+        spec.ack_policy = self.ack_policy;
+        spec.tcp = self.tcp.clone();
+        spec.fault = self.fault;
+        spec.duration = self.deadline;
+        spec.seed = self.seed;
+        spec
     }
 
     /// Builds the world with file transfer(s) installed.
     pub fn build(&self) -> World {
-        self.build_with(|cfg| cfg)
-    }
-
-    /// Builds the world with a DBA flush-timeout override (used by the
-    /// flush-sensitivity ablation).
-    pub fn build_with_flush(&self, flush: hydra_sim::Duration) -> World {
-        self.build_with(move |mut cfg| {
-            cfg.agg.flush_timeout = flush;
-            cfg
-        })
-    }
-
-    /// Builds the world with a sizing override on every MAC (used by the
-    /// rate-adaptive-aggregation ablation).
-    pub fn build_with_sizing(&self, sizing: AggSizing) -> World {
-        self.build_with(move |mut cfg| {
-            cfg.agg.sizing = sizing;
-            cfg
-        })
-    }
-
-    /// Builds the world with an arbitrary per-node MAC config tweak
-    /// (the hook behind the ablation experiments).
-    pub fn build_tweaked(&self, tweak: impl FnMut(MacConfig) -> MacConfig) -> World {
-        self.build_with(tweak)
-    }
-
-    fn build_with(&self, mut tweak: impl FnMut(MacConfig) -> MacConfig) -> World {
-        let topo = self.topology.build();
-        let relays = self.topology.relays();
-        let profile = PhyProfile::hydra();
-        let mut channel = ChannelStack::hydra(&profile);
-        if let Some((drop_chance, corrupt_chance)) = self.fault {
-            channel = channel.with(hydra_phy::FaultInjector { drop_chance, corrupt_chance });
-        }
-        let mut world = World::new(&topo, profile, channel, self.seed, |i| tweak(self.mac_config(i, &relays)));
-
-        let tcp_cfg = self.tcp.clone();
-        match self.topology {
-            TopologyKind::Linear(h) => {
-                // Server = node 0, client = node h (paper Figure 5).
-                install_transfer(&mut world, 0, h, 5001, self.file_bytes, &tcp_cfg);
-            }
-            TopologyKind::Star => {
-                // Two sessions: servers 2 and 3 → client 0 via center 1
-                // (paper Figure 6 / §6.4.5).
-                install_transfer(&mut world, 2, 0, 5001, self.file_bytes, &tcp_cfg);
-                install_transfer(&mut world, 3, 0, 5002, self.file_bytes, &tcp_cfg);
-            }
-        }
-        world
+        self.to_spec().build()
     }
 
     /// Runs to completion (or deadline) and reports.
     pub fn run(&self) -> TcpRunResult {
-        let mut world = self.build();
-        world.start();
-        let deadline = Instant::ZERO + self.deadline;
-        let done = world.run_until_condition(deadline, |w| {
-            w.nodes.iter().all(|n| n.apps.file_rx.iter().all(|(r, _)| r.completed_at.is_some()))
-        });
-        let now = world.now();
-        let mut per_session = Vec::new();
-        for n in &world.nodes {
-            for (rx, _) in &n.apps.file_rx {
-                per_session.push(rx.throughput_bps(Instant::ZERO).unwrap_or(0.0));
-            }
-        }
-        // The paper reports the worst-case (slowest) session for the star.
-        let throughput = per_session.iter().copied().fold(f64::INFINITY, f64::min);
-        let throughput = if throughput.is_finite() { throughput } else { 0.0 };
+        let outcome = self.to_spec().run();
         TcpRunResult {
-            completed: done,
-            throughput_bps: throughput,
-            per_session_bps: per_session,
-            report: RunReport::collect(&world, now),
+            completed: outcome.completed,
+            throughput_bps: outcome.throughput_bps,
+            per_session_bps: outcome.per_flow_bps,
+            report: outcome.report,
         }
     }
-}
-
-fn install_transfer(world: &mut World, server: usize, client: usize, port: u16, bytes: usize, cfg: &TcpConfig) {
-    let client_addr = Ipv4Addr::from_node_id(client as u16);
-    let iss_s = 1000 + port as u32;
-    let iss_c = 2000 + port as u32;
-    let listen = world.nodes[client].tcp.listen(cfg.clone(), port, iss_c);
-    world.nodes[client].apps.file_rx.push((FileReceiver::new(bytes), listen));
-    let sock = world.nodes[server]
-        .tcp
-        .connect(cfg.clone(), port + 1000, Endpoint::new(client_addr, port), iss_s);
-    world.nodes[server].apps.file_tx.push((FileSender::new(bytes), sock));
 }
 
 /// Result of a [`TcpScenario`] run.
@@ -290,7 +150,7 @@ impl UdpScenario {
             policy,
             rate,
             interval,
-            payload_len: PAPER_UDP_PAYLOAD,
+            payload_len: hydra_app::PAPER_UDP_PAYLOAD,
             max_aggregate: AggPolicy::PAPER_MAX_AGG,
             flooding_interval: None,
             flood_payload: 120,
@@ -312,49 +172,30 @@ impl UdpScenario {
         self
     }
 
+    /// The equivalent declarative description of this scenario.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let mut spec =
+            ScenarioSpec::udp(TopologyKind::Linear(self.hops), self.policy, self.rate, self.interval);
+        spec.traffic = Traffic::Cbr { interval: self.interval, payload: self.payload_len };
+        spec.max_aggregate = self.max_aggregate;
+        spec.flooding = self
+            .flooding_interval
+            .map(|interval| crate::spec::Flooding { interval, payload: self.flood_payload });
+        spec.warmup = self.warmup;
+        spec.duration = self.measure;
+        spec.seed = self.seed;
+        spec
+    }
+
     /// Builds the world.
     pub fn build(&self) -> World {
-        let topo = Topology::linear(self.hops);
-        let relays: Vec<usize> = (1..self.hops).collect();
-        let profile = PhyProfile::hydra();
-        let channel = ChannelStack::hydra(&profile);
-        let mut world = World::new(&topo, profile, channel, self.seed, |i| {
-            let mut cfg = MacConfig::hydra(self.rate);
-            cfg.agg = self.policy.agg_for(relays.contains(&i));
-            cfg.agg.sizing = AggSizing::Fixed(self.max_aggregate);
-            cfg
-        });
-        let sink_node = self.hops;
-        let dst = Endpoint::new(Ipv4Addr::from_node_id(sink_node as u16), 9000);
-        let stop = Instant::ZERO + self.warmup + self.measure + Duration::from_secs(1);
-        world.nodes[0]
-            .apps
-            .udp_sources
-            .push(UdpCbr::new(dst, 4000, self.payload_len, self.interval, Instant::ZERO).until(stop));
-        world.nodes[sink_node].apps.udp_sink = Some(UdpSink::new());
-        if let Some(fi) = self.flooding_interval {
-            for (i, node) in world.nodes.iter_mut().enumerate() {
-                // Stagger starts so flooders don't align.
-                let start = Instant::ZERO + Duration::from_millis(13 * (i as u64 + 1));
-                node.apps.flooder = Some(Flooder::new(fi, self.flood_payload, start).until(stop));
-                node.apps.flood_sink = FloodSink::new();
-            }
-        }
-        world
+        self.to_spec().build()
     }
 
     /// Runs and measures goodput over the measurement window.
     pub fn run(&self) -> UdpRunResult {
-        let mut world = self.build();
-        world.start();
-        let sink_node = self.hops;
-        world.run_until(Instant::ZERO + self.warmup);
-        let start_bytes = world.nodes[sink_node].apps.udp_sink.as_ref().map_or(0, |s| s.bytes);
-        world.run_until(Instant::ZERO + self.warmup + self.measure);
-        let end_bytes = world.nodes[sink_node].apps.udp_sink.as_ref().map_or(0, |s| s.bytes);
-        let goodput = (end_bytes - start_bytes) as f64 * 8.0 / self.measure.as_secs_f64();
-        let now = world.now();
-        UdpRunResult { goodput_bps: goodput, report: RunReport::collect(&world, now) }
+        let outcome = self.to_spec().run();
+        UdpRunResult { goodput_bps: outcome.throughput_bps, report: outcome.report }
     }
 }
 

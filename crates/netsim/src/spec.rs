@@ -1,0 +1,522 @@
+//! The declarative scenario description: one [`ScenarioSpec`] value fully
+//! describes one run.
+//!
+//! Every experiment in the paper — and every extension this repo adds —
+//! is "build a world from a spec, run it, collect a [`RunOutcome`]".
+//! Keeping the description as plain data (instead of bespoke per-figure
+//! setup code) lets the bench harness expand sweeps (`specs × seeds`)
+//! into a work list and execute them on any thread in any order: the
+//! world's RNG is derived only from the spec and the seed.
+
+use hydra_app::{FileReceiver, FileSender, FloodSink, Flooder, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};
+use hydra_core::{AckPolicy, AggPolicy, AggSizing, MacConfig};
+use hydra_phy::{ChannelStack, PhyProfile, Rate};
+use hydra_sim::{Duration, Instant};
+use hydra_tcp::TcpConfig;
+use hydra_wire::{Endpoint, Ipv4Addr};
+
+use crate::metrics::RunReport;
+use crate::topology::Topology;
+use crate::world::World;
+
+/// The aggregation policies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// No aggregation.
+    Na,
+    /// Unicast aggregation.
+    Ua,
+    /// Broadcast aggregation (+ TCP ACKs as broadcasts).
+    Ba,
+    /// Delayed broadcast aggregation (relays wait for 3 frames).
+    Dba,
+    /// BA with forward aggregation disabled (§6.4.4).
+    BaNoForward,
+}
+
+impl Policy {
+    /// The paper's abbreviation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Na => "NA",
+            Policy::Ua => "UA",
+            Policy::Ba => "BA",
+            Policy::Dba => "DBA",
+            Policy::BaNoForward => "BA-nofwd",
+        }
+    }
+
+    /// The aggregation policy for a node. DBA's 3-frame gate applies at
+    /// *relay* nodes only (paper §6.4.3: "forces relay nodes to pause").
+    pub fn agg_for(&self, is_relay: bool) -> AggPolicy {
+        match self {
+            Policy::Na => AggPolicy::no_aggregation(),
+            Policy::Ua => AggPolicy::unicast(),
+            Policy::Ba => AggPolicy::broadcast(),
+            Policy::Dba => {
+                if is_relay {
+                    AggPolicy::delayed_broadcast()
+                } else {
+                    AggPolicy::broadcast()
+                }
+            }
+            Policy::BaNoForward => AggPolicy::broadcast_no_forward(),
+        }
+    }
+
+    /// All policies the paper compares.
+    pub const ALL: [Policy; 5] = [Policy::Na, Policy::Ua, Policy::Ba, Policy::Dba, Policy::BaNoForward];
+}
+
+/// Which topology a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Linear chain with this many hops.
+    Linear(usize),
+    /// The paper's 4-node star with two TCP sessions into one client.
+    Star,
+    /// A `w × h` grid with dimension-ordered static routing.
+    Grid {
+        /// Columns.
+        w: usize,
+        /// Rows.
+        h: usize,
+    },
+    /// Four arms around one shared relay; two sessions cross at it.
+    Cross,
+}
+
+impl TopologyKind {
+    /// Builds the concrete topology (nodes + static routes).
+    pub fn build(&self) -> Topology {
+        match self {
+            TopologyKind::Linear(h) => Topology::linear(*h),
+            TopologyKind::Star => Topology::star(),
+            TopologyKind::Grid { w, h } => Topology::grid(*w, *h),
+            TopologyKind::Cross => Topology::cross(),
+        }
+    }
+
+    /// The node count, without materialising the route table.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologyKind::Linear(h) => h + 1,
+            TopologyKind::Star => 4,
+            TopologyKind::Grid { w, h } => w * h,
+            TopologyKind::Cross => 5,
+        }
+    }
+
+    /// A short human-readable label (for table captions).
+    pub fn label(&self) -> String {
+        match self {
+            TopologyKind::Linear(h) => format!("{h}-hop"),
+            TopologyKind::Star => "star".into(),
+            TopologyKind::Grid { w, h } => format!("{w}x{h} grid"),
+            TopologyKind::Cross => "cross".into(),
+        }
+    }
+
+    /// The default flows for TCP file transfers on this topology.
+    fn default_tcp_flows(&self) -> Vec<Flow> {
+        match self {
+            // Server = node 0, client = last node (paper Figure 5).
+            TopologyKind::Linear(h) => vec![Flow { src: 0, dst: *h, port: 5001 }],
+            // Two sessions: servers 2 and 3 → client 0 via center 1
+            // (paper Figure 6 / §6.4.5).
+            TopologyKind::Star => {
+                vec![Flow { src: 2, dst: 0, port: 5001 }, Flow { src: 3, dst: 0, port: 5002 }]
+            }
+            // Corner-to-corner: maximal hop count under x-first routing.
+            TopologyKind::Grid { w, h } => vec![Flow { src: 0, dst: w * h - 1, port: 5001 }],
+            // West→east and north→south, crossing at the center relay.
+            TopologyKind::Cross => {
+                vec![Flow { src: 0, dst: 1, port: 5001 }, Flow { src: 2, dst: 3, port: 5002 }]
+            }
+        }
+    }
+
+    /// The default flows for UDP CBR traffic on this topology.
+    fn default_cbr_flows(&self) -> Vec<Flow> {
+        match self {
+            TopologyKind::Linear(h) => vec![Flow { src: 0, dst: *h, port: 9000 }],
+            TopologyKind::Star => vec![Flow { src: 2, dst: 0, port: 9000 }],
+            TopologyKind::Grid { w, h } => vec![Flow { src: 0, dst: w * h - 1, port: 9000 }],
+            TopologyKind::Cross => {
+                vec![Flow { src: 0, dst: 1, port: 9000 }, Flow { src: 2, dst: 3, port: 9001 }]
+            }
+        }
+    }
+}
+
+/// One traffic flow: an ordered endpoint pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Source node (TCP server / CBR sender).
+    pub src: usize,
+    /// Destination node (TCP client / CBR sink).
+    pub dst: usize,
+    /// Destination port (TCP listen port or UDP sink port). Must be
+    /// unique per flow.
+    pub port: u16,
+}
+
+/// The traffic a scenario offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traffic {
+    /// One-way TCP file transfer of `bytes` on every flow (paper §5).
+    /// The run ends when every transfer completes (or the deadline hits).
+    FileTransfer {
+        /// Bytes per transfer (paper: 0.2 MB).
+        bytes: usize,
+    },
+    /// UDP constant-bit-rate traffic on every flow (paper §6.1–6.3).
+    /// The run measures goodput over `duration` after `warmup`.
+    Cbr {
+        /// Inter-packet interval at each source.
+        interval: Duration,
+        /// UDP payload length (default: the paper's 1140 B MAC frames).
+        payload: usize,
+    },
+}
+
+/// Per-node broadcast flooding riding on top of the main traffic
+/// (stands in for DSR/AODV route chatter — paper §6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flooding {
+    /// Beacon interval per node.
+    pub interval: Duration,
+    /// Beacon payload length.
+    pub payload: usize,
+}
+
+/// A complete, declarative description of one simulation run.
+///
+/// `build()` turns it into a ready [`World`]; `run()` executes it and
+/// returns a [`RunOutcome`]. Two specs with equal fields produce
+/// byte-identical runs — on any thread, in any order.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Topology.
+    pub topology: TopologyKind,
+    /// Aggregation policy.
+    pub policy: Policy,
+    /// Unicast data rate.
+    pub rate: Rate,
+    /// Broadcast-portion rate (`None` = same as unicast; Figure 10 fixes it).
+    pub broadcast_rate: Option<Rate>,
+    /// Traffic mix.
+    pub traffic: Traffic,
+    /// Flow endpoints; empty = the topology's defaults.
+    pub flows: Vec<Flow>,
+    /// Maximum aggregate size in bytes (paper: 5 KB).
+    pub max_aggregate: usize,
+    /// Aggregate sizing override; `None` = `Fixed(max_aggregate)`.
+    pub sizing: Option<AggSizing>,
+    /// Link ACK policy (Normal, or the Block extension).
+    pub ack_policy: AckPolicy,
+    /// RTS/CTS handshake for unicast bursts (Hydra always uses it).
+    pub rts_cts: bool,
+    /// DBA flush-timeout override; `None` = the policy default.
+    pub flush_timeout: Option<Duration>,
+    /// TCP configuration for both ends of every flow.
+    pub tcp: TcpConfig,
+    /// Optional fault injection: (frame drop chance, subframe corrupt
+    /// chance), smoltcp style.
+    pub fault: Option<(f64, f64)>,
+    /// Optional per-node broadcast flooding.
+    pub flooding: Option<Flooding>,
+    /// Warm-up before CBR measurement starts (ignored by FileTransfer).
+    pub warmup: Duration,
+    /// CBR measurement window, or the FileTransfer completion deadline.
+    pub duration: Duration,
+    /// RNG seed. The world's random streams depend only on this value
+    /// and the spec itself.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The paper's TCP file-transfer defaults for a topology/policy/rate.
+    pub fn tcp(topology: TopologyKind, policy: Policy, rate: Rate) -> Self {
+        ScenarioSpec {
+            topology,
+            policy,
+            rate,
+            broadcast_rate: None,
+            traffic: Traffic::FileTransfer { bytes: hydra_app::PAPER_FILE_BYTES },
+            flows: Vec::new(),
+            max_aggregate: AggPolicy::PAPER_MAX_AGG,
+            sizing: None,
+            ack_policy: AckPolicy::Normal,
+            rts_cts: true,
+            flush_timeout: None,
+            tcp: TcpConfig::hydra_paper(),
+            fault: None,
+            flooding: None,
+            warmup: Duration::ZERO,
+            duration: Duration::from_secs(300),
+            seed: 1,
+        }
+    }
+
+    /// The paper's UDP CBR defaults: 1140 B frames, 5 KB aggregates,
+    /// 2 s warmup, 20 s measurement.
+    pub fn udp(topology: TopologyKind, policy: Policy, rate: Rate, interval: Duration) -> Self {
+        ScenarioSpec {
+            traffic: Traffic::Cbr { interval, payload: PAPER_UDP_PAYLOAD },
+            warmup: Duration::from_secs(2),
+            duration: Duration::from_secs(20),
+            ..Self::tcp(topology, policy, rate)
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the flow endpoints.
+    pub fn with_flows(mut self, flows: Vec<Flow>) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// The effective flows: explicit ones, or the topology defaults.
+    pub fn effective_flows(&self) -> Vec<Flow> {
+        if !self.flows.is_empty() {
+            return self.flows.clone();
+        }
+        match self.traffic {
+            Traffic::FileTransfer { .. } => self.topology.default_tcp_flows(),
+            Traffic::Cbr { .. } => self.topology.default_cbr_flows(),
+        }
+    }
+
+    /// Relay nodes: everything that is not an endpoint of some flow.
+    /// (DBA's 3-frame gate applies only at relays.)
+    pub fn relays(&self) -> Vec<usize> {
+        let flows = self.effective_flows();
+        let n = self.topology.node_count();
+        (0..n).filter(|i| flows.iter().all(|f| f.src != *i && f.dst != *i)).collect()
+    }
+
+    /// A stable hash of the whole scenario description, seed included.
+    ///
+    /// Computed as FNV-1a over the canonical debug rendering, so the
+    /// same value always maps to the same hash within a build. The
+    /// experiment runner combines it with the replication index via
+    /// [`hydra_sim::stream_seed`] to give every `(spec, replication)`
+    /// pair its own deterministic RNG stream — two sweep cells that
+    /// differ only in `seed` therefore replicate independently.
+    pub fn stable_hash(&self) -> u64 {
+        let repr = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn mac_config(&self, node: usize, relays: &[usize]) -> MacConfig {
+        let mut cfg = MacConfig::hydra(self.rate);
+        cfg.agg = self.policy.agg_for(relays.contains(&node));
+        cfg.agg.sizing = self.sizing.unwrap_or(AggSizing::Fixed(self.max_aggregate));
+        if let Some(flush) = self.flush_timeout {
+            cfg.agg.flush_timeout = flush;
+        }
+        cfg.broadcast_rate = self.broadcast_rate;
+        cfg.ack_policy = self.ack_policy;
+        cfg.rts_cts = self.rts_cts;
+        cfg
+    }
+
+    /// Builds the ready-to-run world: topology, channel, MACs,
+    /// applications.
+    pub fn build(&self) -> World {
+        let topo = self.topology.build();
+        let relays = self.relays();
+        let flows = self.effective_flows();
+        let profile = PhyProfile::hydra();
+        let mut channel = ChannelStack::hydra(&profile);
+        if let Some((drop_chance, corrupt_chance)) = self.fault {
+            channel = channel.with(hydra_phy::FaultInjector { drop_chance, corrupt_chance });
+        }
+        let mut world = World::new(&topo, profile, channel, self.seed, |i| self.mac_config(i, &relays));
+
+        match self.traffic {
+            Traffic::FileTransfer { bytes } => {
+                for f in &flows {
+                    install_transfer(&mut world, f.src, f.dst, f.port, bytes, &self.tcp);
+                }
+            }
+            Traffic::Cbr { interval, payload } => {
+                let stop = Instant::ZERO + self.warmup + self.duration + Duration::from_secs(1);
+                for (i, f) in flows.iter().enumerate() {
+                    let dst = Endpoint::new(Ipv4Addr::from_node_id(f.dst as u16), f.port);
+                    world.nodes[f.src].apps.udp_sources.push(
+                        UdpCbr::new(dst, 4000 + i as u16, payload, interval, Instant::ZERO).until(stop),
+                    );
+                    if world.nodes[f.dst].apps.udp_sink.is_none() {
+                        world.nodes[f.dst].apps.udp_sink = Some(UdpSink::new());
+                    }
+                }
+            }
+        }
+        if let Some(fl) = self.flooding {
+            let stop = Instant::ZERO + self.warmup + self.duration + Duration::from_secs(1);
+            for (i, node) in world.nodes.iter_mut().enumerate() {
+                // Stagger starts so flooders don't align.
+                let start = Instant::ZERO + Duration::from_millis(13 * (i as u64 + 1));
+                node.apps.flooder = Some(Flooder::new(fl.interval, fl.payload, start).until(stop));
+                node.apps.flood_sink = FloodSink::new();
+            }
+        }
+        world
+    }
+
+    /// Runs the scenario to completion and reports.
+    pub fn run(&self) -> RunOutcome {
+        match self.traffic {
+            Traffic::FileTransfer { .. } => self.run_tcp(),
+            Traffic::Cbr { .. } => self.run_cbr(),
+        }
+    }
+
+    fn run_tcp(&self) -> RunOutcome {
+        let mut world = self.build();
+        world.start();
+        let deadline = Instant::ZERO + self.duration;
+        let done = world.run_until_condition(deadline, |w| {
+            w.nodes.iter().all(|n| n.apps.file_rx.iter().all(|(r, _)| r.completed_at.is_some()))
+        });
+        let now = world.now();
+        let mut per_flow = Vec::new();
+        for n in &world.nodes {
+            for (rx, _) in &n.apps.file_rx {
+                per_flow.push(rx.throughput_bps(Instant::ZERO).unwrap_or(0.0));
+            }
+        }
+        // The paper reports the worst-case (slowest) session for
+        // multi-session topologies.
+        let worst = per_flow.iter().copied().fold(f64::INFINITY, f64::min);
+        RunOutcome {
+            completed: done,
+            throughput_bps: if worst.is_finite() { worst } else { 0.0 },
+            per_flow_bps: per_flow,
+            report: RunReport::collect(&world, now),
+        }
+    }
+
+    fn run_cbr(&self) -> RunOutcome {
+        let mut world = self.build();
+        world.start();
+        // One measurement per distinct sink node, in flow order.
+        let mut sinks: Vec<usize> = Vec::new();
+        for f in self.effective_flows() {
+            if !sinks.contains(&f.dst) {
+                sinks.push(f.dst);
+            }
+        }
+        world.run_until(Instant::ZERO + self.warmup);
+        let start: Vec<u64> =
+            sinks.iter().map(|&n| world.nodes[n].apps.udp_sink.as_ref().map_or(0, |s| s.bytes)).collect();
+        world.run_until(Instant::ZERO + self.warmup + self.duration);
+        let secs = self.duration.as_secs_f64();
+        let per_flow: Vec<f64> = sinks
+            .iter()
+            .zip(&start)
+            .map(|(&n, &s0)| {
+                let s1 = world.nodes[n].apps.udp_sink.as_ref().map_or(0, |s| s.bytes);
+                (s1 - s0) as f64 * 8.0 / secs
+            })
+            .collect();
+        let worst = per_flow.iter().copied().fold(f64::INFINITY, f64::min);
+        let now = world.now();
+        RunOutcome {
+            completed: true,
+            throughput_bps: if worst.is_finite() { worst } else { 0.0 },
+            per_flow_bps: per_flow,
+            report: RunReport::collect(&world, now),
+        }
+    }
+}
+
+/// Installs a one-way TCP file transfer between two nodes.
+pub(crate) fn install_transfer(
+    world: &mut World,
+    server: usize,
+    client: usize,
+    port: u16,
+    bytes: usize,
+    cfg: &TcpConfig,
+) {
+    let client_addr = Ipv4Addr::from_node_id(client as u16);
+    let iss_s = 1000 + port as u32;
+    let iss_c = 2000 + port as u32;
+    let listen = world.nodes[client].tcp.listen(cfg.clone(), port, iss_c);
+    world.nodes[client].apps.file_rx.push((FileReceiver::new(bytes), listen));
+    let sock =
+        world.nodes[server].tcp.connect(cfg.clone(), port + 1000, Endpoint::new(client_addr, port), iss_s);
+    world.nodes[server].apps.file_tx.push((FileSender::new(bytes), sock));
+}
+
+/// Result of a [`ScenarioSpec`] run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// FileTransfer: every transfer finished before the deadline.
+    /// Cbr: always true.
+    pub completed: bool,
+    /// The headline metric, bit/s: worst-session TCP throughput, or
+    /// worst-sink UDP goodput.
+    pub throughput_bps: f64,
+    /// Per-flow throughputs (TCP) / per-sink goodputs (UDP).
+    pub per_flow_bps: Vec<f64>,
+    /// Per-node MAC/NET reports.
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relays_are_non_endpoints() {
+        let spec = ScenarioSpec::tcp(TopologyKind::Linear(3), Policy::Ba, Rate::R1_30);
+        assert_eq!(spec.relays(), vec![1, 2]);
+        let star = ScenarioSpec::tcp(TopologyKind::Star, Policy::Ba, Rate::R1_30);
+        assert_eq!(star.relays(), vec![1]);
+        let cross = ScenarioSpec::tcp(TopologyKind::Cross, Policy::Ba, Rate::R1_30);
+        assert_eq!(cross.relays(), vec![4]);
+    }
+
+    #[test]
+    fn stable_hash_is_sensitive_to_every_field_including_seed() {
+        let a = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        assert_eq!(a.stable_hash(), a.clone().stable_hash());
+        let b = a.clone().with_seed(99);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        let c = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ua, Rate::R1_30);
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        let d = ScenarioSpec::tcp(TopologyKind::Linear(3), Policy::Ba, Rate::R1_30);
+        assert_ne!(a.stable_hash(), d.stable_hash());
+    }
+
+    #[test]
+    fn default_flows_cover_every_topology() {
+        for kind in [
+            TopologyKind::Linear(2),
+            TopologyKind::Star,
+            TopologyKind::Grid { w: 3, h: 2 },
+            TopologyKind::Cross,
+        ] {
+            let spec = ScenarioSpec::tcp(kind, Policy::Ba, Rate::R1_30);
+            let n = kind.build().n;
+            for f in spec.effective_flows() {
+                assert!(f.src < n && f.dst < n, "{kind:?}: flow out of range");
+                assert_ne!(f.src, f.dst);
+            }
+        }
+    }
+}

@@ -73,6 +73,65 @@ impl Topology {
         Topology { n: 4, routes, name: "star" }
     }
 
+    /// A `w × h` grid with dimension-ordered (x-first) static routing.
+    ///
+    /// Node `(x, y)` has index `y * w + x`. A packet first walks along
+    /// its row to the destination column, then along that column —
+    /// the classic deadlock-free mesh route. All nodes still share one
+    /// carrier-sense domain (the paper's testbed packs nodes at 2.5 m),
+    /// so the grid stresses scheduling, not spatial reuse.
+    pub fn grid(w: usize, h: usize) -> Topology {
+        assert!(w >= 1 && h >= 1 && w * h >= 2, "grid needs at least 2 nodes");
+        let n = w * h;
+        let ip = |i: usize| Ipv4Addr::from_node_id(i as u16);
+        let mut routes = Vec::new();
+        for at in 0..n {
+            let (ax, ay) = (at % w, at / w);
+            for dst in 0..n {
+                if at == dst {
+                    continue;
+                }
+                let (dx, dy) = (dst % w, dst / w);
+                let next = if ax != dx {
+                    // Walk the row toward the destination column.
+                    if dx > ax {
+                        at + 1
+                    } else {
+                        at - 1
+                    }
+                } else if dy > ay {
+                    at + w
+                } else {
+                    at - w
+                };
+                routes.push((at, ip(dst), ip(next)));
+            }
+        }
+        Topology { n, routes, name: "grid" }
+    }
+
+    /// A cross: four arm nodes around one shared center relay (node 4),
+    /// carrying two sessions that intersect at the relay — west→east
+    /// (0→1) and north→south (2→3). Where the paper's star (Figure 6)
+    /// converges two sessions on one *client*, the cross converges them
+    /// only on the *relay*, isolating cross-session aggregation at the
+    /// forwarding node.
+    pub fn cross() -> Topology {
+        let ip = |i: usize| Ipv4Addr::from_node_id(i as u16);
+        let mut routes = Vec::new();
+        for arm in 0..4usize {
+            for dst in 0..5 {
+                if dst != arm {
+                    routes.push((arm, ip(dst), ip(4)));
+                }
+            }
+        }
+        for dst in 0..4usize {
+            routes.push((4, ip(dst), ip(dst)));
+        }
+        Topology { n: 5, routes, name: "cross" }
+    }
+
     /// Builds the per-node network stacks.
     pub fn build_net_stacks(&self) -> Vec<NetStack> {
         (0..self.n)
@@ -99,19 +158,10 @@ mod tests {
         assert_eq!(t.n, 3);
         let stacks = t.build_net_stacks();
         // Node 0 reaches node 2 via node 1.
-        assert_eq!(
-            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(2)),
-            Some(Ipv4Addr::from_node_id(1))
-        );
+        assert_eq!(stacks[0].routes.next_hop(Ipv4Addr::from_node_id(2)), Some(Ipv4Addr::from_node_id(1)));
         // The relay reaches both ends directly.
-        assert_eq!(
-            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(2)),
-            Some(Ipv4Addr::from_node_id(2))
-        );
-        assert_eq!(
-            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)),
-            Some(Ipv4Addr::from_node_id(0))
-        );
+        assert_eq!(stacks[1].routes.next_hop(Ipv4Addr::from_node_id(2)), Some(Ipv4Addr::from_node_id(2)));
+        assert_eq!(stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(0)));
     }
 
     #[test]
@@ -120,18 +170,38 @@ mod tests {
         assert_eq!(t.n, 4);
         let stacks = t.build_net_stacks();
         // 0 -> 3 goes 0 -> 1 -> 2 -> 3.
-        assert_eq!(
-            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)),
-            Some(Ipv4Addr::from_node_id(1))
-        );
-        assert_eq!(
-            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(3)),
-            Some(Ipv4Addr::from_node_id(2))
-        );
-        assert_eq!(
-            stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)),
-            Some(Ipv4Addr::from_node_id(1))
-        );
+        assert_eq!(stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)), Some(Ipv4Addr::from_node_id(1)));
+        assert_eq!(stacks[1].routes.next_hop(Ipv4Addr::from_node_id(3)), Some(Ipv4Addr::from_node_id(2)));
+        assert_eq!(stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(1)));
+    }
+
+    #[test]
+    fn grid_routes_x_first() {
+        // 3x2 grid: 0 1 2 / 3 4 5. From 0 to 5: row to 2, then down.
+        let t = Topology::grid(3, 2);
+        assert_eq!(t.n, 6);
+        let stacks = t.build_net_stacks();
+        assert_eq!(stacks[0].routes.next_hop(Ipv4Addr::from_node_id(5)), Some(Ipv4Addr::from_node_id(1)));
+        assert_eq!(stacks[2].routes.next_hop(Ipv4Addr::from_node_id(5)), Some(Ipv4Addr::from_node_id(5)));
+        // Reverse path: 5 walks its row back to column 0, then up.
+        assert_eq!(stacks[5].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(4)));
+        assert_eq!(stacks[3].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(0)));
+    }
+
+    #[test]
+    fn cross_routes_through_center() {
+        let t = Topology::cross();
+        assert_eq!(t.n, 5);
+        let stacks = t.build_net_stacks();
+        // West (0) reaches east (1) via the center (4).
+        assert_eq!(stacks[0].routes.next_hop(Ipv4Addr::from_node_id(1)), Some(Ipv4Addr::from_node_id(4)));
+        // The center delivers directly to every arm.
+        for arm in 0..4u16 {
+            assert_eq!(
+                stacks[4].routes.next_hop(Ipv4Addr::from_node_id(arm)),
+                Some(Ipv4Addr::from_node_id(arm))
+            );
+        }
     }
 
     #[test]
@@ -139,19 +209,10 @@ mod tests {
         let t = Topology::star();
         let stacks = t.build_net_stacks();
         // Server (2) reaches client (0) via center (1).
-        assert_eq!(
-            stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)),
-            Some(Ipv4Addr::from_node_id(1))
-        );
+        assert_eq!(stacks[2].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(1)));
         // Center delivers directly.
-        assert_eq!(
-            stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)),
-            Some(Ipv4Addr::from_node_id(0))
-        );
+        assert_eq!(stacks[1].routes.next_hop(Ipv4Addr::from_node_id(0)), Some(Ipv4Addr::from_node_id(0)));
         // Client reaches both servers via the center.
-        assert_eq!(
-            stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)),
-            Some(Ipv4Addr::from_node_id(1))
-        );
+        assert_eq!(stacks[0].routes.next_hop(Ipv4Addr::from_node_id(3)), Some(Ipv4Addr::from_node_id(1)));
     }
 }

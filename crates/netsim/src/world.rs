@@ -218,8 +218,7 @@ impl World {
         let airtime = frame.airtime(&self.profile).total();
         let (tx, edges) = self.medium.start_tx(node);
         for e in edges {
-            self.events
-                .schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
+            self.events.schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
         }
         self.in_flight.insert(tx, (node, frame));
         self.events.schedule_after(airtime, Event::TxEnd { tx, node });
@@ -228,8 +227,7 @@ impl World {
     fn on_tx_end(&mut self, tx: TxId, node: usize) {
         let (deliveries, edges) = self.medium.end_tx(tx);
         for e in edges {
-            self.events
-                .schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
+            self.events.schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
         }
         let (_, frame) = self.in_flight.remove(&tx).expect("unknown tx");
         // Tell the transmitter first (it arms its response timeout), then
@@ -358,4 +356,3 @@ impl World {
         }
     }
 }
-

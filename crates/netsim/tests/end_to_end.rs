@@ -91,12 +91,7 @@ fn udp_one_hop_flows() {
 fn udp_two_hop_aggregation_beats_na() {
     let na = UdpScenario::new(2, Policy::Na, Rate::R1_30, Duration::from_millis(12)).run();
     let ua = UdpScenario::new(2, Policy::Ua, Rate::R1_30, Duration::from_millis(12)).run();
-    assert!(
-        ua.goodput_bps > na.goodput_bps,
-        "UA {} must beat NA {}",
-        ua.goodput_bps,
-        na.goodput_bps
-    );
+    assert!(ua.goodput_bps > na.goodput_bps, "UA {} must beat NA {}", ua.goodput_bps, na.goodput_bps);
 }
 
 #[test]
@@ -131,11 +126,7 @@ fn runs_are_deterministic() {
 fn relay_aggregates_under_ba() {
     let r = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R2_60).run();
     let relay = r.report.relay();
-    assert!(
-        relay.avg_subframes > 1.5,
-        "relay should aggregate: avg {} subframes",
-        relay.avg_subframes
-    );
+    assert!(relay.avg_subframes > 1.5, "relay should aggregate: avg {} subframes", relay.avg_subframes);
     assert!(relay.avg_frame_size > 1500.0, "avg frame {}", relay.avg_frame_size);
 }
 
@@ -151,5 +142,36 @@ fn na_sends_single_subframe_frames() {
                 n.avg_subframes
             );
         }
+    }
+}
+
+#[test]
+fn grid_corner_to_corner_transfer_completes() {
+    use hydra_netsim::{ScenarioSpec, Traffic};
+    // 3x2 grid, corner-to-corner: 3 hops under x-first routing.
+    let mut spec = ScenarioSpec::tcp(TopologyKind::Grid { w: 3, h: 2 }, Policy::Ba, Rate::R2_60);
+    spec.traffic = Traffic::FileTransfer { bytes: 50 * 1024 };
+    let r = spec.run();
+    assert!(r.completed, "grid transfer did not complete");
+    assert!(r.throughput_bps > 20_000.0, "implausibly low {}", r.throughput_bps);
+    // The corner path's first relay (node 1) actually forwarded.
+    assert!(r.report.nodes[1].forwarded > 0, "node 1 forwarded nothing");
+}
+
+#[test]
+fn cross_runs_two_sessions_through_shared_relay() {
+    use hydra_netsim::{ScenarioSpec, Traffic};
+    let mut spec = ScenarioSpec::tcp(TopologyKind::Cross, Policy::Ba, Rate::R1_30);
+    spec.traffic = Traffic::FileTransfer { bytes: 30 * 1024 };
+    let r = spec.run();
+    assert!(r.completed, "cross transfers did not complete");
+    assert_eq!(r.per_flow_bps.len(), 2);
+    for t in &r.per_flow_bps {
+        assert!(*t > 10_000.0, "session throughput {t}");
+    }
+    // Only the center (node 4) relays; everything crosses it.
+    assert!(r.report.nodes[4].forwarded > 0);
+    for arm in 0..4 {
+        assert_eq!(r.report.nodes[arm].forwarded, 0, "arm {arm} should not forward");
     }
 }

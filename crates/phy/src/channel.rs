@@ -138,9 +138,7 @@ impl ChannelStack {
 
     /// The standard Hydra channel: AWGN + coherence staleness.
     pub fn hydra(profile: &PhyProfile) -> Self {
-        ChannelStack::new()
-            .with(AwgnChannel)
-            .with(CoherenceChannel::from_profile(profile))
+        ChannelStack::new().with(AwgnChannel).with(CoherenceChannel::from_profile(profile))
     }
 
     /// Adds a layer.

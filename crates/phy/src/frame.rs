@@ -149,12 +149,8 @@ mod tests {
 
     #[test]
     fn unknown_rate_code_falls_back_to_base() {
-        let phy_hdr = PhyHeader {
-            bcast_rate: RateCode(99),
-            ucast_rate: RateCode(99),
-            bcast_len: 0,
-            ucast_len: 650,
-        };
+        let phy_hdr =
+            PhyHeader { bcast_rate: RateCode(99), ucast_rate: RateCode(99), bcast_len: 0, ucast_len: 650 };
         let f = OnAirFrame::Aggregate { phy_hdr, psdu: vec![0; 650], slots: vec![] };
         assert_eq!(f.ucast_rate(&profile()), Rate::R0_65);
         // 650 B = 5200 bits at 0.65 = 8 ms.

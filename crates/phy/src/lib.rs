@@ -24,8 +24,8 @@ pub mod profile;
 pub mod rates;
 
 pub use channel::{
-    apply_channel, AwgnChannel, ChannelModel, ChannelStack, CoherenceChannel, FaultInjector,
-    IdealChannel, SubframeCtx,
+    apply_channel, AwgnChannel, ChannelModel, ChannelStack, CoherenceChannel, FaultInjector, IdealChannel,
+    SubframeCtx,
 };
 pub use frame::{Airtime, OnAirFrame};
 pub use medium::{BusyEdge, Delivery, Medium, TxId};

@@ -103,18 +103,15 @@ impl Medium {
         self.next_id += 1;
 
         let mut interfered = vec![false; self.n];
-        for r in 0..self.n {
+        for (r, slot) in interfered.iter_mut().enumerate() {
             if r == node {
                 continue;
             }
             // New reception at r is damaged if any other transmission is
             // already audible there, or r itself is mid-transmission.
-            let overlapped = self
-                .active
-                .iter()
-                .any(|a| a.tx_node == r || self.in_range[a.tx_node][r]);
+            let overlapped = self.active.iter().any(|a| a.tx_node == r || self.in_range[a.tx_node][r]);
             if overlapped && self.in_range[node][r] {
-                interfered[r] = true;
+                *slot = true;
             }
         }
         // The new transmission damages ongoing receptions where it is audible,
@@ -147,11 +144,7 @@ impl Medium {
 
     /// Ends a transmission: returns deliveries and carrier-sense edges.
     pub fn end_tx(&mut self, id: TxId) -> (Vec<Delivery>, Vec<BusyEdge>) {
-        let idx = self
-            .active
-            .iter()
-            .position(|a| a.id == id)
-            .expect("end_tx for unknown transmission");
+        let idx = self.active.iter().position(|a| a.id == id).expect("end_tx for unknown transmission");
         let tx = self.active.remove(idx);
 
         let mut deliveries = Vec::new();

@@ -27,10 +27,7 @@ struct Entry<E> {
 // breaking ties by sequence number (earlier insertion pops first).
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Entry<E> {
@@ -62,12 +59,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at t = 0.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: Instant::ZERO,
-            scheduled_total: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO, scheduled_total: 0 }
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -82,11 +74,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the current time — scheduling into the past
     /// is always a logic error in a DES.
     pub fn schedule_at(&mut self, at: Instant, payload: E) -> EventId {
-        assert!(
-            at >= self.now,
-            "scheduling into the past: at={at} now={}",
-            self.now
-        );
+        assert!(at >= self.now, "scheduling into the past: at={at} now={}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;

@@ -27,7 +27,7 @@ pub mod timer;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
-pub use rng::Rng;
+pub use rng::{stream_seed, Rng};
 pub use stats::{Running, TimeLedger};
 pub use time::{Duration, Instant};
 pub use timer::{TimerSet, TimerToken};

@@ -38,9 +38,7 @@ impl Rng {
     /// Next raw 64 bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = (self.s[0].wrapping_add(self.s[3]))
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -104,6 +102,29 @@ impl Rng {
     /// Picks a uniformly random element index for a slice of length `len`.
     pub fn index(&mut self, len: usize) -> usize {
         self.below(len as u64) as usize
+    }
+}
+
+/// Derives a 64-bit seed for a named sub-stream of a root seed.
+///
+/// This is the stateless counterpart of [`Rng::fork`]: experiment
+/// harnesses use it to give every `(scenario, replication)` pair its own
+/// uncorrelated RNG stream — `stream_seed(spec_hash, replication)` — so
+/// that runs can execute in any order (or on any thread) and still draw
+/// exactly the same random sequence. Mixing goes through two SplitMix64
+/// rounds so that nearby `(root, stream)` pairs decorrelate fully.
+pub fn stream_seed(root: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64 { state: root };
+    let a = sm.next();
+    let mut sm2 = SplitMix64 { state: a ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+    sm2.next()
+}
+
+impl Rng {
+    /// Creates the deterministic generator for sub-stream `stream` of
+    /// `root`. See [`stream_seed`].
+    pub fn for_stream(root: u64, stream: u64) -> Rng {
+        Rng::seed_from_u64(stream_seed(root, stream))
     }
 }
 
@@ -239,6 +260,27 @@ mod tests {
         let pa: Vec<u64> = (0..8).map(|_| child_a.next_u64()).collect();
         let pb: Vec<u64> = (0..8).map(|_| child_b.next_u64()).collect();
         assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn stream_seed_is_deterministic_and_sensitive_to_both_inputs() {
+        assert_eq!(stream_seed(7, 3), stream_seed(7, 3));
+        assert_ne!(stream_seed(7, 3), stream_seed(7, 4));
+        assert_ne!(stream_seed(7, 3), stream_seed(8, 3));
+        // Streams of the same root must not collide for small indices.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..1000u64 {
+            assert!(seen.insert(stream_seed(42, s)), "collision at stream {s}");
+        }
+    }
+
+    #[test]
+    fn for_stream_matches_seeding_with_stream_seed() {
+        let mut a = Rng::for_stream(99, 5);
+        let mut b = Rng::seed_from_u64(stream_seed(99, 5));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -109,26 +109,17 @@ impl TimeLedger {
 
     /// Total for one category (zero if absent).
     pub fn get(&self, category: &str) -> Duration {
-        self.categories
-            .iter()
-            .find(|(n, _)| *n == category)
-            .map(|(_, d)| *d)
-            .unwrap_or(Duration::ZERO)
+        self.categories.iter().find(|(n, _)| *n == category).map(|(_, d)| *d).unwrap_or(Duration::ZERO)
     }
 
     /// Sum over all categories.
     pub fn total(&self) -> Duration {
-        self.categories
-            .iter()
-            .fold(Duration::ZERO, |acc, (_, d)| acc + *d)
+        self.categories.iter().fold(Duration::ZERO, |acc, (_, d)| acc + *d)
     }
 
     /// Sum over all categories except `excluded`.
     pub fn total_except(&self, excluded: &str) -> Duration {
-        self.categories
-            .iter()
-            .filter(|(n, _)| *n != excluded)
-            .fold(Duration::ZERO, |acc, (_, d)| acc + *d)
+        self.categories.iter().filter(|(n, _)| *n != excluded).fold(Duration::ZERO, |acc, (_, d)| acc + *d)
     }
 
     /// Iterates `(category, total)` pairs in first-use order.

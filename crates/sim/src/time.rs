@@ -68,10 +68,7 @@ impl Instant {
     /// Panics if `earlier` is later than `self`; the simulator never asks
     /// for a negative elapsed time, so this indicates a scheduling bug.
     pub fn duration_since(&self, earlier: Instant) -> Duration {
-        assert!(
-            earlier.nanos <= self.nanos,
-            "duration_since: earlier ({earlier}) is after self ({self})"
-        );
+        assert!(earlier.nanos <= self.nanos, "duration_since: earlier ({earlier}) is after self ({self})");
         Duration::from_nanos(self.nanos - earlier.nanos)
     }
 
@@ -102,11 +99,7 @@ impl Instant {
 impl Add<Duration> for Instant {
     type Output = Instant;
     fn add(self, rhs: Duration) -> Instant {
-        Instant::from_nanos(
-            self.nanos
-                .checked_add(rhs.as_nanos())
-                .expect("Instant overflow"),
-        )
+        Instant::from_nanos(self.nanos.checked_add(rhs.as_nanos()).expect("Instant overflow"))
     }
 }
 
@@ -119,11 +112,7 @@ impl AddAssign<Duration> for Instant {
 impl Sub<Duration> for Instant {
     type Output = Instant;
     fn sub(self, rhs: Duration) -> Instant {
-        Instant::from_nanos(
-            self.nanos
-                .checked_sub(rhs.as_nanos())
-                .expect("Instant underflow"),
-        )
+        Instant::from_nanos(self.nanos.checked_sub(rhs.as_nanos()).expect("Instant underflow"))
     }
 }
 
@@ -248,8 +237,7 @@ impl Duration {
     pub fn for_bits(bits: u64, bits_per_sec: u64) -> Duration {
         assert!(bits_per_sec > 0, "zero rate");
         // nanos = ceil(bits * 1e9 / rate); use u128 to avoid overflow.
-        let nanos = ((bits as u128) * 1_000_000_000u128 + (bits_per_sec as u128 - 1))
-            / bits_per_sec as u128;
+        let nanos = ((bits as u128) * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
         Duration::from_nanos(nanos as u64)
     }
 }

@@ -235,10 +235,7 @@ impl Connection {
     }
 
     fn recv_window(&self) -> u16 {
-        self.cfg
-            .recv_buffer
-            .saturating_sub(self.rx_buf.len())
-            .min(u16::MAX as usize) as u16
+        self.cfg.recv_buffer.saturating_sub(self.rx_buf.len()).min(u16::MAX as usize) as u16
     }
 
     fn flight_size(&self) -> u32 {
@@ -251,7 +248,8 @@ impl Connection {
 
     /// Buffers application data; returns bytes accepted.
     pub fn send(&mut self, data: &[u8]) -> usize {
-        if self.app_closed || matches!(self.state, TcpState::Closed | TcpState::TimeWait | TcpState::LastAck) {
+        if self.app_closed || matches!(self.state, TcpState::Closed | TcpState::TimeWait | TcpState::LastAck)
+        {
             return 0;
         }
         let n = data.len().min(self.send_capacity());
@@ -429,7 +427,7 @@ impl Connection {
                 self.stats.retransmits += 1;
                 self.stats.segments_sent += 1;
                 self.arm_rtx(now);
-                let repr = self.make_repr(seq::add(self.snd_nxt, usize::MAX as usize), TcpFlags::ACK);
+                let repr = self.make_repr(seq::add(self.snd_nxt, usize::MAX), TcpFlags::ACK);
                 // snd_nxt already includes the FIN; its seq is snd_nxt - 1.
                 let fin_seq = self.snd_nxt.wrapping_sub(1);
                 let mut repr = TcpRepr { seq: fin_seq, ..repr };
@@ -670,7 +668,9 @@ impl Connection {
                 if self.cwnd < self.ssthresh {
                     self.cwnd = self.cwnd.saturating_add(mss);
                 } else {
-                    self.cwnd = self.cwnd.saturating_add(((mss as u64 * mss as u64) / self.cwnd.max(1) as u64).max(1) as u32);
+                    self.cwnd = self
+                        .cwnd
+                        .saturating_add(((mss as u64 * mss as u64) / self.cwnd.max(1) as u64).max(1) as u32);
                 }
             }
 
@@ -690,10 +690,7 @@ impl Connection {
                     _ => {}
                 }
             }
-        } else if ack == self.snd_una
-            && self.flight_size() > 0
-            && repr.flags == TcpFlags::ACK
-        {
+        } else if ack == self.snd_una && self.flight_size() > 0 && repr.flags == TcpFlags::ACK {
             // Duplicate ACK.
             self.stats.dup_acks_received += 1;
             self.dup_acks += 1;

@@ -69,7 +69,9 @@ impl TcpStack {
         let from = Endpoint::new(ip.src, repr.src_port);
         // Exact 4-tuple match first.
         if let Some(c) = self.sockets.iter_mut().find(|c| {
-            c.local().port == repr.dst_port && c.remote() == from && !matches!(c.state(), crate::TcpState::Listen)
+            c.local().port == repr.dst_port
+                && c.remote() == from
+                && !matches!(c.state(), crate::TcpState::Listen)
         }) {
             c.on_segment(now, repr, payload);
             return;

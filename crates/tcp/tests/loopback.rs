@@ -62,10 +62,8 @@ impl Pipe {
         }
         // Advance to the next event: wire delivery or timer.
         let mut next: Option<Instant> = self.wire.iter().map(|(t, ..)| *t).min();
-        for t in [self.a.poll_timeout(), self.b.poll_timeout()] {
-            if let Some(t) = t {
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
+        for t in [self.a.poll_timeout(), self.b.poll_timeout()].into_iter().flatten() {
+            next = Some(next.map_or(t, |n| n.min(t)));
         }
         let Some(next) = next else { return progressed };
         self.now = self.now.max(next);
@@ -245,19 +243,42 @@ fn out_of_order_segments_reassemble() {
     let now = Instant::ZERO;
     // Handshake by hand.
     use hydra_wire::tcp::TcpFlags;
-    b.on_segment(now, &TcpRepr { src_port: 1, dst_port: 2, seq: 1000, ack: 0, flags: TcpFlags::SYN, window: 65000 }, &[]);
+    b.on_segment(
+        now,
+        &TcpRepr { src_port: 1, dst_port: 2, seq: 1000, ack: 0, flags: TcpFlags::SYN, window: 65000 },
+        &[],
+    );
     let (synack, _) = b.poll_transmit(now).expect("syn-ack");
     assert!(synack.flags.contains(TcpFlags::SYN));
-    b.on_segment(now, &TcpRepr { src_port: 1, dst_port: 2, seq: 1001, ack: synack.seq.wrapping_add(1), flags: TcpFlags::ACK, window: 65000 }, &[]);
+    b.on_segment(
+        now,
+        &TcpRepr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 1001,
+            ack: synack.seq.wrapping_add(1),
+            flags: TcpFlags::ACK,
+            window: 65000,
+        },
+        &[],
+    );
     assert_eq!(b.state(), TcpState::Established);
 
     // Deliver segment 2 before segment 1.
-    b.on_segment(now, &TcpRepr { src_port: 1, dst_port: 2, seq: 1001 + 5, ack: 0, flags: TcpFlags::ACK, window: 65000 }, b"WORLD");
+    b.on_segment(
+        now,
+        &TcpRepr { src_port: 1, dst_port: 2, seq: 1001 + 5, ack: 0, flags: TcpFlags::ACK, window: 65000 },
+        b"WORLD",
+    );
     assert!(b.recv_drain().is_empty(), "gap: nothing deliverable yet");
     // The dup-ACK it generates must re-assert rcv_nxt = 1001.
     let (dup, _) = b.poll_transmit(now).expect("dup ack");
     assert_eq!(dup.ack, 1001);
-    b.on_segment(now, &TcpRepr { src_port: 1, dst_port: 2, seq: 1001, ack: 0, flags: TcpFlags::ACK, window: 65000 }, b"HELLO");
+    b.on_segment(
+        now,
+        &TcpRepr { src_port: 1, dst_port: 2, seq: 1001, ack: 0, flags: TcpFlags::ACK, window: 65000 },
+        b"HELLO",
+    );
     assert_eq!(b.recv_drain(), b"HELLOWORLD");
     let (ack, _) = b.poll_transmit(now).expect("cumulative ack");
     assert_eq!(ack.ack, 1001 + 10);

@@ -117,10 +117,7 @@ impl FromStr for Ipv4Addr {
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for o in octets.iter_mut() {
-            *o = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .ok_or(WireError::Malformed)?;
+            *o = parts.next().and_then(|p| p.parse().ok()).ok_or(WireError::Malformed)?;
         }
         if parts.next().is_some() {
             return Err(WireError::Malformed);

@@ -103,7 +103,11 @@ impl AggregateBuilder {
     }
 
     /// Finalizes into (PHY header, PSDU bytes, per-subframe slots).
-    pub fn finish(self, bcast_rate: RateCode, ucast_rate: RateCode) -> (PhyHeader, Vec<u8>, Vec<SubframeSlot>) {
+    pub fn finish(
+        self,
+        bcast_rate: RateCode,
+        ucast_rate: RateCode,
+    ) -> (PhyHeader, Vec<u8>, Vec<SubframeSlot>) {
         let hdr = PhyHeader {
             bcast_rate,
             ucast_rate,
@@ -177,12 +181,7 @@ fn parse_portion<'a>(portion: &'a [u8], base: usize, which: Portion, out: &mut V
         let bytes = &portion[at..at + on_air];
         let sub = Subframe::new_unchecked(bytes);
         let fcs_ok = sub.check_len().is_ok() && sub.verify_fcs();
-        out.push(ParsedSubframe {
-            portion: which,
-            bytes,
-            range: base + at..base + at + on_air,
-            fcs_ok,
-        });
+        out.push(ParsedSubframe { portion: which, bytes, range: base + at..base + at + on_air, fcs_ok });
         at += on_air;
     }
 }

@@ -77,7 +77,8 @@ mod tests {
 
     #[test]
     fn verifies_to_zero_with_checksum_inserted() {
-        let mut header = vec![0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut header =
+            vec![0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
         let ck = checksum(&header);
         header[10] = (ck >> 8) as u8;
         header[11] = ck as u8;

@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn sizes_match_80211() {
-        let rts = ControlFrame::Rts { duration_us: 100, ra: MacAddr::from_node_id(1), ta: MacAddr::from_node_id(2) };
+        let rts = ControlFrame::Rts {
+            duration_us: 100,
+            ra: MacAddr::from_node_id(1),
+            ta: MacAddr::from_node_id(2),
+        };
         let cts = ControlFrame::Cts { duration_us: 80, ra: MacAddr::from_node_id(2) };
         let ack = ControlFrame::Ack { duration_us: 0, ra: MacAddr::from_node_id(1) };
         assert_eq!(rts.to_bytes().len(), 20);
@@ -193,11 +197,7 @@ mod tests {
 
     #[test]
     fn block_ack_roundtrip() {
-        let ba = ControlFrame::BlockAck {
-            duration_us: 0,
-            ra: MacAddr::from_node_id(2),
-            bitmap: 0b1011,
-        };
+        let ba = ControlFrame::BlockAck { duration_us: 0, ra: MacAddr::from_node_id(2), bitmap: 0b1011 };
         let bytes = ba.to_bytes();
         assert_eq!(bytes.len(), BLOCK_ACK_LEN);
         assert_eq!(ControlFrame::parse(&bytes).unwrap(), ba);
@@ -206,7 +206,11 @@ mod tests {
     #[test]
     fn roundtrip_all_kinds() {
         let frames = [
-            ControlFrame::Rts { duration_us: 4321, ra: MacAddr::from_node_id(7), ta: MacAddr::from_node_id(8) },
+            ControlFrame::Rts {
+                duration_us: 4321,
+                ra: MacAddr::from_node_id(7),
+                ta: MacAddr::from_node_id(8),
+            },
             ControlFrame::Cts { duration_us: 999, ra: MacAddr::from_node_id(7) },
             ControlFrame::Ack { duration_us: 0, ra: MacAddr::from_node_id(9) },
             ControlFrame::BlockAck { duration_us: 0, ra: MacAddr::from_node_id(9), bitmap: u64::MAX },
@@ -242,7 +246,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let rts = ControlFrame::Rts { duration_us: 55, ra: MacAddr::from_node_id(3), ta: MacAddr::from_node_id(4) };
+        let rts =
+            ControlFrame::Rts { duration_us: 55, ra: MacAddr::from_node_id(3), ta: MacAddr::from_node_id(4) };
         assert_eq!(rts.ra(), MacAddr::from_node_id(3));
         assert_eq!(rts.duration_us(), 55);
         assert_eq!(rts.on_air_len(), RTS_LEN);

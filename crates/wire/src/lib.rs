@@ -40,8 +40,7 @@ pub mod udp;
 pub use addr::{Endpoint, Ipv4Addr, MacAddr};
 pub use aggregate::{parse_aggregate, AggregateBuilder, ParsedSubframe, Portion, SubframeSlot};
 pub use builder::{
-    build_raw_packet, build_tcp_packet, build_udp_packet, is_pure_tcp_ack, parse_mpdu_payload,
-    ParsedMpdu, L4,
+    build_raw_packet, build_tcp_packet, build_udp_packet, is_pure_tcp_ack, parse_mpdu_payload, ParsedMpdu, L4,
 };
 pub use control::ControlFrame;
 pub use encap::{EncapProto, EncapRepr};

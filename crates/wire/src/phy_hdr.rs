@@ -89,12 +89,8 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let h = PhyHeader {
-            bcast_rate: RateCode(0),
-            ucast_rate: RateCode(3),
-            bcast_len: 480,
-            ucast_len: 4392,
-        };
+        let h =
+            PhyHeader { bcast_rate: RateCode(0), ucast_rate: RateCode(3), bcast_len: 480, ucast_len: 4392 };
         let bytes = h.to_bytes();
         assert_eq!(bytes.len(), PHY_HDR_LEN);
         assert_eq!(PhyHeader::parse(&bytes).unwrap(), h);

@@ -366,9 +366,9 @@ mod tests {
         // Tiny payloads are padded to the 160-byte floor.
         assert_eq!(SubframeRepr::on_air_len(0), MIN_SUBFRAME);
         assert_eq!(SubframeRepr::on_air_len(77), 160); // pure TCP ACK: 26+77+4=107 -> 160
-        // Just above the floor: align to 4.
+                                                       // Just above the floor: align to 4.
         assert_eq!(SubframeRepr::on_air_len(131), 164); // 26+131+4=161 -> 164
-        // Large payloads: exact alignment.
+                                                        // Large payloads: exact alignment.
         assert_eq!(SubframeRepr::on_air_len(1434), 1464); // TCP data frame
     }
 
@@ -418,10 +418,7 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        assert_eq!(
-            Subframe::new_checked(&[0u8; 10][..]).err(),
-            Some(WireError::Truncated)
-        );
+        assert_eq!(Subframe::new_checked(&[0u8; 10][..]).err(), Some(WireError::Truncated));
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn main() {
         }
         let na = na.run();
         let ba = ba.run();
-        let label = if flood_ms == 0 { "none".to_string() } else { format!("{:.2}s", flood_ms as f64 / 1000.0) };
+        let label =
+            if flood_ms == 0 { "none".to_string() } else { format!("{:.2}s", flood_ms as f64 / 1000.0) };
         println!(
             "{:>16} | {:>10.3} | {:>10.3} | {:>5.1}%",
             label,

@@ -12,7 +12,9 @@ use hydra_agg::phy::{OnAirFrame, PhyProfile, Rate};
 use hydra_agg::wire::aggregate::AggregateBuilder;
 use hydra_agg::wire::subframe::{FrameType, SubframeRepr};
 use hydra_agg::wire::tcp::{TcpFlags, TcpRepr};
-use hydra_agg::wire::{build_tcp_packet, is_pure_tcp_ack, parse_aggregate, EncapProto, EncapRepr, Ipv4Addr, MacAddr};
+use hydra_agg::wire::{
+    build_tcp_packet, is_pure_tcp_ack, parse_aggregate, EncapProto, EncapRepr, Ipv4Addr, MacAddr,
+};
 
 fn main() {
     let server = MacAddr::from_node_id(0);
@@ -20,14 +22,17 @@ fn main() {
     let client = MacAddr::from_node_id(2);
 
     // Three pure TCP ACKs (client -> server, next hop = server from the relay).
-    let ack_repr = TcpRepr { src_port: 5001, dst_port: 6001, seq: 1, ack: 4072, flags: TcpFlags::ACK, window: 65000 };
+    let ack_repr =
+        TcpRepr { src_port: 5001, dst_port: 6001, seq: 1, ack: 4072, flags: TcpFlags::ACK, window: 65000 };
     let encap = EncapRepr { proto: EncapProto::Ipv4, src_node: 2, dst_node: 0, packet_id: 7 };
-    let ack_payload = build_tcp_packet(encap, Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(0), 63, &ack_repr, &[]);
+    let ack_payload =
+        build_tcp_packet(encap, Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(0), 63, &ack_repr, &[]);
     println!("pure TCP ACK MPDU payload: {} B (shim 37 + IP 20 + TCP 20)", ack_payload.len());
     println!("classifier verdict: is_pure_tcp_ack = {}\n", is_pure_tcp_ack(&ack_payload));
 
     // Three MSS data segments (server -> client).
-    let data_repr = TcpRepr { src_port: 6001, dst_port: 5001, seq: 4072, ack: 1, flags: TcpFlags::ACK, window: 65000 };
+    let data_repr =
+        TcpRepr { src_port: 6001, dst_port: 5001, seq: 4072, ack: 1, flags: TcpFlags::ACK, window: 65000 };
     let data_payload = build_tcp_packet(
         EncapRepr { proto: EncapProto::Ipv4, src_node: 0, dst_node: 2, packet_id: 41 },
         Ipv4Addr::from_node_id(0),
@@ -67,7 +72,12 @@ fn main() {
     let (phy_hdr, psdu, slots) = builder.finish(Rate::R0_65.code(), Rate::R2_60.code());
 
     println!("PHY header (paper Figure 2): {:?}", phy_hdr);
-    println!("PSDU: {} B total = {} broadcast + {} unicast\n", psdu.len(), phy_hdr.bcast_len, phy_hdr.ucast_len);
+    println!(
+        "PSDU: {} B total = {} broadcast + {} unicast\n",
+        psdu.len(),
+        phy_hdr.bcast_len,
+        phy_hdr.ucast_len
+    );
 
     for (i, s) in slots.iter().enumerate() {
         println!(
@@ -98,8 +108,14 @@ fn main() {
     let profile = PhyProfile::hydra();
     let frame = OnAirFrame::Aggregate { phy_hdr, psdu, slots };
     let air = frame.airtime(&profile);
-    println!("\nairtime: preamble {} + PHY hdr {} + bcast {} + ucast {} = {}",
-        air.preamble, air.phy_header, air.bcast, air.ucast, air.total());
+    println!(
+        "\nairtime: preamble {} + PHY hdr {} + bcast {} + ucast {} = {}",
+        air.preamble,
+        air.phy_header,
+        air.bcast,
+        air.ucast,
+        air.total()
+    );
     println!(
         "PSDU samples: {} of the ~{} Ksample coherence budget",
         frame.psdu_samples(&profile),

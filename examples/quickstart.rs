@@ -18,9 +18,8 @@ fn main() {
         let result = TcpScenario::new(TopologyKind::Linear(2), policy, rate).run();
         assert!(result.completed, "transfer did not finish");
         let mbps = result.throughput_bps / 1e6;
-        let gain = baseline
-            .map(|b: f64| format!(" ({:+.1}% vs NA)", (mbps / b - 1.0) * 100.0))
-            .unwrap_or_default();
+        let gain =
+            baseline.map(|b: f64| format!(" ({:+.1}% vs NA)", (mbps / b - 1.0) * 100.0)).unwrap_or_default();
         baseline.get_or_insert(mbps);
         let relay = result.report.relay();
         println!(

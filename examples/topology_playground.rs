@@ -23,11 +23,8 @@ fn main() {
     // deeper aggregation (a DBA variant the paper suggests for relays).
     let world_cfg = |node: usize| {
         let mut cfg = MacConfig::hydra(Rate::R2_60);
-        cfg.agg = if node > 0 && node < hops {
-            AggPolicy::delayed_broadcast()
-        } else {
-            AggPolicy::broadcast()
-        };
+        cfg.agg =
+            if node > 0 && node < hops { AggPolicy::delayed_broadcast() } else { AggPolicy::broadcast() };
         cfg
     };
     let mut world = World::new(&topo, profile, channel, 42, world_cfg);

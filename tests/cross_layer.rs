@@ -16,12 +16,7 @@ fn ack_classification_only_under_ba() {
     ] {
         let r = TcpScenario::new(TopologyKind::Linear(2), policy, Rate::R1_30).run();
         let classified: u64 = r.report.nodes.iter().map(|n| n.acks_classified).sum();
-        assert_eq!(
-            classified > 0,
-            expect_classified,
-            "{}: classified={classified}",
-            policy.name()
-        );
+        assert_eq!(classified > 0, expect_classified, "{}: classified={classified}", policy.name());
     }
 }
 
@@ -31,11 +26,7 @@ fn every_data_segment_yields_a_pure_ack() {
     let r = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).run();
     let client = &r.report.nodes[2];
     // ~151 data segments -> the client must classify roughly that many ACKs.
-    assert!(
-        client.acks_classified >= 140,
-        "client classified only {} ACKs",
-        client.acks_classified
-    );
+    assert!(client.acks_classified >= 140, "client classified only {} ACKs", client.acks_classified);
 }
 
 #[test]

@@ -71,8 +71,7 @@ fn fault_injected_runs_replay_exactly() {
     let a = run();
     let b = run();
     assert_eq!(a.throughput_bps, b.throughput_bps);
-    let retries = |r: &hydra_agg::netsim::TcpRunResult| -> u64 {
-        r.report.nodes.iter().map(|n| n.retries).sum()
-    };
+    let retries =
+        |r: &hydra_agg::netsim::TcpRunResult| -> u64 { r.report.nodes.iter().map(|n| n.retries).sum() };
     assert_eq!(retries(&a), retries(&b));
 }

@@ -60,10 +60,7 @@ fn claim_more_hops_increase_ba_benefit() {
     let gap2 = avg(TopologyKind::Linear(2), Policy::Ba) / avg(TopologyKind::Linear(2), Policy::Ua);
     let gap3 = avg(TopologyKind::Linear(3), Policy::Ba) / avg(TopologyKind::Linear(3), Policy::Ua);
     assert!(gap3 > 1.0, "3-hop BA must beat 3-hop UA: ratio {gap3:.3}");
-    assert!(
-        gap3 > gap2 - 0.05,
-        "3-hop BA/UA ratio ({gap3:.3}) should not fall far below 2-hop ({gap2:.3})"
-    );
+    assert!(gap3 > gap2 - 0.05, "3-hop BA/UA ratio ({gap3:.3}) should not fall far below 2-hop ({gap2:.3})");
 }
 
 #[test]
@@ -75,7 +72,10 @@ fn claim_star_congestion_favors_ba() {
     let avg = |policy| {
         let mut sum = 0.0;
         for seed in 1..=8 {
-            sum += TcpScenario::new(TopologyKind::Star, policy, Rate::R2_60).with_seed(seed).run().throughput_bps;
+            sum += TcpScenario::new(TopologyKind::Star, policy, Rate::R2_60)
+                .with_seed(seed)
+                .run()
+                .throughput_bps;
         }
         sum / 8.0
     };
@@ -141,11 +141,7 @@ fn claim_fixed_slow_broadcast_rate_drags_ba_below_ua() {
 fn claim_relay_transmission_count_shrinks_in_paper_order() {
     // Paper Table 3: TXs NA(100%) > UA > BA >= DBA.
     let tx = |p: Policy| {
-        TcpScenario::new(TopologyKind::Linear(2), p, Rate::R1_30)
-            .run()
-            .report
-            .relay()
-            .tx_data_frames
+        TcpScenario::new(TopologyKind::Linear(2), p, Rate::R1_30).run().report.relay().tx_data_frames
     };
     let na = tx(Policy::Na);
     let ua = tx(Policy::Ua);
@@ -159,10 +155,7 @@ fn claim_time_overhead_ordering_matches_table4() {
     // Paper Table 4: overhead NA >> UA > BA at every rate, and overhead
     // grows with rate for every policy.
     let ovh = |p: Policy, r: Rate| {
-        TcpScenario::new(TopologyKind::Linear(2), p, r)
-            .run()
-            .report
-            .time_overhead_pct(1)
+        TcpScenario::new(TopologyKind::Linear(2), p, r).run().report.time_overhead_pct(1)
     };
     for rate in [Rate::R0_65, Rate::R2_60] {
         let na = ovh(Policy::Na, rate);

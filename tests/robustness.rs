@@ -66,10 +66,7 @@ fn block_ack_outperforms_normal_ack_under_corruption() {
     };
     let normal = run(AckPolicy::Normal);
     let block = run(AckPolicy::Block);
-    assert!(
-        block > normal,
-        "block ACK should win under corruption: {block:.0} vs {normal:.0}"
-    );
+    assert!(block > normal, "block ACK should win under corruption: {block:.0} vs {normal:.0}");
 }
 
 #[test]
