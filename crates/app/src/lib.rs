@@ -17,4 +17,4 @@ pub mod udp;
 
 pub use file::{FileReceiver, FileSender, PAPER_FILE_BYTES};
 pub use flood::{FloodSink, Flooder};
-pub use udp::{UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};
+pub use udp::{PortStats, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};

@@ -84,14 +84,19 @@ impl UdpCbr {
     }
 }
 
-/// A sink recording goodput.
-#[derive(Debug, Default)]
-pub struct UdpSink {
+/// Per-destination-port receive statistics of a [`UdpSink`].
+///
+/// One sink node can terminate several flows (distinct ports); keeping
+/// the counters — and the duplicate-detection window — per port keeps
+/// concurrent flows from corrupting each other's stats (both start at
+/// sequence 0).
+#[derive(Debug, Default, Clone)]
+pub struct PortStats {
     /// Datagrams received.
     pub packets: u64,
     /// Payload bytes received.
     pub bytes: u64,
-    /// Distinct sequence numbers seen (duplicates detected).
+    /// Duplicate datagrams detected (and excluded from the counts).
     pub duplicates: u64,
     /// Highest sequence number seen + 1.
     pub highest_seq: u32,
@@ -102,19 +107,13 @@ pub struct UdpSink {
     seen_window: std::collections::VecDeque<u32>,
 }
 
-impl UdpSink {
-    /// Creates a sink.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one received datagram.
-    pub fn on_datagram(&mut self, now: Instant, payload: &[u8]) {
+impl PortStats {
+    fn on_datagram(&mut self, now: Instant, payload: &[u8]) -> bool {
         if payload.len() >= 4 {
             let seq = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
             if self.seen_window.contains(&seq) {
                 self.duplicates += 1;
-                return;
+                return false;
             }
             if self.seen_window.len() >= 128 {
                 self.seen_window.pop_front();
@@ -128,9 +127,56 @@ impl UdpSink {
             self.first_rx = Some(now);
         }
         self.last_rx = Some(now);
+        true
+    }
+}
+
+/// A sink recording goodput, overall and per destination port.
+#[derive(Debug, Default)]
+pub struct UdpSink {
+    /// Datagrams received (all ports).
+    pub packets: u64,
+    /// Payload bytes received (all ports).
+    pub bytes: u64,
+    /// Duplicates detected (all ports).
+    pub duplicates: u64,
+    /// Per-destination-port statistics, in deterministic port order.
+    ports: std::collections::BTreeMap<u16, PortStats>,
+}
+
+impl UdpSink {
+    /// Creates a sink.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Application-level throughput in bits/s over `window`.
+    /// Records one datagram received on destination port `dst_port`.
+    pub fn on_datagram(&mut self, now: Instant, dst_port: u16, payload: &[u8]) {
+        let port = self.ports.entry(dst_port).or_default();
+        if port.on_datagram(now, payload) {
+            self.packets += 1;
+            self.bytes += payload.len() as u64;
+        } else {
+            self.duplicates += 1;
+        }
+    }
+
+    /// Statistics for one destination port, if anything arrived there.
+    pub fn port(&self, dst_port: u16) -> Option<&PortStats> {
+        self.ports.get(&dst_port)
+    }
+
+    /// Payload bytes received on one destination port.
+    pub fn port_bytes(&self, dst_port: u16) -> u64 {
+        self.ports.get(&dst_port).map_or(0, |p| p.bytes)
+    }
+
+    /// Ports that received traffic, ascending.
+    pub fn active_ports(&self) -> impl Iterator<Item = u16> + '_ {
+        self.ports.keys().copied()
+    }
+
+    /// Application-level throughput in bits/s over `window`, all ports.
     pub fn throughput_bps(&self, window: Duration) -> f64 {
         if window.is_zero() {
             return 0.0;
@@ -190,15 +236,39 @@ mod tests {
     fn sink_counts_and_dedups() {
         let mut sink = UdpSink::new();
         let mut p = vec![0u8; 100];
-        sink.on_datagram(Instant::from_millis(1), &p);
-        sink.on_datagram(Instant::from_millis(2), &p); // duplicate seq 0
+        sink.on_datagram(Instant::from_millis(1), 9000, &p);
+        sink.on_datagram(Instant::from_millis(2), 9000, &p); // duplicate seq 0
         p[..4].copy_from_slice(&1u32.to_be_bytes());
-        sink.on_datagram(Instant::from_millis(3), &p);
+        sink.on_datagram(Instant::from_millis(3), 9000, &p);
         assert_eq!(sink.packets, 2);
         assert_eq!(sink.duplicates, 1);
         assert_eq!(sink.bytes, 200);
-        assert_eq!(sink.first_rx, Some(Instant::from_millis(1)));
-        assert_eq!(sink.last_rx, Some(Instant::from_millis(3)));
+        let port = sink.port(9000).unwrap();
+        assert_eq!(port.first_rx, Some(Instant::from_millis(1)));
+        assert_eq!(port.last_rx, Some(Instant::from_millis(3)));
+    }
+
+    #[test]
+    fn sink_keeps_flows_sharing_a_node_separate() {
+        // Two flows into one node, both starting at sequence 0: the
+        // second flow's packets must not register as duplicates, and the
+        // per-port counters must split the bytes correctly.
+        let mut sink = UdpSink::new();
+        let p = vec![0u8; 100]; // seq 0
+        sink.on_datagram(Instant::from_millis(1), 9000, &p);
+        sink.on_datagram(Instant::from_millis(2), 9001, &p);
+        let mut q = vec![0u8; 50];
+        q[..4].copy_from_slice(&1u32.to_be_bytes());
+        sink.on_datagram(Instant::from_millis(3), 9001, &q);
+        assert_eq!(sink.duplicates, 0, "flows must not collide in the dedup window");
+        assert_eq!(sink.packets, 3);
+        assert_eq!(sink.bytes, 250);
+        assert_eq!(sink.port_bytes(9000), 100);
+        assert_eq!(sink.port_bytes(9001), 150);
+        assert_eq!(sink.port(9001).unwrap().packets, 2);
+        assert_eq!(sink.port(9001).unwrap().highest_seq, 2);
+        assert_eq!(sink.active_ports().collect::<Vec<_>>(), vec![9000, 9001]);
+        assert_eq!(sink.port_bytes(1234), 0);
     }
 
     #[test]

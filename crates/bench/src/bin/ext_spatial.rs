@@ -1,0 +1,8 @@
+//! Regenerates the spatial-medium extension tables (spatial reuse on
+//! long chains + the RTS/CTS hidden-terminal crossover); see
+//! hydra_bench::experiments.
+fn main() {
+    for t in hydra_bench::experiments::ext_spatial(hydra_bench::experiments::Opts::default()) {
+        t.print();
+    }
+}

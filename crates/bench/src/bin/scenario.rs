@@ -9,13 +9,21 @@
 //!     [--policy na|ua|ba|dba|ba-nofwd]
 //!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N] [--threads N]
 //!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--max-agg-kb N]
-//!     [--block-ack] [--drop P] [--corrupt P]
+//!     [--block-ack] [--no-rts] [--drop P] [--corrupt P]
+//!     [--spatial] [--spacing M] [--dump-links]
 //! ```
+//!
+//! `--spatial` switches from the paper's single carrier-sense domain to
+//! the range-limited medium built from the topology's geometry
+//! (default 2.5 m between adjacent nodes, the testbed packing);
+//! `--spacing M` sets that distance (implies `--spatial`).
+//! `--dump-links` prints the medium's connectivity/SNR matrix before
+//! running, so a spatial layout can be inspected without reading code.
 
 use hydra_bench::ExperimentRunner;
 use hydra_core::AckPolicy;
-use hydra_netsim::{Flooding, Policy, ScenarioSpec, TopologyKind, Traffic};
-use hydra_phy::Rate;
+use hydra_netsim::{Flooding, MediumKind, Policy, ScenarioSpec, TopologyKind, Traffic};
+use hydra_phy::{PhyProfile, Rate};
 use hydra_sim::Duration;
 
 #[derive(Debug)]
@@ -32,8 +40,11 @@ struct Args {
     flood_ms: Option<u64>,
     max_agg_kb: usize,
     block_ack: bool,
+    rts: bool,
     drop: f64,
     corrupt: f64,
+    spacing: Option<f64>,
+    dump_links: bool,
 }
 
 fn parse_rate(s: &str) -> Rate {
@@ -90,8 +101,11 @@ fn parse() -> Args {
         flood_ms: None,
         max_agg_kb: 5,
         block_ack: false,
+        rts: true,
         drop: 0.0,
         corrupt: 0.0,
+        spacing: None,
+        dump_links: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -121,8 +135,20 @@ fn parse() -> Args {
             "--flood-ms" => a.flood_ms = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad --flood-ms"))),
             "--max-agg-kb" => a.max_agg_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --max-agg-kb")),
             "--block-ack" => a.block_ack = true,
+            "--no-rts" => a.rts = false,
             "--drop" => a.drop = val(&mut i).parse().unwrap_or_else(|_| die("bad --drop")),
             "--corrupt" => a.corrupt = val(&mut i).parse().unwrap_or_else(|_| die("bad --corrupt")),
+            "--spatial" => {
+                a.spacing.get_or_insert(2.5);
+            }
+            "--spacing" => {
+                let s: f64 = val(&mut i).parse().unwrap_or_else(|_| die("bad --spacing"));
+                if !s.is_finite() || s <= 0.0 {
+                    die("--spacing must be a positive finite number of metres");
+                }
+                a.spacing = Some(s);
+            }
+            "--dump-links" => a.dump_links = true,
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -149,13 +175,82 @@ fn spec_from(a: &Args) -> ScenarioSpec {
     if let Some(f) = a.flood_ms {
         spec.flooding = Some(Flooding { interval: Duration::from_millis(f), payload: 120 });
     }
+    spec.rts_cts = a.rts;
+    if let Some(spacing_m) = a.spacing {
+        spec.medium = MediumKind::Spatial { spacing_m };
+    }
     spec
+}
+
+/// Prints the medium's per-pair connectivity classes and SNR matrix:
+/// `D` = delivers (decodable), `s` = sensed only (energy, no frames),
+/// `.` = out of range, `=` = self.
+fn dump_links(spec: &ScenarioSpec) {
+    let topo = spec.topology.build();
+    let medium = spec.medium.build_medium(&topo, &PhyProfile::hydra());
+    let n = medium.node_count();
+    println!("medium: {:?} over {} ({} nodes)", spec.medium, topo.name, n);
+    if let MediumKind::Spatial { spacing_m } = spec.medium {
+        let budget = MediumKind::budget(&PhyProfile::hydra());
+        println!(
+            "link budget: delivery range {:.1} m, carrier-sense range {:.1} m, adjacent spacing {:.1} m",
+            budget.delivery_range_m(),
+            budget.cs_range_m(),
+            spacing_m
+        );
+    }
+    print!("\nclass    ");
+    for to in 0..n {
+        print!("{to:>3}");
+    }
+    println!();
+    for from in 0..n {
+        print!("from {from:>3} ");
+        for to in 0..n {
+            let c = if from == to {
+                '='
+            } else {
+                let l = medium.link(from, to);
+                if l.delivers {
+                    'D'
+                } else if l.senses {
+                    's'
+                } else {
+                    '.'
+                }
+            };
+            print!("{c:>3}");
+        }
+        println!();
+    }
+    println!("\neffective SNR (dB; '   -' where nothing is decodable)");
+    print!("         ");
+    for to in 0..n {
+        print!("{to:>7}");
+    }
+    println!();
+    for from in 0..n {
+        print!("from {from:>3} ");
+        for to in 0..n {
+            let l = medium.link(from, to);
+            if from != to && l.delivers {
+                print!("{:>7.1}", l.snr_db);
+            } else {
+                print!("{:>7}", "-");
+            }
+        }
+        println!();
+    }
+    println!();
 }
 
 fn main() {
     let a = parse();
     let spec = spec_from(&a);
     println!("scenario: {spec:?}\n");
+    if a.dump_links {
+        dump_links(&spec);
+    }
     let runner = ExperimentRunner::new(a.threads);
     let cell = runner.run_sweep(std::slice::from_ref(&spec), a.seeds).remove(0);
     let metric = if a.tcp { "throughput" } else { "goodput" };

@@ -8,7 +8,9 @@ use hydra_phy::Rate;
 use hydra_sim::Duration;
 
 /// A small but heterogeneous sweep: TCP and UDP, two policies, two
-/// topologies. File sizes / windows trimmed so debug-mode CI stays fast.
+/// topologies, and both medium modes (the paper's shared domain and a
+/// spatial chain wide enough for hidden terminals). File sizes / windows
+/// trimmed so debug-mode CI stays fast.
 fn fixed_sweep() -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     for policy in [Policy::Ua, Policy::Ba] {
@@ -24,6 +26,12 @@ fn fixed_sweep() -> Vec<ScenarioSpec> {
     udp.warmup = Duration::from_millis(500);
     udp.duration = Duration::from_secs(2);
     specs.push(udp);
+    let mut spatial =
+        ScenarioSpec::udp(TopologyKind::Linear(3), Policy::Ba, Rate::R0_65, Duration::from_millis(16))
+            .spatial(7.0);
+    spatial.warmup = Duration::from_millis(500);
+    spatial.duration = Duration::from_secs(2);
+    specs.push(spatial);
     specs
 }
 

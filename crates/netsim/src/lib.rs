@@ -29,4 +29,4 @@ pub use node::{Apps, Node};
 pub use scenario::{TcpRunResult, TcpScenario, UdpRunResult, UdpScenario};
 pub use spec::{Flooding, Flow, Policy, RunOutcome, ScenarioSpec, TopologyKind, Traffic};
 pub use topology::Topology;
-pub use world::World;
+pub use world::{MediumKind, World};

@@ -17,7 +17,7 @@ use hydra_wire::{Endpoint, Ipv4Addr};
 
 use crate::metrics::RunReport;
 use crate::topology::Topology;
-use crate::world::World;
+use crate::world::{MediumKind, World};
 
 /// The aggregation policies evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +199,9 @@ pub struct Flooding {
 pub struct ScenarioSpec {
     /// Topology.
     pub topology: TopologyKind,
+    /// How the radio medium is built: the paper's single shared domain,
+    /// or range-limited links from the topology's geometry.
+    pub medium: MediumKind,
     /// Aggregation policy.
     pub policy: Policy,
     /// Unicast data rate.
@@ -240,6 +243,7 @@ impl ScenarioSpec {
     pub fn tcp(topology: TopologyKind, policy: Policy, rate: Rate) -> Self {
         ScenarioSpec {
             topology,
+            medium: MediumKind::SharedDomain,
             policy,
             rate,
             broadcast_rate: None,
@@ -282,6 +286,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Switches to the spatial medium with adjacent nodes `spacing_m`
+    /// metres apart.
+    pub fn spatial(mut self, spacing_m: f64) -> Self {
+        self.medium = MediumKind::Spatial { spacing_m };
+        self
+    }
+
     /// The effective flows: explicit ones, or the topology defaults.
     pub fn effective_flows(&self) -> Vec<Flow> {
         if !self.flows.is_empty() {
@@ -310,7 +321,15 @@ impl ScenarioSpec {
     /// pair its own deterministic RNG stream — two sweep cells that
     /// differ only in `seed` therefore replicate independently.
     pub fn stable_hash(&self) -> u64 {
-        let repr = format!("{self:?}");
+        let mut repr = format!("{self:?}");
+        // `SharedDomain` is the pre-spatial default: strip its field from
+        // the canonical rendering so every paper-mode spec keeps the hash
+        // (and thus the derived world seeds and published tables) it had
+        // before the medium became configurable. Spatial specs hash the
+        // field as usual.
+        if self.medium == MediumKind::SharedDomain {
+            repr = repr.replacen("medium: SharedDomain, ", "", 1);
+        }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
             h ^= u64::from(b);
@@ -343,7 +362,9 @@ impl ScenarioSpec {
         if let Some((drop_chance, corrupt_chance)) = self.fault {
             channel = channel.with(hydra_phy::FaultInjector { drop_chance, corrupt_chance });
         }
-        let mut world = World::new(&topo, profile, channel, self.seed, |i| self.mac_config(i, &relays));
+        let mut world = World::with_medium(&topo, profile, channel, self.seed, self.medium, |i| {
+            self.mac_config(i, &relays)
+        });
 
         match self.traffic {
             Traffic::FileTransfer { bytes } => {
@@ -412,26 +433,18 @@ impl ScenarioSpec {
     fn run_cbr(&self) -> RunOutcome {
         let mut world = self.build();
         world.start();
-        // One measurement per distinct sink node, in flow order.
-        let mut sinks: Vec<usize> = Vec::new();
-        for f in self.effective_flows() {
-            if !sinks.contains(&f.dst) {
-                sinks.push(f.dst);
-            }
-        }
+        // One measurement per flow, keyed by its (sink node, port) pair —
+        // flows sharing a sink node stay separate.
+        let flows = self.effective_flows();
         world.run_until(Instant::ZERO + self.warmup);
-        let start: Vec<u64> =
-            sinks.iter().map(|&n| world.nodes[n].apps.udp_sink.as_ref().map_or(0, |s| s.bytes)).collect();
+        let bytes_at = |world: &World, f: &Flow| {
+            world.nodes[f.dst].apps.udp_sink.as_ref().map_or(0, |s| s.port_bytes(f.port))
+        };
+        let start: Vec<u64> = flows.iter().map(|f| bytes_at(&world, f)).collect();
         world.run_until(Instant::ZERO + self.warmup + self.duration);
         let secs = self.duration.as_secs_f64();
-        let per_flow: Vec<f64> = sinks
-            .iter()
-            .zip(&start)
-            .map(|(&n, &s0)| {
-                let s1 = world.nodes[n].apps.udp_sink.as_ref().map_or(0, |s| s.bytes);
-                (s1 - s0) as f64 * 8.0 / secs
-            })
-            .collect();
+        let per_flow: Vec<f64> =
+            flows.iter().zip(&start).map(|(f, &s0)| (bytes_at(&world, f) - s0) as f64 * 8.0 / secs).collect();
         let worst = per_flow.iter().copied().fold(f64::INFINITY, f64::min);
         let now = world.now();
         RunOutcome {
@@ -471,7 +484,8 @@ pub struct RunOutcome {
     /// The headline metric, bit/s: worst-session TCP throughput, or
     /// worst-sink UDP goodput.
     pub throughput_bps: f64,
-    /// Per-flow throughputs (TCP) / per-sink goodputs (UDP).
+    /// Per-flow throughputs (TCP) / per-flow goodputs (UDP, keyed by the
+    /// flow's (sink node, port) pair, in flow order).
     pub per_flow_bps: Vec<f64>,
     /// Per-node MAC/NET reports.
     pub report: RunReport,
@@ -501,6 +515,29 @@ mod tests {
         assert_ne!(a.stable_hash(), c.stable_hash());
         let d = ScenarioSpec::tcp(TopologyKind::Linear(3), Policy::Ba, Rate::R1_30);
         assert_ne!(a.stable_hash(), d.stable_hash());
+    }
+
+    #[test]
+    fn shared_domain_hash_ignores_the_medium_field() {
+        // Paper-mode specs must keep their pre-spatial hashes: the medium
+        // field only contributes once it leaves the default.
+        let spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        assert!(format!("{spec:?}").contains("medium: SharedDomain"));
+        let strip = |s: &ScenarioSpec| {
+            let repr = format!("{s:?}").replacen("medium: SharedDomain, ", "", 1);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in repr.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        assert_eq!(spec.stable_hash(), strip(&spec));
+        // Spatial specs are distinct sweep cells, sensitive to spacing.
+        let s5 = spec.clone().spatial(5.0);
+        let s7 = spec.clone().spatial(7.0);
+        assert_ne!(spec.stable_hash(), s5.stable_hash());
+        assert_ne!(s5.stable_hash(), s7.stable_hash());
     }
 
     #[test]

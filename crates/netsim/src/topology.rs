@@ -1,20 +1,29 @@
-//! Topology builders: the paper's linear chains and star (Figures 5 & 6).
+//! Topology builders: the paper's linear chains and star (Figures 5 & 6),
+//! plus grids and crosses.
 //!
-//! All nodes are within carrier-sense range of each other (2.5 m spacing
-//! on the testbed), so multi-hop behaviour comes purely from *static
-//! routes*, exactly as in the paper ("we used static routing to force
-//! the topologies").
+//! Every topology carries both *static routes* (the paper "used static
+//! routing to force the topologies") and *unit geometry*: node positions
+//! with adjacent nodes at distance 1.0. Under
+//! [`crate::world::MediumKind::SharedDomain`] the geometry is ignored and
+//! all nodes share one carrier-sense domain (the testbed's 2.5 m
+//! packing); under [`crate::world::MediumKind::Spatial`] the unit
+//! geometry is scaled by the physical spacing and fed through the
+//! [`hydra_phy::LinkBudget`] to produce range-limited links.
 
 use hydra_net::{ArpTable, NetConfig, NetStack, RouteTable};
 use hydra_wire::Ipv4Addr;
 
-/// A topology: node count + static routes.
+/// A topology: node count, static routes, and unit geometry.
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// Number of nodes.
     pub n: usize,
     /// Host routes: (at_node, destination, next_hop).
     pub routes: Vec<(usize, Ipv4Addr, Ipv4Addr)>,
+    /// Node positions in *unit* coordinates: adjacent (one-hop) nodes sit
+    /// at distance 1.0. Scaled by the physical spacing when a spatial
+    /// medium is built.
+    pub positions: Vec<(f64, f64)>,
     /// Human-readable name.
     pub name: &'static str,
 }
@@ -39,6 +48,7 @@ impl Topology {
         Topology {
             n,
             routes,
+            positions: (0..n).map(|i| (i as f64, 0.0)).collect(),
             name: match hops {
                 1 => "1-hop",
                 2 => "2-hop linear",
@@ -70,7 +80,10 @@ impl Topology {
         for dst in [0usize, 2, 3] {
             routes.push((1, ip(dst), ip(dst)));
         }
-        Topology { n: 4, routes, name: "star" }
+        // Three arms at 120° around the center relay, one hop long.
+        let arm = |deg: f64| (deg.to_radians().cos(), deg.to_radians().sin());
+        let positions = vec![arm(90.0), (0.0, 0.0), arm(210.0), arm(330.0)];
+        Topology { n: 4, routes, positions, name: "star" }
     }
 
     /// A `w × h` grid with dimension-ordered (x-first) static routing.
@@ -107,7 +120,8 @@ impl Topology {
                 routes.push((at, ip(dst), ip(next)));
             }
         }
-        Topology { n, routes, name: "grid" }
+        let positions = (0..n).map(|i| ((i % w) as f64, (i / w) as f64)).collect();
+        Topology { n, routes, positions, name: "grid" }
     }
 
     /// A cross: four arm nodes around one shared center relay (node 4),
@@ -129,7 +143,9 @@ impl Topology {
         for dst in 0..4usize {
             routes.push((4, ip(dst), ip(dst)));
         }
-        Topology { n: 5, routes, name: "cross" }
+        // West, east, north, south arms around the center at the origin.
+        let positions = vec![(-1.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (0.0, 0.0)];
+        Topology { n: 5, routes, positions, name: "cross" }
     }
 
     /// Builds the per-node network stacks.
@@ -202,6 +218,34 @@ mod tests {
                 Some(Ipv4Addr::from_node_id(arm))
             );
         }
+    }
+
+    #[test]
+    fn unit_geometry_matches_node_count_and_hop_spacing() {
+        let dist = |t: &Topology, a: usize, b: usize| {
+            let (ax, ay) = t.positions[a];
+            let (bx, by) = t.positions[b];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        };
+        for t in [Topology::linear(3), Topology::star(), Topology::grid(3, 2), Topology::cross()] {
+            assert_eq!(t.positions.len(), t.n, "{}", t.name);
+        }
+        // One-hop neighbours sit at unit distance in every family.
+        let lin = Topology::linear(3);
+        assert!((dist(&lin, 1, 2) - 1.0).abs() < 1e-12);
+        let grid = Topology::grid(3, 2);
+        assert!((dist(&grid, 0, 1) - 1.0).abs() < 1e-12);
+        assert!((dist(&grid, 0, 3) - 1.0).abs() < 1e-12);
+        let star = Topology::star();
+        for leaf in [0usize, 2, 3] {
+            assert!((dist(&star, leaf, 1) - 1.0).abs() < 1e-12);
+        }
+        let cross = Topology::cross();
+        for arm in 0..4 {
+            assert!((dist(&cross, arm, 4) - 1.0).abs() < 1e-12);
+        }
+        // Opposite cross arms are two hops apart spatially as well.
+        assert!((dist(&cross, 0, 1) - 2.0).abs() < 1e-12);
     }
 
     #[test]

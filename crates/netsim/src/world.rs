@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use hydra_core::{Mac, MacConfig, MacInput, MacOutput};
 use hydra_phy::medium::TxId;
-use hydra_phy::{apply_channel, ChannelStack, Medium, OnAirFrame, PhyProfile};
+use hydra_phy::{apply_channel, ChannelStack, LinkBudget, Medium, OnAirFrame, PhyProfile, Placement};
 use hydra_sim::{Duration, EventQueue, Instant, Rng, TimerToken};
 use hydra_tcp::TcpStack;
 use hydra_wire::ipv4::IpProtocol;
@@ -18,6 +18,43 @@ use crate::topology::Topology;
 /// same instant another node starts transmitting has not sensed it yet,
 /// so same-slot collisions happen as on real hardware.
 pub const CS_DELAY: Duration = Duration::from_micros(1);
+
+/// How the radio medium is built from a topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MediumKind {
+    /// Every node in one carrier-sense/delivery domain at the testbed
+    /// operating point — the paper's §5 bench (2.5 m packing), and the
+    /// pre-spatial behaviour of this simulator.
+    SharedDomain,
+    /// Range-limited links from the topology's unit geometry scaled so
+    /// adjacent nodes sit `spacing_m` metres apart, classified by the
+    /// [`LinkBudget`] anchored at the testbed operating point. Beyond
+    /// ≈7.9 m links stop delivering; beyond ≈12.5 m they stop tripping
+    /// carrier sense, so wide layouts get hidden terminals and spatial
+    /// reuse.
+    Spatial {
+        /// Physical distance between adjacent (one-hop) nodes, metres.
+        spacing_m: f64,
+    },
+}
+
+impl MediumKind {
+    /// The link budget used by [`MediumKind::Spatial`].
+    pub fn budget(profile: &PhyProfile) -> LinkBudget {
+        LinkBudget::hydra(profile.default_snr_db)
+    }
+
+    /// Builds the medium for `topology` under this kind.
+    pub fn build_medium(&self, topology: &Topology, profile: &PhyProfile) -> Medium {
+        match self {
+            MediumKind::SharedDomain => Medium::full_mesh(topology.n, profile),
+            MediumKind::Spatial { spacing_m } => {
+                let placement = Placement::from_unit(&topology.positions, *spacing_m);
+                Medium::from_placement(&placement, &Self::budget(profile), profile)
+            }
+        }
+    }
+}
 
 #[derive(Debug)]
 enum Event {
@@ -51,17 +88,30 @@ pub struct World {
 }
 
 impl World {
-    /// Builds a world over `topology` with per-node MAC configs supplied
-    /// by `mac_config(node_index)`.
+    /// Builds a world over `topology` with the paper's single-domain
+    /// medium and per-node MAC configs supplied by `mac_config(node_index)`.
     pub fn new(
         topology: &Topology,
         profile: PhyProfile,
         channel: ChannelStack,
         seed: u64,
+        mac_config: impl FnMut(usize) -> MacConfig,
+    ) -> Self {
+        Self::with_medium(topology, profile, channel, seed, MediumKind::SharedDomain, mac_config)
+    }
+
+    /// Builds a world whose medium comes from the topology's geometry
+    /// under `medium_kind`.
+    pub fn with_medium(
+        topology: &Topology,
+        profile: PhyProfile,
+        channel: ChannelStack,
+        seed: u64,
+        medium_kind: MediumKind,
         mut mac_config: impl FnMut(usize) -> MacConfig,
     ) -> Self {
         let mut master = Rng::seed_from_u64(seed);
-        let medium = Medium::full_mesh(topology.n, &profile);
+        let medium = medium_kind.build_medium(topology, &profile);
         let nets = topology.build_net_stacks();
         let nodes = nets
             .into_iter()
@@ -267,9 +317,9 @@ impl World {
                 // segment).
                 self.pump_tcp(node);
             }
-            NetVerdict::DeliverUdp { udp: _, payload, .. } => {
+            NetVerdict::DeliverUdp { udp, payload, .. } => {
                 if let Some(sink) = self.nodes[node].apps.udp_sink.as_mut() {
-                    sink.on_datagram(now, &payload);
+                    sink.on_datagram(now, udp.dst_port, &payload);
                 }
             }
             NetVerdict::DeliverRaw { payload, .. } => {

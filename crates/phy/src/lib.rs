@@ -10,8 +10,11 @@
 //! * [`channel`] — composable channel models: AWGN, channel-estimate
 //!   coherence staleness (the 120 Ksample cliff of paper §6.1), fault
 //!   injection;
-//! * [`medium`] — the shared broadcast medium with carrier-sense edges,
-//!   half-duplex constraints, and collision tracking.
+//! * [`medium`] — the broadcast medium with carrier-sense edges,
+//!   half-duplex constraints, and collision tracking; fully connected
+//!   (the paper's bench) or range-limited per directed link;
+//! * [`placement`] — node coordinates and the log-distance link budget
+//!   that classifies each link into sense/delivery range.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ pub mod ber;
 pub mod channel;
 pub mod frame;
 pub mod medium;
+pub mod placement;
 pub mod profile;
 pub mod rates;
 
@@ -29,5 +33,6 @@ pub use channel::{
 };
 pub use frame::{Airtime, OnAirFrame};
 pub use medium::{BusyEdge, Delivery, Medium, TxId};
+pub use placement::{Link, LinkBudget, Placement};
 pub use profile::PhyProfile;
 pub use rates::{CodeRate, Modulation, Rate};

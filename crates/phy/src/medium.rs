@@ -6,12 +6,23 @@
 //! carrier-sense busy/idle edges and, at end of transmission, which
 //! receivers got a clean copy.
 //!
-//! Collision semantics: two transmissions overlapping at an in-range
-//! receiver destroy each other there (no capture — conservative, and the
-//! paper's topologies keep all nodes in carrier-sense range so collisions
-//! only arise from same-slot backoff expiry). A node never receives while
-//! transmitting (half-duplex).
+//! Collision semantics: two transmissions overlapping at a receiver that
+//! can hear both destroy each other there (no capture — conservative; in
+//! the paper's single-domain topologies collisions only arise from
+//! same-slot backoff expiry). A node never receives while transmitting
+//! (half-duplex).
+//!
+//! Each directed link carries two independent flags (see
+//! [`crate::placement::Link`]): `senses` — the transmitter's energy is
+//! audible at the receiver, driving carrier sense and interference — and
+//! `delivers` — frames are decodable there. Real radios sense farther
+//! than they decode, so a spatial medium built from a
+//! [`crate::placement::LinkBudget`] has `senses ⊇ delivers`; a node can
+//! be silenced or collided with by transmissions it could never decode.
+//! [`Medium::full_mesh`] is the paper-mode special case where both
+//! relations are complete.
 
+use crate::placement::{Link, LinkBudget, Placement};
 use crate::profile::PhyProfile;
 
 /// Identifies one in-flight transmission.
@@ -51,10 +62,14 @@ struct ActiveTx {
 #[derive(Debug)]
 pub struct Medium {
     n: usize,
-    in_range: Vec<Vec<bool>>,
+    /// `senses[from][to]`: energy from `from` is audible at `to`
+    /// (carrier sense + interference).
+    senses: Vec<Vec<bool>>,
+    /// `delivers[from][to]`: frames from `from` are decodable at `to`.
+    delivers: Vec<Vec<bool>>,
     snr_db: Vec<Vec<f64>>,
     active: Vec<ActiveTx>,
-    /// Per node: number of in-range foreign transmissions currently on air.
+    /// Per node: number of audible foreign transmissions currently on air.
     heard: Vec<usize>,
     next_id: u64,
 }
@@ -64,20 +79,69 @@ impl Medium {
     /// (link SNR − implementation loss), the paper's §5 setup.
     pub fn full_mesh(n: usize, profile: &PhyProfile) -> Self {
         let eff = profile.default_snr_db - profile.implementation_loss_db;
+        Self::from_links(vec![vec![Link { senses: true, delivers: true, snr_db: eff }; n]; n])
+    }
+
+    /// A medium from an explicit `n × n` directed link matrix.
+    /// `links[from][to].snr_db` is the *effective* SNR handed to the
+    /// channel model (implementation loss already applied). Delivery
+    /// implies audibility: `delivers` forces `senses` on.
+    pub fn from_links(links: Vec<Vec<Link>>) -> Self {
+        let n = links.len();
+        assert!(links.iter().all(|row| row.len() == n), "link matrix must be square");
         Medium {
             n,
-            in_range: vec![vec![true; n]; n],
-            snr_db: vec![vec![eff; n]; n],
+            senses: links.iter().map(|row| row.iter().map(|l| l.senses || l.delivers).collect()).collect(),
+            delivers: links.iter().map(|row| row.iter().map(|l| l.delivers).collect()).collect(),
+            snr_db: links.iter().map(|row| row.iter().map(|l| l.snr_db).collect()).collect(),
             active: Vec::new(),
             heard: vec![0; n],
             next_id: 0,
         }
     }
 
-    /// Overrides one directed link.
+    /// A spatial medium: each directed link classified by the budget from
+    /// the placement's pairwise distances, with the receiver's
+    /// implementation loss applied to the delivered SNR (as in
+    /// [`Medium::full_mesh`]).
+    pub fn from_placement(placement: &Placement, budget: &LinkBudget, profile: &PhyProfile) -> Self {
+        let n = placement.node_count();
+        let links = (0..n)
+            .map(|from| {
+                (0..n)
+                    .map(|to| {
+                        let mut link = budget.classify(placement.distance_m(from, to));
+                        link.snr_db -= profile.implementation_loss_db;
+                        link
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::from_links(links)
+    }
+
+    /// Overrides one directed link, keeping sense and delivery coupled
+    /// (the paper-mode behaviour). For split classes use
+    /// [`Medium::set_link_classes`].
     pub fn set_link(&mut self, from: usize, to: usize, in_range: bool, snr_db: f64) {
-        self.in_range[from][to] = in_range;
-        self.snr_db[from][to] = snr_db;
+        self.set_link_classes(from, to, Link { senses: in_range, delivers: in_range, snr_db });
+    }
+
+    /// Overrides one directed link with independent sense/delivery
+    /// classes. Delivery implies audibility.
+    pub fn set_link_classes(&mut self, from: usize, to: usize, link: Link) {
+        self.senses[from][to] = link.senses || link.delivers;
+        self.delivers[from][to] = link.delivers;
+        self.snr_db[from][to] = link.snr_db;
+    }
+
+    /// The current classification of one directed link.
+    pub fn link(&self, from: usize, to: usize) -> Link {
+        Link {
+            senses: self.senses[from][to],
+            delivers: self.delivers[from][to],
+            snr_db: self.snr_db[from][to],
+        }
     }
 
     /// Number of nodes.
@@ -109,8 +173,8 @@ impl Medium {
             }
             // New reception at r is damaged if any other transmission is
             // already audible there, or r itself is mid-transmission.
-            let overlapped = self.active.iter().any(|a| a.tx_node == r || self.in_range[a.tx_node][r]);
-            if overlapped && self.in_range[node][r] {
+            let overlapped = self.active.iter().any(|a| a.tx_node == r || self.senses[a.tx_node][r]);
+            if overlapped && self.senses[node][r] {
                 *slot = true;
             }
         }
@@ -121,7 +185,7 @@ impl Medium {
                 if r == a.tx_node {
                     continue;
                 }
-                if r == node || self.in_range[node][r] {
+                if r == node || self.senses[node][r] {
                     a.interfered[r] = true;
                 }
             }
@@ -129,7 +193,7 @@ impl Medium {
 
         let mut edges = Vec::new();
         for r in 0..self.n {
-            if r != node && self.in_range[node][r] {
+            if r != node && self.senses[node][r] {
                 let was_busy = self.is_busy(r);
                 self.heard[r] += 1;
                 if !was_busy {
@@ -150,18 +214,20 @@ impl Medium {
         let mut deliveries = Vec::new();
         let mut edges = Vec::new();
         for r in 0..self.n {
-            if r == tx.tx_node || !self.in_range[tx.tx_node][r] {
+            if r == tx.tx_node || !self.senses[tx.tx_node][r] {
                 continue;
             }
             self.heard[r] -= 1;
             if !self.is_busy(r) {
                 edges.push(BusyEdge { node: r, busy: false });
             }
-            deliveries.push(Delivery {
-                receiver: r,
-                clean: !tx.interfered[r],
-                snr_db: self.snr_db[tx.tx_node][r],
-            });
+            if self.delivers[tx.tx_node][r] {
+                deliveries.push(Delivery {
+                    receiver: r,
+                    clean: !tx.interfered[r],
+                    snr_db: self.snr_db[tx.tx_node][r],
+                });
+            }
         }
         (deliveries, edges)
     }
@@ -293,5 +359,95 @@ mod tests {
         let (a, _) = m.start_tx(0);
         let _ = m.end_tx(a);
         let _ = m.end_tx(a);
+    }
+
+    #[test]
+    fn asymmetric_link_delivers_one_way() {
+        // 0 → 1 is up but 1 → 0 is down (e.g. differing tx powers).
+        let mut m = medium(2);
+        m.set_link(1, 0, false, 0.0);
+        let (a, _) = m.start_tx(0);
+        let (da, _) = m.end_tx(a);
+        assert_eq!(da.len(), 1);
+        assert_eq!(da[0].receiver, 1);
+        let (b, edges) = m.start_tx(1);
+        assert!(edges.is_empty(), "0 cannot hear 1");
+        let (db, _) = m.end_tx(b);
+        assert!(db.is_empty(), "nothing delivered on the dead direction");
+    }
+
+    #[test]
+    fn sense_only_link_defers_but_never_delivers() {
+        // 0 → 2 is within carrier-sense range but beyond delivery range:
+        // 2 goes busy (and back idle) yet never receives a frame.
+        let mut m = medium(3);
+        m.set_link_classes(0, 2, Link { senses: true, delivers: false, snr_db: 0.0 });
+        let (a, edges) = m.start_tx(0);
+        assert!(edges.iter().any(|e| e.node == 2 && e.busy));
+        assert!(m.is_busy(2));
+        let (d, edges) = m.end_tx(a);
+        assert!(d.iter().all(|x| x.receiver != 2), "no delivery beyond delivery range");
+        assert!(edges.iter().any(|e| e.node == 2 && !e.busy));
+        assert!(!m.is_busy(2));
+    }
+
+    #[test]
+    fn sense_only_interferer_destroys_reception() {
+        // 2's energy reaches 1 (sense-only link) but its frames do not:
+        // it still collides with 0's frame at 1. 0 and 2 cannot hear
+        // each other, so carrier sense never prevents the overlap.
+        let mut m = medium(3);
+        m.set_link_classes(2, 1, Link { senses: true, delivers: false, snr_db: 0.0 });
+        m.set_link(0, 2, false, 0.0);
+        m.set_link(2, 0, false, 0.0);
+        let (a, _) = m.start_tx(0);
+        let (b, _) = m.start_tx(2);
+        let (da, _) = m.end_tx(a);
+        assert!(!da.iter().find(|d| d.receiver == 1).unwrap().clean);
+        let (db, _) = m.end_tx(b);
+        assert!(db.iter().all(|d| d.receiver != 1), "2's frame is not decodable at 1");
+    }
+
+    #[test]
+    fn delivery_forces_audibility() {
+        let mut m = medium(2);
+        // A "delivers but not senses" request is contradictory; the
+        // medium normalises it to a fully-up link.
+        m.set_link_classes(0, 1, Link { senses: false, delivers: true, snr_db: 7.0 });
+        assert!(m.link(0, 1).senses);
+        let (a, edges) = m.start_tx(0);
+        assert_eq!(edges.len(), 1);
+        let (d, _) = m.end_tx(a);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn from_links_matches_full_mesh_when_complete() {
+        let p = PhyProfile::hydra();
+        let eff = p.default_snr_db - p.implementation_loss_db;
+        let mut a = Medium::full_mesh(3, &p);
+        let mut b = Medium::from_links(vec![vec![Link { senses: true, delivers: true, snr_db: eff }; 3]; 3]);
+        let (ta, ea) = a.start_tx(0);
+        let (tb, eb) = b.start_tx(0);
+        assert_eq!(ea, eb);
+        assert_eq!(a.end_tx(ta), b.end_tx(tb));
+    }
+
+    #[test]
+    fn from_placement_builds_spatial_classes() {
+        // A 4-node chain at 7 m spacing under the hydra budget:
+        // adjacent delivers, two hops apart is out of sense range
+        // (hidden terminals), and SNR loses implementation loss.
+        let p = PhyProfile::hydra();
+        let budget = LinkBudget::hydra(p.default_snr_db);
+        let pl = Placement::from_unit(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)], 7.0);
+        let m = Medium::from_placement(&pl, &budget, &p);
+        let adj = m.link(0, 1);
+        assert!(adj.delivers && adj.senses);
+        assert!((adj.snr_db - (budget.snr_at(7.0) - p.implementation_loss_db)).abs() < 1e-9);
+        let two = m.link(0, 2);
+        assert!(!two.senses && !two.delivers, "14 m exceeds the 12.5 m CS range");
+        // Symmetry of the distance-based budget.
+        assert_eq!(m.link(2, 0), two);
     }
 }

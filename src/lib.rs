@@ -50,7 +50,7 @@ pub use hydra_wire as wire;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use hydra_core::{AckPolicy, AggPolicy, AggSizing, Mac, MacConfig};
-    pub use hydra_netsim::{Policy, TcpScenario, Topology, TopologyKind, UdpScenario, World};
+    pub use hydra_netsim::{MediumKind, Policy, TcpScenario, Topology, TopologyKind, UdpScenario, World};
     pub use hydra_phy::{PhyProfile, Rate};
     pub use hydra_sim::{Duration, Instant};
     pub use hydra_wire::{Ipv4Addr, MacAddr};
