@@ -7,6 +7,10 @@
 //! * [`file::FileSender`] / [`file::FileReceiver`] — the one-way 0.2 MB
 //!   TCP file transfer (§5) with content verification and completion
 //!   timing.
+//!
+//! **Layer**: above `hydra-tcp` (the file transfer drives a socket) and
+//! `hydra-sim`/`hydra-wire`; below `hydra-netsim`, which installs these
+//! applications on nodes according to a `ScenarioSpec`'s traffic mix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,5 +1,4 @@
 //! Regenerates one experiment of the paper; see hydra_bench::experiments.
 fn main() {
-    hydra_bench::experiments::ablation_rate_adaptive_sizing(hydra_bench::experiments::Opts::default())
-        .print();
+    hydra_bench::experiments::ablation_rate_adaptive_sizing(&hydra_bench::experiments::Opts::cli()).print();
 }

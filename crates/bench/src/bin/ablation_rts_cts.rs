@@ -1,4 +1,4 @@
 //! Regenerates one experiment of the paper; see hydra_bench::experiments.
 fn main() {
-    hydra_bench::experiments::ablation_rts_cts(hydra_bench::experiments::Opts::default()).print();
+    hydra_bench::experiments::ablation_rts_cts(&hydra_bench::experiments::Opts::cli()).print();
 }

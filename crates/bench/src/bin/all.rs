@@ -1,12 +1,22 @@
 //! Regenerates every table and figure; writes results/experiments.txt.
 //!
 //! ```text
-//! cargo run --release -p hydra-bench --bin all [-- --seeds N --threads N]
+//! cargo run --release -p hydra-bench --bin all [-- --seeds N --threads N --no-cache]
 //! ```
+//!
+//! By default runs consult (and extend) the persistent result cache at
+//! `results/cache/runs.jsonl`: a warm rerun simulates nothing and
+//! rebuilds byte-identical tables from disk; editing a spec in
+//! `experiments.rs` re-runs only that spec's cells. `--no-cache` forces
+//! every cell to simulate. Cache hit/miss counts go to stderr so stdout
+//! (and the results file) stay comparable between cold and warm runs.
 use std::io::Write;
+
+use hydra_bench::ResultCache;
 
 fn main() {
     let mut opts = hydra_bench::experiments::Opts::default();
+    let mut use_cache = true;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -19,13 +29,26 @@ fn main() {
                 i += 1;
                 opts.threads = argv.get(i).and_then(|v| v.parse().ok()).expect("bad --threads");
             }
+            "--no-cache" => use_cache = false,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
-    let text = hydra_bench::experiments::run_all(opts);
+    if use_cache {
+        let cache = ResultCache::open_default().expect("open results/cache");
+        eprintln!("result cache: {} runs on disk", cache.len());
+        opts.cache = Some(cache.shared());
+    }
+    let text = hydra_bench::experiments::run_all(&opts);
     std::fs::create_dir_all("results").ok();
     let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");
     f.write_all(text.as_bytes()).expect("write results");
     eprintln!("wrote results/experiments.txt");
+    if let Some(cache) = &opts.cache {
+        let stats = cache.lock().expect("cache poisoned").stats();
+        eprintln!(
+            "result cache: {} hits, {} misses ({} runs simulated)",
+            stats.hits, stats.misses, stats.misses
+        );
+    }
 }

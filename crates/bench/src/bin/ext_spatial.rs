@@ -2,7 +2,7 @@
 //! long chains + the RTS/CTS hidden-terminal crossover); see
 //! hydra_bench::experiments.
 fn main() {
-    for t in hydra_bench::experiments::ext_spatial(hydra_bench::experiments::Opts::default()) {
+    for t in hydra_bench::experiments::ext_spatial(&hydra_bench::experiments::Opts::cli()) {
         t.print();
     }
 }

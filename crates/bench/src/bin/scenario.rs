@@ -19,6 +19,11 @@
 //! `--spacing M` sets that distance (implies `--spatial`).
 //! `--dump-links` prints the medium's connectivity/SNR matrix before
 //! running, so a spatial layout can be inspected without reading code.
+//!
+//! The built spec is echoed in its canonical `.scn` one-line form
+//! (`docs/SCENARIO_FORMAT.md`); collect such lines in a file and run
+//! them as a batch — with result caching — via `--bin sweep`.
+//! `--help` prints the full flag reference.
 
 use hydra_bench::ExperimentRunner;
 use hydra_core::AckPolicy;
@@ -82,8 +87,49 @@ fn parse_grid(s: &str) -> TopologyKind {
     TopologyKind::Grid { w, h }
 }
 
+const HELP: &str = "\
+usage: scenario [tcp|udp] [options]
+
+Builds one declarative ScenarioSpec from flags and runs it through the
+parallel ExperimentRunner. The spec's canonical one-line `.scn` form is
+printed before the run; paste it into a file and feed it to `--bin
+sweep` to sweep it alongside others (format: docs/SCENARIO_FORMAT.md).
+
+topology:
+  --hops N         linear chain with N hops (default 2)
+  --star           the paper's 4-node star (two sessions into one client)
+  --grid WxH       W x H grid, corner-to-corner session
+  --cross          four arms around one relay, two crossing sessions
+
+traffic & policy:
+  tcp | udp        file transfer (default) or CBR goodput
+  --policy P       na|ua|ba|dba|ba-nofwd (default ba)
+  --rate R         0.65|1.3|1.95|2.6|3.9|5.2|5.85|6.5 Mbps (default 1.3)
+  --bcast-rate R   fixed broadcast-portion rate (default: same as --rate)
+  --file-kb N      TCP transfer size (default 200)
+  --interval-ms N  CBR inter-packet interval (default 17)
+  --flood-ms N     per-node broadcast flooding at this interval
+
+MAC & channel:
+  --max-agg-kb N   aggregation cap (default 5)
+  --block-ack      per-subframe block ACKs instead of all-or-nothing
+  --no-rts         disable the RTS/CTS handshake
+  --drop P         frame drop probability (fault injection)
+  --corrupt P      subframe corruption probability
+
+medium (PR 2 spatial extension):
+  --spatial        range-limited medium from topology geometry (2.5 m)
+  --spacing M      adjacent-node distance in metres (implies --spatial)
+  --dump-links     print the connectivity/SNR matrix before running
+
+harness:
+  --seeds N        replications (default 3)
+  --threads N      worker threads (0 = one per CPU)
+  --help           this text
+";
+
 fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}\nsee the module docs (`--help` in source) for usage");
+    eprintln!("error: {msg}\n\n{HELP}");
     std::process::exit(2);
 }
 
@@ -149,6 +195,10 @@ fn parse() -> Args {
                 a.spacing = Some(s);
             }
             "--dump-links" => a.dump_links = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -247,7 +297,9 @@ fn dump_links(spec: &ScenarioSpec) {
 fn main() {
     let a = parse();
     let spec = spec_from(&a);
-    println!("scenario: {spec:?}\n");
+    // The canonical .scn line: paste into a file and run it (with
+    // others) via `--bin sweep`. Format: docs/SCENARIO_FORMAT.md.
+    println!("scn: {}\n", spec.to_scn());
     if a.dump_links {
         dump_links(&spec);
     }

@@ -1,0 +1,162 @@
+//! Runs sweeps from `.scn` scenario files — no recompilation.
+//!
+//! ```text
+//! cargo run --release -p hydra-bench --bin sweep -- FILE.scn [FILE.scn ...]
+//!     [--seeds N] [--threads N] [--no-cache] [--cache-dir DIR]
+//! cargo run --release -p hydra-bench --bin sweep -- --export DIR
+//! ```
+//!
+//! Each non-comment line of a `.scn` file is one [`ScenarioSpec`] in the
+//! `key=value` format documented in `docs/SCENARIO_FORMAT.md`. Every
+//! shipped experiment grid is checked in under `examples/sweeps/`;
+//! `--export DIR` regenerates those files from the in-code definitions.
+//!
+//! Like `--bin all`, runs consult and extend the persistent result
+//! cache (default `results/cache/`): a warm rerun of an unchanged file
+//! simulates nothing and prints byte-identical tables. Cache statistics
+//! go to stderr so stdout stays comparable across runs.
+
+use hydra_bench::experiments::shipped_sweeps;
+use hydra_bench::{ExperimentRunner, ResultCache, Table};
+use hydra_netsim::{parse_scn, render_scn, ScenarioSpec};
+
+struct Args {
+    files: Vec<String>,
+    seeds: u64,
+    threads: usize,
+    cache_dir: Option<String>,
+    use_cache: bool,
+    export: Option<String>,
+}
+
+const HELP: &str = "\
+usage: sweep FILE.scn [FILE.scn ...] [options]
+       sweep --export DIR
+
+Runs every scenario in the given .scn files through the parallel
+ExperimentRunner and prints one table per file. Line format (one
+ScenarioSpec per line, `#` comments): see docs/SCENARIO_FORMAT.md.
+
+options:
+  --seeds N        replications per scenario (default 3)
+  --threads N      worker threads (0 = one per CPU, default)
+  --no-cache       always simulate; do not read or write the result cache
+  --cache-dir DIR  result cache location (default results/cache)
+  --export DIR     write every shipped experiment grid as DIR/<name>.scn
+                   (regenerates examples/sweeps/) and exit
+  --help           this text
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a =
+        Args { files: Vec::new(), seeds: 3, threads: 0, cache_dir: None, use_cache: true, export: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| die("missing value"))
+        };
+        match argv[i].as_str() {
+            "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
+            "--threads" => a.threads = val(&mut i).parse().unwrap_or_else(|_| die("bad --threads")),
+            "--no-cache" => a.use_cache = false,
+            "--cache-dir" => a.cache_dir = Some(val(&mut i)),
+            "--export" => a.export = Some(val(&mut i)),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
+            file => a.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if a.export.is_none() && a.files.is_empty() {
+        die("no .scn files given");
+    }
+    a
+}
+
+/// Writes every shipped experiment grid as `<dir>/<name>.scn`.
+fn export(dir: &str) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create {dir}: {e}")));
+    for (name, specs) in shipped_sweeps() {
+        let path = format!("{dir}/{name}.scn");
+        let mut text = format!(
+            "# {name} — {count} scenarios, exported from hydra_bench::experiments::{name}_specs().\n\
+             # One ScenarioSpec per line (key=value fields); format: docs/SCENARIO_FORMAT.md.\n\
+             # Regenerate with: cargo run -p hydra-bench --bin sweep -- --export examples/sweeps\n",
+            count = specs.len()
+        );
+        text.push_str(&render_scn(&specs));
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("wrote {path} ({} scenarios)", specs.len());
+    }
+}
+
+fn run_file(runner: &ExperimentRunner, path: &str, seeds: u64) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let specs: Vec<ScenarioSpec> = match parse_scn(&text) {
+        Ok(specs) => specs,
+        Err(e) => die(&format!("{path}:{e}")),
+    };
+    if specs.is_empty() {
+        eprintln!("{path}: no scenarios, skipping");
+        return;
+    }
+    let cells = runner.run_sweep(&specs, seeds);
+    let mut t = Table::new(
+        format!("{path} — {} scenarios × {seeds} seed(s)", specs.len()),
+        &["#", "scenario", "mean Mbps", "per-seed Mbps"],
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        let per_seed: Vec<String> =
+            cell.runs.iter().map(|r| format!("{:.3}", r.throughput_bps / 1e6)).collect();
+        let stuck = cell.runs.iter().any(|r| !r.completed);
+        t.row(vec![
+            format!("{i}"),
+            cell.spec.to_scn(),
+            format!("{:.3}{}", cell.mean_throughput_bps() / 1e6, if stuck { " (STUCK)" } else { "" }),
+            per_seed.join(" "),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let a = parse_args();
+    if let Some(dir) = &a.export {
+        export(dir);
+        return;
+    }
+    let mut runner = ExperimentRunner::new(a.threads);
+    let cache = if a.use_cache {
+        let cache = match &a.cache_dir {
+            Some(dir) => ResultCache::open(dir),
+            None => ResultCache::open_default(),
+        }
+        .unwrap_or_else(|e| die(&format!("open result cache: {e}")));
+        eprintln!("result cache: {} runs on disk", cache.len());
+        let shared = cache.shared();
+        runner = runner.with_cache(shared.clone());
+        Some(shared)
+    } else {
+        None
+    };
+    for file in &a.files {
+        run_file(&runner, file, a.seeds);
+    }
+    if let Some(cache) = cache {
+        let stats = cache.lock().expect("cache poisoned").stats();
+        eprintln!(
+            "result cache: {} hits, {} misses ({} runs simulated)",
+            stats.hits, stats.misses, stats.misses
+        );
+    }
+}

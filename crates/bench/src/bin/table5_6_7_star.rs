@@ -1,6 +1,6 @@
 //! Regenerates Tables 5-7 (star vs 2-hop relay comparison).
 fn main() {
-    for t in hydra_bench::experiments::table5_6_7_star(hydra_bench::experiments::Opts::default()) {
+    for t in hydra_bench::experiments::table5_6_7_star(&hydra_bench::experiments::Opts::cli()) {
         t.print();
     }
 }

@@ -19,23 +19,44 @@ use crate::report::{bytes, mbps, pct, Table};
 use crate::runner::{CellResult, ExperimentRunner};
 
 /// Harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Seeds averaged per TCP data point.
     pub seeds: u64,
     /// Runner worker threads (0 = one per available CPU).
     pub threads: usize,
+    /// Persistent result cache shared by every experiment; `None` =
+    /// always simulate (hermetic, e.g. under test).
+    pub cache: Option<crate::sweeps::SharedCache>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { seeds: 3, threads: 0 }
+        Opts { seeds: 3, threads: 0, cache: None }
     }
 }
 
 impl Opts {
+    /// Options for the CLI binaries: the defaults plus the persistent
+    /// result cache at `results/cache/`, so single-figure bins reuse
+    /// (and extend) runs that `--bin all` / `--bin sweep` already
+    /// simulated. Falls back to cache-less on I/O errors. Tests use
+    /// [`Opts::default`], which never touches the disk.
+    pub fn cli() -> Self {
+        let mut opts = Opts::default();
+        match crate::sweeps::ResultCache::open_default() {
+            Ok(cache) => opts.cache = Some(cache.shared()),
+            Err(e) => eprintln!("warning: result cache unavailable ({e}); simulating everything"),
+        }
+        opts
+    }
+
     fn runner(&self) -> ExperimentRunner {
-        ExperimentRunner::new(self.threads)
+        let runner = ExperimentRunner::new(self.threads);
+        match &self.cache {
+            Some(cache) => runner.with_cache(cache.clone()),
+            None => runner,
+        }
     }
 }
 
@@ -58,17 +79,48 @@ fn means(row: &[CellResult]) -> Vec<f64> {
     row.iter().map(CellResult::mean_throughput_bps).collect()
 }
 
+/// Every shipped experiment grid, flattened to the spec list its
+/// checked-in `.scn` file under `examples/sweeps/` carries. The file
+/// name is `<name>.scn`; `--bin sweep --export examples/sweeps`
+/// regenerates them and `tests/scn_files.rs` proves file == code.
+pub fn shipped_sweeps() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
+    let flat = |grid: Vec<Vec<ScenarioSpec>>| grid.into_iter().flatten().collect::<Vec<_>>();
+    vec![
+        ("fig07_agg_size", flat(fig07_agg_size_specs())),
+        ("table2_udp", flat(table2_udp_specs())),
+        ("fig08_unicast_tcp", flat(fig08_unicast_tcp_specs())),
+        ("fig09_flooding", flat(fig09_flooding_specs())),
+        ("fig10_fixed_bcast", flat(fig10_fixed_bcast_specs())),
+        ("fig11_2hop", flat(fig11_2hop_specs())),
+        ("fig12_topologies", flat(fig12_topologies_specs())),
+        ("fig13_delayed", flat(fig13_delayed_specs())),
+        ("fig14_no_forward", flat(fig14_no_forward_specs())),
+        ("table3_relay", table3_relay_specs()),
+        ("table4_time_overhead", flat(table4_time_overhead_specs())),
+        ("table5_6_7_star", table5_6_7_star_specs()),
+        ("table8_frame_sizes", flat(table8_frame_sizes_specs())),
+        ("ext_topologies", flat(ext_topologies_specs())),
+        ("ext_spatial_reuse", flat(ext_spatial_reuse_specs())),
+        ("ext_spatial_rts", flat(ext_spatial_rts_specs())),
+        ("ablation_block_ack", flat(ablation_block_ack_specs())),
+        ("ablation_rate_adaptive_sizing", flat(ablation_rate_adaptive_sizing_specs())),
+        ("ablation_dba_flush", flat(ablation_dba_flush_specs())),
+        ("ablation_rts_cts", flat(ablation_rts_cts_specs())),
+        ("ablation_delayed_ack", flat(ablation_delayed_ack_specs())),
+        ("ablation_broadcast_position", ablation_broadcast_position_specs()),
+    ]
+}
+
 // ----------------------------------------------------------------------
 // Figure 7 — throughput vs maximum aggregation size (1-hop UDP)
 // ----------------------------------------------------------------------
 
-/// Figure 7: throughput climbs with the aggregation cap, then collapses
-/// once aggregates outgrow the ~120 Ksample channel-coherence budget
-/// (5 / 11 / 15 KB at 0.65 / 1.3 / 1.95 Mbps).
-pub fn fig07_agg_size(opts: Opts) -> Table {
-    let sizes_kb = [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 20];
+const FIG07_SIZES_KB: [usize; 18] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 20];
+
+/// Figure 7's grid: aggregation cap × rate, 1-hop UDP.
+pub fn fig07_agg_size_specs() -> Vec<Vec<ScenarioSpec>> {
     let rates = [Rate::R0_65, Rate::R1_30, Rate::R1_95];
-    let grid: Vec<Vec<ScenarioSpec>> = sizes_kb
+    FIG07_SIZES_KB
         .iter()
         .map(|kb| {
             rates
@@ -86,8 +138,15 @@ pub fn fig07_agg_size(opts: Opts) -> Table {
                 })
                 .collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+        .collect()
+}
+
+/// Figure 7: throughput climbs with the aggregation cap, then collapses
+/// once aggregates outgrow the ~120 Ksample channel-coherence budget
+/// (5 / 11 / 15 KB at 0.65 / 1.3 / 1.95 Mbps).
+pub fn fig07_agg_size(opts: &Opts) -> Table {
+    let sizes_kb = FIG07_SIZES_KB;
+    let results = opts.runner().run_grid(fig07_agg_size_specs(), 1);
 
     let mut t = Table::new(
         "Figure 7 — UDP throughput (Mbps) vs max aggregation size, 1-hop",
@@ -108,18 +167,24 @@ pub fn fig07_agg_size(opts: Opts) -> Table {
 // Table 2 — 2-hop UDP, NA vs UA
 // ----------------------------------------------------------------------
 
+const TABLE2_INTERVALS: [(Rate, u64); 2] = [(Rate::R0_65, 30_600), (Rate::R1_30, 17_400)];
+
+/// Table 2's cells: (NA, UA) per rate at the paper's operating points.
+pub fn table2_udp_specs() -> Vec<Vec<ScenarioSpec>> {
+    TABLE2_INTERVALS
+        .iter()
+        .map(|&(rate, us)| vec![udp(2, Policy::Na, rate, us), udp(2, Policy::Ua, rate, us)])
+        .collect()
+}
+
 /// Table 2: UDP over 2 hops, no aggregation vs unicast aggregation.
 ///
 /// The paper's UDP app semantics ("data interval 3 s") are unrecoverable;
 /// we reproduce its *operating point* by offering the load the paper's UA
 /// sustained (~1.1× NA capacity), as documented in DESIGN.md §5.
-pub fn table2_udp(opts: Opts) -> Table {
-    let intervals = [(Rate::R0_65, 30_600u64), (Rate::R1_30, 17_400)];
-    let grid: Vec<Vec<ScenarioSpec>> = intervals
-        .iter()
-        .map(|&(rate, us)| vec![udp(2, Policy::Na, rate, us), udp(2, Policy::Ua, rate, us)])
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+pub fn table2_udp(opts: &Opts) -> Table {
+    let intervals = TABLE2_INTERVALS;
+    let results = opts.runner().run_grid(table2_udp_specs(), 1);
 
     let mut t = Table::new(
         "Table 2 — 2-hop UDP throughput (Mbps)",
@@ -148,9 +213,9 @@ pub fn table2_udp(opts: Opts) -> Table {
 // Figure 8 — TCP with unicast aggregation (2- and 3-hop)
 // ----------------------------------------------------------------------
 
-/// Figure 8: one-way TCP transfer, NA vs UA, 2- and 3-hop chains.
-pub fn fig08_unicast_tcp(opts: Opts) -> Table {
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+/// Figure 8's grid: rate × (2/3-hop × NA/UA).
+pub fn fig08_unicast_tcp_specs() -> Vec<Vec<ScenarioSpec>> {
+    RATES
         .iter()
         .map(|&rate| {
             [(2, Policy::Na), (2, Policy::Ua), (3, Policy::Na), (3, Policy::Ua)]
@@ -158,8 +223,12 @@ pub fn fig08_unicast_tcp(opts: Opts) -> Table {
                 .map(|(hops, pol)| tcp(TopologyKind::Linear(hops), pol, rate, None))
                 .collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 8: one-way TCP transfer, NA vs UA, 2- and 3-hop chains.
+pub fn fig08_unicast_tcp(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig08_unicast_tcp_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 8 — TCP throughput (Mbps): unicast aggregation",
@@ -178,10 +247,11 @@ pub fn fig08_unicast_tcp(opts: Opts) -> Table {
 // Figure 9 — UDP under flooding
 // ----------------------------------------------------------------------
 
-/// Figure 9: 2-hop UDP goodput vs flooding interval, aggregation on/off.
-pub fn fig09_flooding(opts: Opts) -> Table {
-    let floods = [50u64, 100, 250, 500, 1000, 2000, 5000];
-    let grid: Vec<Vec<ScenarioSpec>> = floods
+const FIG09_FLOOD_MS: [u64; 7] = [50, 100, 250, 500, 1000, 2000, 5000];
+
+/// Figure 9's grid: flood interval × (rate × NA/BA).
+pub fn fig09_flooding_specs() -> Vec<Vec<ScenarioSpec>> {
+    FIG09_FLOOD_MS
         .iter()
         .map(|&f| {
             let mut row = Vec::new();
@@ -194,8 +264,13 @@ pub fn fig09_flooding(opts: Opts) -> Table {
             }
             row
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+        .collect()
+}
+
+/// Figure 9: 2-hop UDP goodput vs flooding interval, aggregation on/off.
+pub fn fig09_flooding(opts: &Opts) -> Table {
+    let floods = FIG09_FLOOD_MS;
+    let results = opts.runner().run_grid(fig09_flooding_specs(), 1);
 
     let mut t = Table::new(
         "Figure 9 — 2-hop UDP goodput (Mbps) under per-node flooding",
@@ -215,11 +290,11 @@ pub fn fig09_flooding(opts: Opts) -> Table {
 // Figure 10 — BA with a fixed broadcast rate
 // ----------------------------------------------------------------------
 
-/// Figure 10: 2-hop TCP; the broadcast (ACK) portion rides at a fixed
-/// rate while the unicast rate sweeps.
-pub fn fig10_fixed_bcast(opts: Opts) -> Table {
+/// Figure 10's grid: unicast rate × (BA at three fixed broadcast rates,
+/// plus the UA baseline).
+pub fn fig10_fixed_bcast_specs() -> Vec<Vec<ScenarioSpec>> {
     let two = TopologyKind::Linear(2);
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+    RATES
         .iter()
         .map(|&rate| {
             vec![
@@ -229,8 +304,13 @@ pub fn fig10_fixed_bcast(opts: Opts) -> Table {
                 tcp(two, Policy::Ua, rate, None),
             ]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 10: 2-hop TCP; the broadcast (ACK) portion rides at a fixed
+/// rate while the unicast rate sweeps.
+pub fn fig10_fixed_bcast(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig10_fixed_bcast_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 10 — TCP throughput (Mbps), BA with fixed broadcast rate",
@@ -249,14 +329,18 @@ pub fn fig10_fixed_bcast(opts: Opts) -> Table {
 // Figure 11 — 2-hop TCP ACK aggregation
 // ----------------------------------------------------------------------
 
-/// Figure 11: 2-hop TCP, broadcast rate = unicast rate; NA / UA / BA.
-pub fn fig11_2hop(opts: Opts) -> Table {
+/// Figure 11's grid: rate × NA/UA/BA on the 2-hop chain.
+pub fn fig11_2hop_specs() -> Vec<Vec<ScenarioSpec>> {
     let two = TopologyKind::Linear(2);
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+    RATES
         .iter()
         .map(|&rate| [Policy::Na, Policy::Ua, Policy::Ba].iter().map(|&p| tcp(two, p, rate, None)).collect())
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 11: 2-hop TCP, broadcast rate = unicast rate; NA / UA / BA.
+pub fn fig11_2hop(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig11_2hop_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 11 — 2-hop TCP throughput (Mbps): NA / UA / BA",
@@ -281,10 +365,10 @@ pub fn fig11_2hop(opts: Opts) -> Table {
 // Figure 12 — more complex topologies
 // ----------------------------------------------------------------------
 
-/// Figure 12: 3-hop linear and the 2-session star (worst-case session).
-pub fn fig12_topologies(opts: Opts) -> Table {
+/// Figure 12's grid: rate × (3-hop NA/UA/BA, star UA/BA).
+pub fn fig12_topologies_specs() -> Vec<Vec<ScenarioSpec>> {
     let three = TopologyKind::Linear(3);
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+    RATES
         .iter()
         .map(|&rate| {
             vec![
@@ -295,8 +379,12 @@ pub fn fig12_topologies(opts: Opts) -> Table {
                 tcp(TopologyKind::Star, Policy::Ba, rate, None),
             ]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 12: 3-hop linear and the 2-session star (worst-case session).
+pub fn fig12_topologies(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig12_topologies_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 12 — TCP throughput (Mbps): 3-hop linear & star",
@@ -324,9 +412,9 @@ pub fn fig12_topologies(opts: Opts) -> Table {
 // Figure 13 — delayed aggregation
 // ----------------------------------------------------------------------
 
-/// Figure 13: BA vs DBA (relays hold for 3 frames), 2- and 3-hop.
-pub fn fig13_delayed(opts: Opts) -> Table {
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+/// Figure 13's grid: rate × (2/3-hop × BA/DBA).
+pub fn fig13_delayed_specs() -> Vec<Vec<ScenarioSpec>> {
+    RATES
         .iter()
         .map(|&rate| {
             [(2, Policy::Ba), (2, Policy::Dba), (3, Policy::Ba), (3, Policy::Dba)]
@@ -334,8 +422,12 @@ pub fn fig13_delayed(opts: Opts) -> Table {
                 .map(|(hops, pol)| tcp(TopologyKind::Linear(hops), pol, rate, None))
                 .collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 13: BA vs DBA (relays hold for 3 frames), 2- and 3-hop.
+pub fn fig13_delayed(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig13_delayed_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 13 — TCP throughput (Mbps): BA vs delayed BA",
@@ -358,17 +450,21 @@ pub fn fig13_delayed(opts: Opts) -> Table {
 // Figure 14 — forward vs backward aggregation
 // ----------------------------------------------------------------------
 
-/// Figure 14: 3-hop TCP with forward aggregation disabled, isolating the
-/// benefit of combining opposite-direction traffic.
-pub fn fig14_no_forward(opts: Opts) -> Table {
+/// Figure 14's grid: rate × NA/BA-nofwd/BA on the 3-hop chain.
+pub fn fig14_no_forward_specs() -> Vec<Vec<ScenarioSpec>> {
     let three = TopologyKind::Linear(3);
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+    RATES
         .iter()
         .map(|&rate| {
             [Policy::Na, Policy::BaNoForward, Policy::Ba].iter().map(|&p| tcp(three, p, rate, None)).collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Figure 14: 3-hop TCP with forward aggregation disabled, isolating the
+/// benefit of combining opposite-direction traffic.
+pub fn fig14_no_forward(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(fig14_no_forward_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Figure 14 — 3-hop TCP throughput (Mbps): backward-only aggregation",
@@ -396,13 +492,19 @@ pub fn fig14_no_forward(opts: Opts) -> Table {
 
 const DETAIL_RATE: Rate = Rate::R1_30;
 
+/// Table 3's sweep: NA/UA/BA/DBA on the 2-hop chain at the detail rate.
+pub fn table3_relay_specs() -> Vec<ScenarioSpec> {
+    [Policy::Na, Policy::Ua, Policy::Ba, Policy::Dba]
+        .iter()
+        .map(|&pol| tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None))
+        .collect()
+}
+
 /// Table 3: 2-hop relay averages — frame size, transmissions relative to
 /// NA, size overhead.
-pub fn table3_relay(opts: Opts) -> Table {
+pub fn table3_relay(opts: &Opts) -> Table {
     let policies = [(Policy::Na, "NA"), (Policy::Ua, "UA"), (Policy::Ba, "BA"), (Policy::Dba, "DBA")];
-    let specs: Vec<ScenarioSpec> =
-        policies.iter().map(|&(pol, _)| tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None)).collect();
-    let results = opts.runner().run_sweep(&specs, 1);
+    let results = opts.runner().run_sweep(&table3_relay_specs(), 1);
     let na_base = results[0].first().report.relay().tx_data_frames as f64;
 
     let mut t = Table::new(
@@ -428,17 +530,21 @@ pub fn table3_relay(opts: Opts) -> Table {
     t
 }
 
-/// Table 4: 2-hop relay time overhead by rate and policy.
-pub fn table4_time_overhead(opts: Opts) -> Table {
+/// Table 4's grid: the paper's rates × NA/UA/BA/DBA on the 2-hop chain.
+pub fn table4_time_overhead_specs() -> Vec<Vec<ScenarioSpec>> {
     let policies = [Policy::Na, Policy::Ua, Policy::Ba, Policy::Dba];
-    let grid: Vec<Vec<ScenarioSpec>> = paper::TABLE4
+    paper::TABLE4
         .iter()
         .map(|&(p_rate, ..)| {
             let rate = RATES.iter().find(|r| r.mbps() == p_rate).copied().unwrap();
             policies.iter().map(|&pol| tcp(TopologyKind::Linear(2), pol, rate, None)).collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+        .collect()
+}
+
+/// Table 4: 2-hop relay time overhead by rate and policy.
+pub fn table4_time_overhead(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(table4_time_overhead_specs(), 1);
 
     let mut t = Table::new(
         "Table 4 — 2-hop relay time overhead (paper / here, %)",
@@ -463,17 +569,21 @@ pub fn table4_time_overhead(opts: Opts) -> Table {
 // Tables 5–7 — star vs 2-hop relay comparison
 // ----------------------------------------------------------------------
 
-/// Tables 5, 6, 7: relay frame size / size overhead / TX percentage,
-/// 2-hop vs star.
-pub fn table5_6_7_star(opts: Opts) -> Vec<Table> {
-    // One NA baseline + (2-hop, star) per policy, all in one sweep.
+/// Tables 5–7's sweep: one NA baseline + (2-hop, star) per policy.
+pub fn table5_6_7_star_specs() -> Vec<ScenarioSpec> {
     let mut specs = vec![tcp(TopologyKind::Linear(2), Policy::Na, DETAIL_RATE, None)];
-    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
-    for &(pol, _) in &policies {
+    for pol in [Policy::Ua, Policy::Ba] {
         specs.push(tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None));
         specs.push(tcp(TopologyKind::Star, pol, DETAIL_RATE, None));
     }
-    let results = opts.runner().run_sweep(&specs, 1);
+    specs
+}
+
+/// Tables 5, 6, 7: relay frame size / size overhead / TX percentage,
+/// 2-hop vs star.
+pub fn table5_6_7_star(opts: &Opts) -> Vec<Table> {
+    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
+    let results = opts.runner().run_sweep(&table5_6_7_star_specs(), 1);
 
     let mut size_t = Table::new("Table 5 — relay frame size (paper / here, B)", &["policy", "2-hop", "star"]);
     let mut ovh_t =
@@ -511,20 +621,24 @@ pub fn table5_6_7_star(opts: Opts) -> Vec<Table> {
 // Table 8 — frame sizes at every node
 // ----------------------------------------------------------------------
 
-/// Table 8: average frame size at server / relay(s) / client for 2-hop
-/// and 3-hop chains under UA and BA.
-pub fn table8_frame_sizes(opts: Opts) -> Table {
-    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
-    let grid: Vec<Vec<ScenarioSpec>> = policies
+/// Table 8's grid: UA/BA × 2-hop/3-hop at the detail rate.
+pub fn table8_frame_sizes_specs() -> Vec<Vec<ScenarioSpec>> {
+    [Policy::Ua, Policy::Ba]
         .iter()
-        .map(|&(pol, _)| {
+        .map(|&pol| {
             vec![
                 tcp(TopologyKind::Linear(2), pol, DETAIL_RATE, None),
                 tcp(TopologyKind::Linear(3), pol, DETAIL_RATE, None),
             ]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+        .collect()
+}
+
+/// Table 8: average frame size at server / relay(s) / client for 2-hop
+/// and 3-hop chains under UA and BA.
+pub fn table8_frame_sizes(opts: &Opts) -> Table {
+    let policies = [(Policy::Ua, "UA"), (Policy::Ba, "BA")];
+    let results = opts.runner().run_grid(table8_frame_sizes_specs(), 1);
 
     let mut t = Table::new(
         "Table 8 — average frame size per node (paper / here, B)",
@@ -554,20 +668,24 @@ pub fn table8_frame_sizes(opts: Opts) -> Table {
 // Extension — topologies beyond the paper (grid & cross)
 // ----------------------------------------------------------------------
 
-/// Extension: the paper stops at 3-hop chains and the star; the
-/// declarative topology layer makes larger shapes one variant away.
-/// A 3×2 grid (corner-to-corner session, 3 hops under x-first routing)
-/// and a cross (two sessions sharing one relay) under UA vs BA.
-pub fn ext_topologies(opts: Opts) -> Table {
+/// The topology extension's grid: rate × (grid/cross × UA/BA).
+pub fn ext_topologies_specs() -> Vec<Vec<ScenarioSpec>> {
     let kinds = [TopologyKind::Grid { w: 3, h: 2 }, TopologyKind::Cross];
-    let rates = [Rate::R1_30, Rate::R2_60];
-    let grid: Vec<Vec<ScenarioSpec>> = rates
+    [Rate::R1_30, Rate::R2_60]
         .iter()
         .map(|&rate| {
             kinds.iter().flat_map(|&k| [Policy::Ua, Policy::Ba].map(|p| tcp(k, p, rate, None))).collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Extension: the paper stops at 3-hop chains and the star; the
+/// declarative topology layer makes larger shapes one variant away.
+/// A 3×2 grid (corner-to-corner session, 3 hops under x-first routing)
+/// and a cross (two sessions sharing one relay) under UA vs BA.
+pub fn ext_topologies(opts: &Opts) -> Table {
+    let rates = [Rate::R1_30, Rate::R2_60];
+    let results = opts.runner().run_grid(ext_topologies_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Extension — TCP throughput (Mbps) on grid & cross topologies",
@@ -592,6 +710,50 @@ pub fn ext_topologies(opts: Opts) -> Table {
 // Extension — spatial medium: reuse on long chains, hidden terminals
 // ----------------------------------------------------------------------
 
+const EXT_SPATIAL_LENGTHS: [usize; 4] = [4, 6, 8, 12];
+const EXT_SPATIAL_SPACINGS: [f64; 3] = [2.5, 5.0, 7.0];
+
+/// The spatial-reuse grid: chain length × medium × NA/BA (UDP
+/// saturation, 1.3 Mbps, 5 m spacing).
+pub fn ext_spatial_reuse_specs() -> Vec<Vec<ScenarioSpec>> {
+    let cell = |hops: usize, policy: Policy, medium: MediumKind| {
+        let mut spec = udp(hops, policy, Rate::R1_30, 10_000);
+        spec.medium = medium;
+        spec
+    };
+    EXT_SPATIAL_LENGTHS
+        .iter()
+        .map(|&hops| {
+            let spatial = MediumKind::Spatial { spacing_m: 5.0 };
+            vec![
+                cell(hops, Policy::Na, MediumKind::SharedDomain),
+                cell(hops, Policy::Ba, MediumKind::SharedDomain),
+                cell(hops, Policy::Na, spatial),
+                cell(hops, Policy::Ba, spatial),
+            ]
+        })
+        .collect()
+}
+
+/// The RTS/CTS-crossover grid: spacing × handshake on/off (3-hop UDP,
+/// 0.65 Mbps so marginal links still decode).
+pub fn ext_spatial_rts_specs() -> Vec<Vec<ScenarioSpec>> {
+    EXT_SPATIAL_SPACINGS
+        .iter()
+        .map(|&spacing_m| {
+            [true, false]
+                .into_iter()
+                .map(|rts| {
+                    let mut spec = udp(3, Policy::Ba, Rate::R0_65, 16_000);
+                    spec.medium = MediumKind::Spatial { spacing_m };
+                    spec.rts_cts = rts;
+                    spec
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Extension: the paper's testbed packs every node into one
 /// carrier-sense domain, so multi-hop behaviour is pure scheduling. The
 /// spatial medium scales the chain's geometry instead; two effects the
@@ -606,30 +768,13 @@ pub fn ext_topologies(opts: Opts) -> Table {
 ///   regime); at 7 m two-hop neighbours leave carrier-sense range while
 ///   still delivering to the node between them, and RTS/CTS flips from
 ///   cost to large win.
-pub fn ext_spatial(opts: Opts) -> Vec<Table> {
+pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
     let runner = opts.runner();
 
     // Table A — chain length × medium × policy (UDP saturation, 1.3 Mbps,
     // 5 m spacing: adjacent links are clean, interference spans ~2 hops).
-    let lengths = [4usize, 6, 8, 12];
-    let cell = |hops: usize, policy: Policy, medium: MediumKind| {
-        let mut spec = udp(hops, policy, Rate::R1_30, 10_000);
-        spec.medium = medium;
-        spec
-    };
-    let grid: Vec<Vec<ScenarioSpec>> = lengths
-        .iter()
-        .map(|&hops| {
-            let spatial = MediumKind::Spatial { spacing_m: 5.0 };
-            vec![
-                cell(hops, Policy::Na, MediumKind::SharedDomain),
-                cell(hops, Policy::Ba, MediumKind::SharedDomain),
-                cell(hops, Policy::Na, spatial),
-                cell(hops, Policy::Ba, spatial),
-            ]
-        })
-        .collect();
-    let results = runner.run_grid(grid, 1);
+    let lengths = EXT_SPATIAL_LENGTHS;
+    let results = runner.run_grid(ext_spatial_reuse_specs(), 1);
 
     let mut reuse = Table::new(
         "Extension — spatial reuse: chain UDP goodput (Mbps), shared domain vs 5 m spacing",
@@ -650,22 +795,8 @@ pub fn ext_spatial(opts: Opts) -> Vec<Table> {
     // Table B — spacing × RTS/CTS (3-hop chain, 0.65 Mbps so marginal
     // links still decode). 7 m: adjacent nodes deliver but two-hop
     // neighbours cannot sense each other — classic hidden terminals.
-    let spacings = [2.5f64, 5.0, 7.0];
-    let grid: Vec<Vec<ScenarioSpec>> = spacings
-        .iter()
-        .map(|&spacing_m| {
-            [true, false]
-                .into_iter()
-                .map(|rts| {
-                    let mut spec = udp(3, Policy::Ba, Rate::R0_65, 16_000);
-                    spec.medium = MediumKind::Spatial { spacing_m };
-                    spec.rts_cts = rts;
-                    spec
-                })
-                .collect()
-        })
-        .collect();
-    let results = runner.run_grid(grid, 1);
+    let spacings = EXT_SPATIAL_SPACINGS;
+    let results = runner.run_grid(ext_spatial_rts_specs(), 1);
 
     let mut rts = Table::new(
         "Extension — RTS/CTS crossover: 3-hop UDP goodput (Mbps) vs spacing",
@@ -691,11 +822,11 @@ pub fn ext_spatial(opts: Opts) -> Vec<Table> {
 // Ablations (design choices + the paper's future work, DESIGN.md §7/§8)
 // ----------------------------------------------------------------------
 
-/// Ablation: block ACK (paper §7 future work) vs all-or-nothing, under an
-/// oversized aggregation cap that crosses the coherence cliff.
-pub fn ablation_block_ack(opts: Opts) -> Table {
-    let sizes_kb = [5usize, 8, 11, 14];
-    let grid: Vec<Vec<ScenarioSpec>> = sizes_kb
+const ABLATION_BLOCK_SIZES_KB: [usize; 4] = [5, 8, 11, 14];
+
+/// The block-ACK ablation's grid: oversized cap × normal/block ACK.
+pub fn ablation_block_ack_specs() -> Vec<Vec<ScenarioSpec>> {
+    ABLATION_BLOCK_SIZES_KB
         .iter()
         .map(|&kb| {
             [AckPolicy::Normal, AckPolicy::Block]
@@ -708,8 +839,14 @@ pub fn ablation_block_ack(opts: Opts) -> Table {
                 })
                 .collect()
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, 1);
+        .collect()
+}
+
+/// Ablation: block ACK (paper §7 future work) vs all-or-nothing, under an
+/// oversized aggregation cap that crosses the coherence cliff.
+pub fn ablation_block_ack(opts: &Opts) -> Table {
+    let sizes_kb = ABLATION_BLOCK_SIZES_KB;
+    let results = opts.runner().run_grid(ablation_block_ack_specs(), 1);
 
     let mut t = Table::new(
         "Ablation — block ACK vs all-or-nothing under coherence stress",
@@ -724,10 +861,9 @@ pub fn ablation_block_ack(opts: Opts) -> Table {
     t
 }
 
-/// Ablation: rate-adaptive aggregate sizing (paper §7) — spend a fixed
-/// sample budget instead of a fixed byte cap.
-pub fn ablation_rate_adaptive_sizing(opts: Opts) -> Table {
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+/// The sizing ablation's grid: rate × (fixed 5 KB, coherence budget).
+pub fn ablation_rate_adaptive_sizing_specs() -> Vec<Vec<ScenarioSpec>> {
+    RATES
         .iter()
         .map(|&rate| {
             let fixed = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
@@ -735,8 +871,13 @@ pub fn ablation_rate_adaptive_sizing(opts: Opts) -> Table {
             budget.sizing = Some(AggSizing::CoherenceBudget(110_000));
             vec![fixed, budget]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Ablation: rate-adaptive aggregate sizing (paper §7) — spend a fixed
+/// sample budget instead of a fixed byte cap.
+pub fn ablation_rate_adaptive_sizing(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(ablation_rate_adaptive_sizing_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Ablation — fixed 5 KB cap vs coherence-budget sizing",
@@ -750,16 +891,16 @@ pub fn ablation_rate_adaptive_sizing(opts: Opts) -> Table {
     t
 }
 
-/// Ablation: DBA flush-timeout sensitivity (DESIGN.md §7 — the paper
-/// leaves the deadlock guard unspecified).
-pub fn ablation_dba_flush(opts: Opts) -> Table {
-    let flushes_ms = [2u64, 5, 10, 20, 40];
-    // Row 0: the BA baselines; the rest: DBA at each flush timeout.
+const ABLATION_FLUSHES_MS: [u64; 5] = [2, 5, 10, 20, 40];
+
+/// The DBA-flush ablation's grid: row 0 holds the BA baselines, the
+/// remaining rows DBA at each flush timeout (2- and 3-hop columns).
+pub fn ablation_dba_flush_specs() -> Vec<Vec<ScenarioSpec>> {
     let mut grid: Vec<Vec<ScenarioSpec>> = vec![[2usize, 3]
         .iter()
         .map(|&h| tcp(TopologyKind::Linear(h), Policy::Ba, Rate::R2_60, None))
         .collect()];
-    for &flush_ms in &flushes_ms {
+    for &flush_ms in &ABLATION_FLUSHES_MS {
         grid.push(
             [2usize, 3]
                 .iter()
@@ -771,7 +912,14 @@ pub fn ablation_dba_flush(opts: Opts) -> Table {
                 .collect(),
         );
     }
-    let mut results = opts.runner().run_grid(grid, opts.seeds);
+    grid
+}
+
+/// Ablation: DBA flush-timeout sensitivity (DESIGN.md §7 — the paper
+/// leaves the deadlock guard unspecified).
+pub fn ablation_dba_flush(opts: &Opts) -> Table {
+    let flushes_ms = ABLATION_FLUSHES_MS;
+    let mut results = opts.runner().run_grid(ablation_dba_flush_specs(), opts.seeds);
     let ba = means(&results.remove(0));
 
     let mut t = Table::new(
@@ -787,10 +935,9 @@ pub fn ablation_dba_flush(opts: Opts) -> Table {
     t
 }
 
-/// Ablation: RTS/CTS on vs off (the paper always uses RTS/CTS; all nodes
-/// are in carrier-sense range, so the handshake is pure overhead here).
-pub fn ablation_rts_cts(opts: Opts) -> Table {
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+/// The RTS/CTS ablation's grid: rate × handshake on/off.
+pub fn ablation_rts_cts_specs() -> Vec<Vec<ScenarioSpec>> {
+    RATES
         .iter()
         .map(|&rate| {
             let with = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
@@ -798,8 +945,13 @@ pub fn ablation_rts_cts(opts: Opts) -> Table {
             without.rts_cts = false;
             vec![with, without]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Ablation: RTS/CTS on vs off (the paper always uses RTS/CTS; all nodes
+/// are in carrier-sense range, so the handshake is pure overhead here).
+pub fn ablation_rts_cts(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(ablation_rts_cts_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Ablation — RTS/CTS handshake on vs off (2-hop TCP)",
@@ -813,11 +965,9 @@ pub fn ablation_rts_cts(opts: Opts) -> Table {
     t
 }
 
-/// Ablation: delayed ACKs at the TCP receiver (off in the paper — its
-/// client ACKs every segment; delayed ACKs halve the ACK stream and so
-/// shrink the backward-aggregation benefit).
-pub fn ablation_delayed_ack(opts: Opts) -> Table {
-    let grid: Vec<Vec<ScenarioSpec>> = RATES
+/// The delayed-ACK ablation's grid: rate × (per-segment, delayed).
+pub fn ablation_delayed_ack_specs() -> Vec<Vec<ScenarioSpec>> {
+    RATES
         .iter()
         .map(|&rate| {
             let per_seg = tcp(TopologyKind::Linear(2), Policy::Ba, rate, None);
@@ -825,8 +975,14 @@ pub fn ablation_delayed_ack(opts: Opts) -> Table {
             delayed.tcp.delayed_ack = true;
             vec![per_seg, delayed]
         })
-        .collect();
-    let results = opts.runner().run_grid(grid, opts.seeds);
+        .collect()
+}
+
+/// Ablation: delayed ACKs at the TCP receiver (off in the paper — its
+/// client ACKs every segment; delayed ACKs halve the ACK stream and so
+/// shrink the backward-aggregation benefit).
+pub fn ablation_delayed_ack(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(ablation_delayed_ack_specs(), opts.seeds);
 
     let mut t = Table::new(
         "Ablation — TCP delayed ACKs (2-hop, BA)",
@@ -839,21 +995,28 @@ pub fn ablation_delayed_ack(opts: Opts) -> Table {
     t
 }
 
-/// Ablation: broadcast subframes ride at the front of the frame (paper
-/// §4.2.3: close to the training sequences, where the channel estimate is
-/// freshest). Measured as per-portion CRC failure rates under aggregates
-/// that overrun the coherence budget.
-pub fn ablation_broadcast_position(opts: Opts) -> Table {
-    let sizes_kb = [5usize, 7, 9];
-    let specs: Vec<ScenarioSpec> = sizes_kb
+const ABLATION_POSITION_SIZES_KB: [usize; 3] = [5, 7, 9];
+
+/// The positional-protection ablation's sweep: oversized caps at
+/// 0.65 Mbps.
+pub fn ablation_broadcast_position_specs() -> Vec<ScenarioSpec> {
+    ABLATION_POSITION_SIZES_KB
         .iter()
         .map(|&kb| {
             let mut spec = tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R0_65, None);
             spec.max_aggregate = kb * 1024;
             spec
         })
-        .collect();
-    let results = opts.runner().run_sweep(&specs, 1);
+        .collect()
+}
+
+/// Ablation: broadcast subframes ride at the front of the frame (paper
+/// §4.2.3: close to the training sequences, where the channel estimate is
+/// freshest). Measured as per-portion CRC failure rates under aggregates
+/// that overrun the coherence budget.
+pub fn ablation_broadcast_position(opts: &Opts) -> Table {
+    let sizes_kb = ABLATION_POSITION_SIZES_KB;
+    let results = opts.runner().run_sweep(&ablation_broadcast_position_specs(), 1);
 
     let mut t = Table::new(
         "Ablation — positional protection of the broadcast portion (oversized aggregates, 0.65 Mbps)",
@@ -881,7 +1044,7 @@ pub fn ablation_broadcast_position(opts: Opts) -> Table {
 }
 
 /// Runs every experiment, printing each table; returns the rendered text.
-pub fn run_all(opts: Opts) -> String {
+pub fn run_all(opts: &Opts) -> String {
     let mut out = String::new();
     let mut emit = |t: Table| {
         let s = t.render();

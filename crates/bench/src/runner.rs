@@ -24,6 +24,8 @@ use std::sync::Mutex;
 use hydra_netsim::{RunOutcome, ScenarioSpec};
 use hydra_sim::stream_seed;
 
+use crate::sweeps::SharedCache;
+
 /// All replications of one sweep cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -46,22 +48,34 @@ impl CellResult {
     }
 }
 
-/// Executes sweeps of [`ScenarioSpec`]s across OS threads.
-#[derive(Debug, Clone, Copy)]
+/// Executes sweeps of [`ScenarioSpec`]s across OS threads, optionally
+/// consulting a persistent [`crate::sweeps::ResultCache`] before
+/// dispatching any run and appending every fresh outcome to it.
+#[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     /// Worker threads; 0 = one per available CPU.
     pub threads: usize,
+    /// Persistent result store; `None` = always simulate.
+    cache: Option<SharedCache>,
 }
 
 impl ExperimentRunner {
     /// A runner with an explicit thread count (0 = auto).
     pub fn new(threads: usize) -> Self {
-        ExperimentRunner { threads }
+        ExperimentRunner { threads, cache: None }
     }
 
     /// A sequential runner (also the reference for determinism tests).
     pub fn sequential() -> Self {
-        ExperimentRunner { threads: 1 }
+        Self::new(1)
+    }
+
+    /// Attaches a persistent result cache: cells whose
+    /// `(stable_hash, replication)` key is already stored skip
+    /// simulation entirely, and fresh runs are appended for next time.
+    pub fn with_cache(mut self, cache: SharedCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     fn thread_count(&self, jobs: usize) -> usize {
@@ -75,18 +89,51 @@ impl ExperimentRunner {
         stream_seed(spec.stable_hash(), rep)
     }
 
-    /// Expands `specs × (1..=seeds)` into a work list, executes it in
-    /// parallel, and returns one [`CellResult`] per spec, in order.
+    /// Expands `specs × (1..=seeds)` into a work list, satisfies what it
+    /// can from the attached cache, executes the rest in parallel, and
+    /// returns one [`CellResult`] per spec, in order. Fresh outcomes are
+    /// appended to the cache (in job order, so the store stays
+    /// deterministic for a given cold sweep).
     pub fn run_sweep(&self, specs: &[ScenarioSpec], seeds: u64) -> Vec<CellResult> {
         assert!(seeds >= 1, "a sweep needs at least one seed");
+        // (cell index, replication, cache key) per job, in job order.
         let mut jobs = Vec::with_capacity(specs.len() * seeds as usize);
-        for spec in specs {
+        for (cell, spec) in specs.iter().enumerate() {
+            let hash = spec.stable_hash();
             for rep in 1..=seeds {
-                jobs.push(spec.clone().with_seed(Self::run_seed(spec, rep)));
+                jobs.push((cell, rep, hash));
             }
         }
-        let outcomes = self.execute(jobs);
-        let mut outcomes = outcomes.into_iter();
+        let mut results: Vec<Option<RunOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("result cache poisoned");
+            for (slot, &(_, rep, hash)) in results.iter_mut().zip(&jobs) {
+                *slot = cache.lookup(hash, rep);
+            }
+        }
+        let todo: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+        let work: Vec<ScenarioSpec> = todo
+            .iter()
+            .map(|&i| {
+                let (cell, rep, _) = jobs[i];
+                let spec = &specs[cell];
+                spec.clone().with_seed(stream_seed(spec.stable_hash(), rep))
+            })
+            .collect();
+        let fresh = self.execute(work);
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("result cache poisoned");
+            for (&i, outcome) in todo.iter().zip(&fresh) {
+                let (cell, rep, hash) = jobs[i];
+                if let Err(e) = cache.record(hash, rep, &specs[cell], outcome) {
+                    eprintln!("warning: result cache append failed: {e}");
+                }
+            }
+        }
+        for (i, outcome) in todo.into_iter().zip(fresh) {
+            results[i] = Some(outcome);
+        }
+        let mut outcomes = results.into_iter().map(|r| r.expect("every job resolved"));
         specs
             .iter()
             .map(|spec| CellResult {

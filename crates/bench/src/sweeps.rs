@@ -1,0 +1,671 @@
+//! Sweep-level persistence: a durable [`RunOutcome`] cache on disk.
+//!
+//! Every run a sweep dispatches is named by the pair
+//! `(ScenarioSpec::stable_hash, replication)` — the same key the runner
+//! derives the world seed from — and a finished run is pure data. This
+//! module stores that data as JSON lines (one record per run, tagged
+//! with [`CACHE_SCHEMA`]) under `results/cache/`, so a warm rerun of
+//! `--bin all` or `--bin sweep` executes **zero** simulations for cells
+//! whose spec and replication are already on disk and still renders
+//! byte-identical tables: floats are written in shortest-round-trip
+//! form and parsed back bit-exactly.
+//!
+//! Editing a spec changes its `stable_hash`, which invalidates exactly
+//! that cell's replications and nothing else. The key cannot see
+//! *code* edits, though: after changing simulation behaviour (MAC,
+//! PHY, TCP, …) the same spec hashes the same but would simulate
+//! differently, so [`CACHE_SCHEMA`] must be bumped (it doubles as the
+//! simulator-revision token) — likewise when [`RunOutcome`]'s shape or
+//! any field's meaning changes. Records with a foreign schema tag are
+//! ignored, not errors, so old caches degrade into cold ones.
+//!
+//! The workspace vendors no dependencies, so the codec below is a
+//! deliberately small JSON reader/writer that covers exactly what the
+//! records need (objects, arrays, strings, integers, shortest-form
+//! floats, booleans).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use hydra_netsim::{RunOutcome, RunReport, ScenarioSpec};
+use hydra_sim::Instant;
+
+/// Schema tag stamped on every cache record; records with a foreign
+/// tag are skipped on load. This is the cache's *only* notion of
+/// simulator revision: bump it on any change to the record layout
+/// **or to simulation behaviour** (MAC, PHY, TCP, spec semantics —
+/// anything that would make an old outcome wrong for the same spec).
+/// The key `(stable_hash, replication)` only tracks the *scenario*;
+/// it cannot see code edits, so a stale tag silently serves stale
+/// numbers. When in doubt, bump — or `rm -rf results/cache`.
+pub const CACHE_SCHEMA: &str = "hydra-agg.run.v1";
+
+/// A cache shared between experiment functions and runner threads.
+pub type SharedCache = Arc<Mutex<ResultCache>>;
+
+/// Session counters: how the cache performed since it was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from disk (runs *not* simulated).
+    pub hits: u64,
+    /// Lookups that missed and were simulated.
+    pub misses: u64,
+    /// Records on disk that were unreadable or carried a foreign
+    /// schema tag and were ignored at load.
+    pub skipped: u64,
+}
+
+/// A persistent `(stable_hash, replication) → RunOutcome` store backed
+/// by an append-only JSON-lines file.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    entries: HashMap<(u64, u64), RunOutcome>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// The default on-disk location, relative to the workspace root.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/cache")
+    }
+
+    /// Opens (creating if needed) the cache under [`Self::default_dir`].
+    pub fn open_default() -> std::io::Result<ResultCache> {
+        Self::open(Self::default_dir())
+    }
+
+    /// Opens (creating if needed) the cache file `runs.jsonl` under
+    /// `dir`, loading every readable record with the current schema.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join("runs.jsonl");
+        let mut cache = ResultCache { path, entries: HashMap::new(), stats: CacheStats::default() };
+        match std::fs::read_to_string(&cache.path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match decode_record(line) {
+                        Some((key, outcome)) => {
+                            cache.entries.insert(key, outcome);
+                        }
+                        None => cache.stats.skipped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(cache)
+    }
+
+    /// Wraps a freshly opened cache for sharing across runners.
+    pub fn shared(self) -> SharedCache {
+        Arc::new(Mutex::new(self))
+    }
+
+    /// Cached outcomes currently loaded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Session hit/miss/skip counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up replication `rep` of the spec hashed to `hash`,
+    /// counting the hit or miss.
+    pub fn lookup(&mut self, hash: u64, rep: u64) -> Option<RunOutcome> {
+        match self.entries.get(&(hash, rep)) {
+            Some(outcome) => {
+                self.stats.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a finished run: appends one JSON line (carrying the
+    /// spec's canonical `.scn` text for human inspection) and indexes
+    /// the outcome in memory.
+    pub fn record(
+        &mut self,
+        hash: u64,
+        rep: u64,
+        spec: &ScenarioSpec,
+        outcome: &RunOutcome,
+    ) -> std::io::Result<()> {
+        let mut line = encode_record(hash, rep, &spec.to_scn(), outcome);
+        line.push('\n');
+        // One write of the whole record: under O_APPEND concurrent
+        // writers (e.g. `--bin all` and `--bin sweep` sharing the
+        // default cache) interleave at write granularity, so a record
+        // must never be split across calls.
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        file.write_all(line.as_bytes())?;
+        self.entries.insert((hash, rep), outcome.clone());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------
+
+fn encode_record(hash: u64, rep: u64, scn: &str, outcome: &RunOutcome) -> String {
+    let mut s = String::with_capacity(512);
+    s.push('{');
+    s.push_str(&format!("\"schema\":{},", quote(CACHE_SCHEMA)));
+    s.push_str(&format!("\"hash\":\"{hash:#018x}\","));
+    s.push_str(&format!("\"rep\":{rep},"));
+    s.push_str(&format!("\"scn\":{},", quote(scn)));
+    s.push_str("\"outcome\":");
+    encode_outcome(&mut s, outcome);
+    s.push('}');
+    s
+}
+
+fn encode_outcome(s: &mut String, o: &RunOutcome) {
+    s.push('{');
+    s.push_str(&format!("\"completed\":{},", o.completed));
+    s.push_str(&format!("\"throughput_bps\":{},", fnum(o.throughput_bps)));
+    s.push_str("\"per_flow_bps\":[");
+    for (i, v) in o.per_flow_bps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&fnum(*v));
+    }
+    s.push_str("],");
+    s.push_str(&format!("\"at_ns\":{},", o.report.at.as_nanos()));
+    s.push_str(&format!("\"collisions\":{},", o.report.collisions));
+    s.push_str("\"nodes\":[");
+    for (i, n) in o.report.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        s.push_str(&format!("\"node\":{},", n.node));
+        s.push_str(&format!("\"tx_data_frames\":{},", n.tx_data_frames));
+        s.push_str(&format!("\"tx_control\":{},", n.tx_control));
+        s.push_str(&format!("\"avg_frame_size\":{},", fnum(n.avg_frame_size)));
+        s.push_str(&format!("\"avg_subframes\":{},", fnum(n.avg_subframes)));
+        s.push_str(&format!("\"subframes_sent\":[{},{}],", n.subframes_sent.0, n.subframes_sent.1));
+        s.push_str(&format!("\"size_overhead\":{},", fnum(n.size_overhead)));
+        s.push_str(&format!("\"time_overhead\":{},", fnum(n.time_overhead)));
+        s.push_str("\"time_by_category\":[");
+        for (j, (k, v)) in n.time_by_category.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{},{}]", quote(k), fnum(*v)));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"retries\":{},", n.retries));
+        s.push_str(&format!("\"retry_drops\":{},", n.retry_drops));
+        s.push_str(&format!("\"queue_overflow\":{},", n.queue_overflow));
+        s.push_str(&format!("\"acks_classified\":{},", n.acks_classified));
+        s.push_str(&format!("\"bcast_filtered\":{},", n.bcast_filtered));
+        s.push_str(&format!("\"bcast_ok\":{},", n.bcast_ok));
+        s.push_str(&format!("\"bcast_crc_fail\":{},", n.bcast_crc_fail));
+        s.push_str(&format!("\"unicast_ok\":{},", n.unicast_ok));
+        s.push_str(&format!("\"unicast_crc_drops\":{},", n.unicast_crc_drops));
+        s.push_str(&format!("\"collisions_seen\":{},", n.collisions_seen));
+        s.push_str(&format!("\"forwarded\":{}", n.forwarded));
+        s.push('}');
+    }
+    s.push_str("]}");
+}
+
+/// Decodes one cache line; `None` for anything unreadable or tagged
+/// with a foreign schema.
+fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
+    let v = json::parse(line).ok()?;
+    let obj = v.as_obj()?;
+    if json::get_str(obj, "schema")? != CACHE_SCHEMA {
+        return None;
+    }
+    let hash_text = json::get_str(obj, "hash")?;
+    let hash = u64::from_str_radix(hash_text.strip_prefix("0x")?, 16).ok()?;
+    let rep = json::get_u64(obj, "rep")?;
+    let o = json::get(obj, "outcome")?.as_obj()?;
+    let nodes_v = json::get(o, "nodes")?.as_arr()?;
+    let mut nodes = Vec::with_capacity(nodes_v.len());
+    for nv in nodes_v {
+        let n = nv.as_obj()?;
+        let sub = json::get(n, "subframes_sent")?.as_arr()?;
+        if sub.len() != 2 {
+            return None;
+        }
+        let tbc_v = json::get(n, "time_by_category")?.as_arr()?;
+        let mut time_by_category = Vec::with_capacity(tbc_v.len());
+        for pair in tbc_v {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            time_by_category.push((pair[0].as_str()?.to_string(), pair[1].as_f64()?));
+        }
+        nodes.push(hydra_netsim::NodeReport {
+            node: json::get_u64(n, "node")? as usize,
+            tx_data_frames: json::get_u64(n, "tx_data_frames")?,
+            tx_control: json::get_u64(n, "tx_control")?,
+            avg_frame_size: json::get_f64(n, "avg_frame_size")?,
+            avg_subframes: json::get_f64(n, "avg_subframes")?,
+            subframes_sent: (sub[0].as_u64()?, sub[1].as_u64()?),
+            size_overhead: json::get_f64(n, "size_overhead")?,
+            time_overhead: json::get_f64(n, "time_overhead")?,
+            time_by_category,
+            retries: json::get_u64(n, "retries")?,
+            retry_drops: json::get_u64(n, "retry_drops")?,
+            queue_overflow: json::get_u64(n, "queue_overflow")?,
+            acks_classified: json::get_u64(n, "acks_classified")?,
+            bcast_filtered: json::get_u64(n, "bcast_filtered")?,
+            bcast_ok: json::get_u64(n, "bcast_ok")?,
+            bcast_crc_fail: json::get_u64(n, "bcast_crc_fail")?,
+            unicast_ok: json::get_u64(n, "unicast_ok")?,
+            unicast_crc_drops: json::get_u64(n, "unicast_crc_drops")?,
+            collisions_seen: json::get_u64(n, "collisions_seen")?,
+            forwarded: json::get_u64(n, "forwarded")?,
+        });
+    }
+    let per_flow_v = json::get(o, "per_flow_bps")?.as_arr()?;
+    let mut per_flow_bps = Vec::with_capacity(per_flow_v.len());
+    for v in per_flow_v {
+        per_flow_bps.push(v.as_f64()?);
+    }
+    let outcome = RunOutcome {
+        completed: json::get(o, "completed")?.as_bool()?,
+        throughput_bps: json::get_f64(o, "throughput_bps")?,
+        per_flow_bps,
+        report: RunReport {
+            nodes,
+            at: Instant::from_nanos(json::get_u64(o, "at_ns")?),
+            collisions: json::get_u64(o, "collisions")?,
+        },
+    };
+    Some(((hash, rep), outcome))
+}
+
+/// Shortest-round-trip float text; non-finite values are quoted tokens
+/// the reader maps back (plain JSON has no spelling for them).
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "\"NaN\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The minimal JSON the cache records need. Not a general-purpose
+/// parser: just enough to read back what [`encode_record`] writes,
+/// with strict syntax so corruption surfaces as a skipped record.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number without `.`/`e` (fits the counters exactly).
+        Int(u64),
+        /// Any other number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(kv) => Some(kv),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(v) => Some(*v),
+                Value::Int(n) => Some(*n as f64),
+                // Non-finite floats are stored as quoted tokens.
+                Value::Str(s) => match s.as_str() {
+                    "NaN" => Some(f64::NAN),
+                    "inf" => Some(f64::INFINITY),
+                    "-inf" => Some(f64::NEG_INFINITY),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    pub fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+        get(obj, key)?.as_str()
+    }
+    pub fn get_u64(obj: &[(String, Value)], key: &str) -> Option<u64> {
+        get(obj, key)?.as_u64()
+    }
+    pub fn get_f64(obj: &[(String, Value)], key: &str) -> Option<f64> {
+        get(obj, key)?.as_f64()
+    }
+
+    /// Parses one complete JSON value (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => obj(b, pos),
+            Some(b'[') => arr(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, text: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(text.as_bytes()) {
+            *pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut kv = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(kv));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            let v = value(b, pos)?;
+            kv.push((key, v));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(kv));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+
+    fn arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+        if text.is_empty() {
+            return Err(format!("expected value at byte {start}"));
+        }
+        if !text.contains(['.', 'e', 'E']) && !text.starts_with('-') {
+            return text.parse::<u64>().map(Value::Int).map_err(|e| e.to_string());
+        }
+        text.parse::<f64>().map(Value::Num).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_netsim::{Policy, TopologyKind};
+    use hydra_phy::Rate;
+    use hydra_sim::Duration;
+
+    fn tiny_spec() -> ScenarioSpec {
+        let mut spec =
+            ScenarioSpec::udp(TopologyKind::Linear(1), Policy::Ua, Rate::R1_30, Duration::from_millis(20));
+        spec.warmup = Duration::from_millis(200);
+        spec.duration = Duration::from_secs(1);
+        spec
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hydra-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn outcome_round_trips_bit_exactly() {
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
+        let ((hash, rep), back) = decode_record(&line).expect("decode own record");
+        assert_eq!(hash, spec.stable_hash());
+        assert_eq!(rep, 1);
+        assert_eq!(back, outcome, "RunOutcome must survive the cache byte-exactly");
+        // Exact float identity, not approximate.
+        assert_eq!(back.throughput_bps.to_bits(), outcome.throughput_bps.to_bits());
+    }
+
+    #[test]
+    fn cache_persists_across_opens_and_counts_hits() {
+        let dir = tmp_dir("persist");
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        {
+            let mut c = ResultCache::open(&dir).unwrap();
+            assert!(c.is_empty());
+            assert!(c.lookup(spec.stable_hash(), 1).is_none());
+            c.record(spec.stable_hash(), 1, &spec, &outcome).unwrap();
+            assert_eq!(c.stats(), CacheStats { hits: 0, misses: 1, skipped: 0 });
+        }
+        let mut c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        let cached = c.lookup(spec.stable_hash(), 1).expect("reload from disk");
+        assert_eq!(cached, outcome);
+        assert!(c.lookup(spec.stable_hash(), 2).is_none(), "other reps stay cold");
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, skipped: 0 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_schema_and_corrupt_lines_are_skipped() {
+        let dir = tmp_dir("schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        let good = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
+        let foreign = good.replace(CACHE_SCHEMA, "hydra-agg.run.v0");
+        std::fs::write(dir.join("runs.jsonl"), format!("{foreign}\nnot json at all\n{good}\n")).unwrap();
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1, "only the current-schema record loads");
+        assert_eq!(c.stats().skipped, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\":}", "{\"a\":1} trailing", ""] {
+            assert!(json::parse(bad).is_err(), "`{bad}` should fail");
+        }
+        assert_eq!(json::parse("-3.5").unwrap(), json::Value::Num(-3.5));
+        assert_eq!(json::parse("42").unwrap(), json::Value::Int(42));
+        assert_eq!(json::parse("\"a\\\"b\\u0041\"").unwrap(), json::Value::Str("a\"bA".into()));
+    }
+
+    #[test]
+    fn non_finite_floats_survive() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.1, -0.0, 1e300] {
+            let parsed = json::parse(&fnum(v)).unwrap().as_f64().unwrap();
+            assert!(parsed.to_bits() == v.to_bits() || (parsed.is_nan() && v.is_nan()));
+        }
+    }
+}

@@ -37,7 +37,7 @@ fn fixed_sweep() -> Vec<ScenarioSpec> {
 
 /// Folds a sweep's results into the rendered table the harness would
 /// print — full float formatting, so any divergence shows up.
-fn render(runner: ExperimentRunner, seeds: u64) -> String {
+fn render(runner: &ExperimentRunner, seeds: u64) -> String {
     let cells = runner.run_sweep(&fixed_sweep(), seeds);
     let mut t = Table::new("determinism probe", &["cell", "mean bps", "per-run bps", "TXs"]);
     for (i, cell) in cells.iter().enumerate() {
@@ -55,10 +55,10 @@ fn render(runner: ExperimentRunner, seeds: u64) -> String {
 fn parallel_equals_sequential_twice() {
     let sequential = ExperimentRunner::sequential();
     let parallel = ExperimentRunner::new(4);
-    let reference = render(sequential, 2);
+    let reference = render(&sequential, 2);
     for round in 0..2 {
-        assert_eq!(render(parallel, 2), reference, "parallel diverged on round {round}");
-        assert_eq!(render(sequential, 2), reference, "sequential not stable on round {round}");
+        assert_eq!(render(&parallel, 2), reference, "parallel diverged on round {round}");
+        assert_eq!(render(&sequential, 2), reference, "sequential not stable on round {round}");
     }
 }
 

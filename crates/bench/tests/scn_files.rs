@@ -1,0 +1,79 @@
+//! The `.scn` corpus tests: every shipped experiment grid round-trips
+//! through the text format, and the checked-in files under
+//! `examples/sweeps/` stay in lockstep with the in-code definitions.
+
+use hydra_bench::experiments::shipped_sweeps;
+use hydra_netsim::{parse_scn, ScenarioSpec};
+
+fn sweeps_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweeps")
+}
+
+/// Round-trip guarantee over the whole shipped corpus: serialize →
+/// parse → re-serialize is the identity on text, the value, and the
+/// stable hash (and therefore every derived world seed / cache key).
+#[test]
+fn every_shipped_spec_round_trips() {
+    let mut total = 0usize;
+    for (name, specs) in shipped_sweeps() {
+        for spec in &specs {
+            let line = spec.to_scn();
+            let back =
+                ScenarioSpec::from_scn(&line).unwrap_or_else(|e| panic!("{name}: parse `{line}`: {e}"));
+            assert_eq!(&back, spec, "{name}: value drift through `{line}`");
+            assert_eq!(back.to_scn(), line, "{name}: text drift through `{line}`");
+            assert_eq!(back.stable_hash(), spec.stable_hash(), "{name}: hash drift through `{line}`");
+            total += 1;
+        }
+    }
+    assert!(total > 250, "expected the full corpus, saw {total} specs");
+}
+
+/// The checked-in `.scn` files are generated artifacts: each must parse
+/// and yield exactly the spec list its experiment builds in code. A
+/// failure here means `--bin sweep -- --export examples/sweeps` needs
+/// re-running (or a file was edited by hand).
+#[test]
+fn example_files_match_the_code() {
+    let dir = sweeps_dir();
+    let mut expected_files: Vec<String> = Vec::new();
+    for (name, specs) in shipped_sweeps() {
+        let path = dir.join(format!("{name}.scn"));
+        expected_files.push(format!("{name}.scn"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} — regenerate with --bin sweep -- --export", path.display()));
+        let parsed = parse_scn(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            parsed,
+            specs,
+            "{name}.scn diverged from {name}_specs(); regenerate with `--bin sweep -- --export examples/sweeps`"
+        );
+    }
+    // No orphans: every .scn in the directory belongs to a shipped
+    // sweep (except the tiny CI smoke sweep, which is hand-written).
+    for entry in std::fs::read_dir(&dir).expect("examples/sweeps exists") {
+        let file = entry.unwrap().file_name().into_string().unwrap();
+        if !file.ends_with(".scn") || file == "smoke.scn" {
+            continue;
+        }
+        assert!(expected_files.contains(&file), "orphan sweep file examples/sweeps/{file}");
+    }
+}
+
+/// The hand-written CI smoke sweep must stay parseable too.
+#[test]
+fn smoke_file_parses() {
+    let text = std::fs::read_to_string(sweeps_dir().join("smoke.scn")).expect("smoke.scn exists");
+    let specs = parse_scn(&text).expect("smoke.scn parses");
+    assert!(!specs.is_empty());
+}
+
+/// Malformed sweep files die with the offending line number, not a
+/// generic error (users hand-edit these).
+#[test]
+fn malformed_files_report_line_numbers() {
+    let text = "# comment\ntopo=linear:2 policy=ba rate=1.3 traffic=file:1000\n\ntopo=linear:2 policy=ba rate=1.3 traffic=file:1000 surprise=1\n";
+    let err = parse_scn(text).unwrap_err();
+    assert_eq!(err.line, 4);
+    assert!(err.msg.contains("unknown key"), "{err}");
+}

@@ -1,0 +1,97 @@
+//! End-to-end cache behaviour: a warm rerun of an unchanged sweep
+//! simulates nothing and reproduces byte-identical tables; editing one
+//! spec re-runs only that spec's cells.
+
+use hydra_bench::{CacheStats, ExperimentRunner, ResultCache, Table};
+use hydra_netsim::{Policy, ScenarioSpec, TopologyKind};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
+
+fn sweep() -> Vec<ScenarioSpec> {
+    [Policy::Na, Policy::Ua, Policy::Ba]
+        .iter()
+        .map(|&p| {
+            let mut spec =
+                ScenarioSpec::udp(TopologyKind::Linear(2), p, Rate::R1_30, Duration::from_millis(15));
+            spec.warmup = Duration::from_millis(300);
+            spec.duration = Duration::from_secs(1);
+            spec
+        })
+        .collect()
+}
+
+/// Renders results with full float precision so any cached-vs-fresh
+/// divergence is visible.
+fn render(runner: &ExperimentRunner, specs: &[ScenarioSpec], seeds: u64) -> String {
+    let cells = runner.run_sweep(specs, seeds);
+    let mut t = Table::new("cache probe", &["scenario", "per-run bps", "TXs"]);
+    for cell in &cells {
+        t.row(vec![
+            cell.spec.to_scn(),
+            cell.runs.iter().map(|r| format!("{:.17e}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
+            cell.runs.iter().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    t.render()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hydra-sweep-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_rerun_simulates_nothing_and_matches_byte_for_byte() {
+    let dir = tmp_dir("warm");
+    let specs = sweep();
+    let seeds = 2;
+
+    // Cold: everything simulates.
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    let runner = ExperimentRunner::new(2).with_cache(cache.clone());
+    let cold = render(&runner, &specs, seeds);
+    let stats = cache.lock().unwrap().stats();
+    assert_eq!(stats, CacheStats { hits: 0, misses: specs.len() as u64 * seeds, skipped: 0 });
+
+    // Warm, new process simulated by reopening from disk: zero misses,
+    // identical bytes.
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    let runner = ExperimentRunner::new(2).with_cache(cache.clone());
+    let warm = render(&runner, &specs, seeds);
+    let stats = cache.lock().unwrap().stats();
+    assert_eq!(stats.misses, 0, "warm rerun must not simulate");
+    assert_eq!(stats.hits, specs.len() as u64 * seeds);
+    assert_eq!(warm, cold, "cached tables must be byte-identical");
+
+    // Uncached runner agrees with both (the cache changes cost, never
+    // results).
+    let uncached = render(&ExperimentRunner::new(2), &specs, seeds);
+    assert_eq!(uncached, cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_one_spec_invalidates_only_its_cells() {
+    let dir = tmp_dir("edit");
+    let mut specs = sweep();
+    let seeds = 2;
+
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    render(&ExperimentRunner::new(2).with_cache(cache), &specs, seeds);
+
+    // Edit the middle spec (longer measurement window -> new hash).
+    specs[1].duration = Duration::from_millis(1500);
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
+    let stats = cache.lock().unwrap().stats();
+    assert_eq!(stats.misses, seeds, "only the edited spec's replications re-run");
+    assert_eq!(stats.hits, (specs.len() as u64 - 1) * seeds);
+
+    // Asking for more seeds re-runs only the new replications.
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds + 1);
+    let stats = cache.lock().unwrap().stats();
+    assert_eq!(stats.misses, specs.len() as u64, "one new replication per spec");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,10 @@
 //!
 //! The MAC itself ([`mac::Mac`]) is a sans-IO state machine; wire it to a
 //! medium and a clock with `hydra-netsim`, or drive it directly in tests.
+//!
+//! **Layer**: above `hydra-wire` (frames), `hydra-phy` (rates/airtime)
+//! and `hydra-sim` (timers); below `hydra-netsim`, which connects the
+//! sans-IO MAC to the event loop and the shared medium.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

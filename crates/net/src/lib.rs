@@ -5,6 +5,10 @@
 //! collapse everything to one hop). This crate provides exactly that:
 //! a static route table, a static IP↔MAC mapping, TTL-checked
 //! forwarding, and local delivery/demux.
+//!
+//! **Layer**: above `hydra-wire` (IPv4 headers and addresses); below
+//! `hydra-netsim`, which installs each node's route table from the
+//! topology and feeds the stack from the MAC's receive path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

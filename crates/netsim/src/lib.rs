@@ -13,6 +13,12 @@
 //!
 //! Every run is deterministic in its spec + seed — on any thread, in
 //! any order.
+//!
+//! **Layer**: the integration point — above every protocol crate
+//! (`hydra-core`, `hydra-net`, `hydra-tcp`, `hydra-app`, `hydra-phy`);
+//! below `hydra-bench`, whose experiment grids, `.scn` sweep files
+//! ([`scn`]) and result cache are all phrased in terms of
+//! [`spec::ScenarioSpec`] and [`spec::RunOutcome`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +26,7 @@
 pub mod metrics;
 pub mod node;
 pub mod scenario;
+pub mod scn;
 pub mod spec;
 pub mod topology;
 pub mod world;
@@ -27,6 +34,7 @@ pub mod world;
 pub use metrics::{mbps, NodeReport, RunReport};
 pub use node::{Apps, Node};
 pub use scenario::{TcpRunResult, TcpScenario, UdpRunResult, UdpScenario};
+pub use scn::{parse_scn, render_scn, ScnError};
 pub use spec::{Flooding, Flow, Policy, RunOutcome, ScenarioSpec, TopologyKind, Traffic};
 pub use topology::Topology;
 pub use world::{MediumKind, World};

@@ -5,7 +5,7 @@ use hydra_sim::{Duration, Instant};
 use crate::world::World;
 
 /// Snapshot of one node's MAC/NET statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeReport {
     /// Node index.
     pub node: usize,
@@ -23,8 +23,10 @@ pub struct NodeReport {
     pub size_overhead: f64,
     /// Time overhead fraction (Table 4 accounting).
     pub time_overhead: f64,
-    /// Time by category, seconds.
-    pub time_by_category: Vec<(&'static str, f64)>,
+    /// Time by category, seconds. (Owned strings so reports can be
+    /// rebuilt from the persistent result cache, not only collected
+    /// from a live world.)
+    pub time_by_category: Vec<(String, f64)>,
     /// Burst retransmissions.
     pub retries: u64,
     /// Bursts dropped at the retry limit.
@@ -50,7 +52,7 @@ pub struct NodeReport {
 }
 
 /// A whole-run report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Per-node snapshots.
     pub nodes: Vec<NodeReport>,
@@ -77,7 +79,7 @@ impl RunReport {
                     subframes_sent: (c.tx_unicast_subframes, c.tx_broadcast_subframes),
                     size_overhead: c.size_overhead(),
                     time_overhead: c.time_overhead(),
-                    time_by_category: c.time.iter().map(|(k, d)| (k, d.as_secs_f64())).collect(),
+                    time_by_category: c.time.iter().map(|(k, d)| (k.to_string(), d.as_secs_f64())).collect(),
                     retries: c.retries,
                     retry_drops: c.retry_drops,
                     queue_overflow: n.mac.queues().overflow_drops,

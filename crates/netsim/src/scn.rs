@@ -1,0 +1,616 @@
+//! The `.scn` scenario-file format: one [`ScenarioSpec`] per line.
+//!
+//! A sweep that used to live as compiled Rust in a `fig*`/`table*` bin
+//! can instead live as data: each non-comment line is a whitespace-
+//! separated list of `key=value` fields describing one spec. The
+//! serializer ([`ScenarioSpec::to_scn`]) is *canonical* — it emits keys
+//! in a fixed order and omits every field that still holds its default —
+//! and the parser ([`ScenarioSpec::from_scn`]) is strict (unknown or
+//! duplicate keys are errors), so:
+//!
+//! * `parse(serialize(spec)) == spec` for every representable spec, and
+//! * `serialize(parse(line))` is a canonical form of `line`, stable
+//!   under re-serialization.
+//!
+//! Because [`ScenarioSpec::stable_hash`] is a function of the value
+//! alone, a round-tripped spec also keeps its hash — and therefore its
+//! derived per-replication world seeds and its slot in the persistent
+//! result cache. The full grammar, every key, and the defaults are
+//! documented in `docs/SCENARIO_FORMAT.md`.
+
+use hydra_core::{AckPolicy, AggPolicy, AggSizing};
+use hydra_phy::Rate;
+use hydra_sim::Duration;
+use hydra_tcp::TcpConfig;
+
+use crate::spec::{Flooding, Flow, Policy, ScenarioSpec, TopologyKind, Traffic};
+use crate::world::MediumKind;
+
+/// A parse error with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScnError {
+    /// 1-based line number within the parsed text.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ScnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ScnError {}
+
+/// Parses a whole `.scn` text: blank lines and `#` comment lines are
+/// skipped, every other line must be one spec. The first malformed line
+/// aborts the parse with its line number.
+pub fn parse_scn(text: &str) -> Result<Vec<ScenarioSpec>, ScnError> {
+    let mut specs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec = ScenarioSpec::from_scn(line).map_err(|msg| ScnError { line: i + 1, msg })?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Renders a list of specs as a `.scn` file body (no header comment).
+pub fn render_scn(specs: &[ScenarioSpec]) -> String {
+    let mut out = String::new();
+    for s in specs {
+        out.push_str(&s.to_scn());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Canonical field rendering
+// ---------------------------------------------------------------------
+
+/// Canonical duration text: the largest of `s`/`ms`/`us`/`ns` that
+/// divides the value exactly (zero renders as `0s`).
+fn dur_to_text(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns == 0 {
+        return "0s".into();
+    }
+    for (unit, per) in [("s", 1_000_000_000u64), ("ms", 1_000_000), ("us", 1_000)] {
+        if ns.is_multiple_of(per) {
+            return format!("{}{}", ns / per, unit);
+        }
+    }
+    format!("{ns}ns")
+}
+
+fn dur_from_text(s: &str) -> Result<Duration, String> {
+    let (digits, per) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1u64)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        return Err(format!("duration `{s}` needs a unit suffix (ns|us|ms|s)"));
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("bad duration value `{s}`"))?;
+    n.checked_mul(per).map(Duration::from_nanos).ok_or_else(|| format!("duration `{s}` overflows"))
+}
+
+/// Canonical rate text (`0.65`, `1.3`, … `6.5`).
+fn rate_to_text(r: Rate) -> &'static str {
+    match r {
+        Rate::R0_65 => "0.65",
+        Rate::R1_30 => "1.3",
+        Rate::R1_95 => "1.95",
+        Rate::R2_60 => "2.6",
+        Rate::R3_90 => "3.9",
+        Rate::R5_20 => "5.2",
+        Rate::R5_85 => "5.85",
+        Rate::R6_50 => "6.5",
+    }
+}
+
+fn rate_from_text(s: &str) -> Result<Rate, String> {
+    Ok(match s {
+        "0.65" => Rate::R0_65,
+        "1.3" | "1.30" => Rate::R1_30,
+        "1.95" => Rate::R1_95,
+        "2.6" | "2.60" => Rate::R2_60,
+        "3.9" | "3.90" => Rate::R3_90,
+        "5.2" | "5.20" => Rate::R5_20,
+        "5.85" => Rate::R5_85,
+        "6.5" | "6.50" => Rate::R6_50,
+        _ => return Err(format!("unknown rate `{s}` (0.65|1.3|1.95|2.6|3.9|5.2|5.85|6.5)")),
+    })
+}
+
+fn policy_to_text(p: Policy) -> &'static str {
+    match p {
+        Policy::Na => "na",
+        Policy::Ua => "ua",
+        Policy::Ba => "ba",
+        Policy::Dba => "dba",
+        Policy::BaNoForward => "ba-nofwd",
+    }
+}
+
+fn policy_from_text(s: &str) -> Result<Policy, String> {
+    Ok(match s {
+        "na" => Policy::Na,
+        "ua" => Policy::Ua,
+        "ba" => Policy::Ba,
+        "dba" => Policy::Dba,
+        "ba-nofwd" => Policy::BaNoForward,
+        _ => return Err(format!("unknown policy `{s}` (na|ua|ba|dba|ba-nofwd)")),
+    })
+}
+
+fn topo_to_text(t: TopologyKind) -> String {
+    match t {
+        TopologyKind::Linear(h) => format!("linear:{h}"),
+        TopologyKind::Star => "star".into(),
+        TopologyKind::Grid { w, h } => format!("grid:{w}x{h}"),
+        TopologyKind::Cross => "cross".into(),
+    }
+}
+
+fn topo_from_text(s: &str) -> Result<TopologyKind, String> {
+    if s == "star" {
+        return Ok(TopologyKind::Star);
+    }
+    if s == "cross" {
+        return Ok(TopologyKind::Cross);
+    }
+    if let Some(h) = s.strip_prefix("linear:") {
+        let hops: usize = h.parse().map_err(|_| format!("bad hop count in `{s}`"))?;
+        if hops == 0 {
+            return Err("linear topology needs at least 1 hop".into());
+        }
+        return Ok(TopologyKind::Linear(hops));
+    }
+    if let Some(wh) = s.strip_prefix("grid:") {
+        let (w, h) = wh.split_once('x').ok_or_else(|| format!("expected grid:WxH, got `{s}`"))?;
+        let w: usize = w.parse().map_err(|_| format!("bad grid width in `{s}`"))?;
+        let h: usize = h.parse().map_err(|_| format!("bad grid height in `{s}`"))?;
+        if w == 0 || h == 0 || w * h < 2 {
+            return Err(format!("grid {w}x{h} has fewer than 2 nodes"));
+        }
+        return Ok(TopologyKind::Grid { w, h });
+    }
+    Err(format!("unknown topology `{s}` (linear:H|star|grid:WxH|cross)"))
+}
+
+/// Shortest-round-trip float text (Rust's `{:?}` guarantees the value
+/// parses back bit-identically).
+fn f64_to_text(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn f64_from_text(s: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad number `{s}`"))?;
+    if !v.is_finite() {
+        return Err(format!("`{s}` is not finite"));
+    }
+    Ok(v)
+}
+
+/// A probability: a finite float in `0.0..=1.0`.
+fn prob_from_text(s: &str) -> Result<f64, String> {
+    let v = f64_from_text(s)?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("probability `{s}` is outside 0..=1"));
+    }
+    Ok(v)
+}
+
+fn usize_from(s: &str, key: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad {key} value `{s}`"))
+}
+
+fn u64_from(s: &str, key: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad {key} value `{s}`"))
+}
+
+fn u32_from(s: &str, key: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("bad {key} value `{s}`"))
+}
+
+fn bool_from(s: &str, key: &str) -> Result<bool, String> {
+    match s {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!("bad {key} value `{s}` (on|off)")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// Renders this spec as one canonical `.scn` line (no newline).
+    ///
+    /// Keys appear in a fixed order and defaulted fields are omitted, so
+    /// equal specs always render identically and `to_scn` output is the
+    /// canonical form `from_scn` round-trips to.
+    pub fn to_scn(&self) -> String {
+        // The baseline the line's overrides are measured against: the
+        // traffic-matched constructor at this topology/policy/rate.
+        let base = match self.traffic {
+            Traffic::FileTransfer { .. } => ScenarioSpec::tcp(self.topology, self.policy, self.rate),
+            Traffic::Cbr { .. } => ScenarioSpec::udp(self.topology, self.policy, self.rate, Duration::ZERO),
+        };
+        let mut f = Vec::new();
+        f.push(format!("topo={}", topo_to_text(self.topology)));
+        f.push(format!("policy={}", policy_to_text(self.policy)));
+        f.push(format!("rate={}", rate_to_text(self.rate)));
+        match self.traffic {
+            Traffic::FileTransfer { bytes } => f.push(format!("traffic=file:{bytes}")),
+            Traffic::Cbr { interval, payload } => {
+                f.push(format!("traffic=cbr:{}:{payload}", dur_to_text(interval)));
+            }
+        }
+        if let MediumKind::Spatial { spacing_m } = self.medium {
+            f.push(format!("medium=spatial:{}", f64_to_text(spacing_m)));
+        }
+        if let Some(b) = self.broadcast_rate {
+            f.push(format!("bcast={}", rate_to_text(b)));
+        }
+        if !self.flows.is_empty() {
+            let flows: Vec<String> =
+                self.flows.iter().map(|fl| format!("{}>{}:{}", fl.src, fl.dst, fl.port)).collect();
+            f.push(format!("flows={}", flows.join(",")));
+        }
+        if self.max_aggregate != AggPolicy::PAPER_MAX_AGG {
+            f.push(format!("max_agg={}", self.max_aggregate));
+        }
+        match self.sizing {
+            None => {}
+            Some(AggSizing::Fixed(b)) => f.push(format!("sizing=fixed:{b}")),
+            Some(AggSizing::CoherenceBudget(samples)) => f.push(format!("sizing=budget:{samples}")),
+        }
+        if self.ack_policy == AckPolicy::Block {
+            f.push("ack=block".into());
+        }
+        if !self.rts_cts {
+            f.push("rts=off".into());
+        }
+        if let Some(flush) = self.flush_timeout {
+            f.push(format!("flush={}", dur_to_text(flush)));
+        }
+        self.tcp_overrides(&mut f);
+        if let Some((drop, corrupt)) = self.fault {
+            f.push(format!("fault={}:{}", f64_to_text(drop), f64_to_text(corrupt)));
+        }
+        if let Some(fl) = self.flooding {
+            f.push(format!("flood={}:{}", dur_to_text(fl.interval), fl.payload));
+        }
+        if self.warmup != base.warmup {
+            f.push(format!("warmup={}", dur_to_text(self.warmup)));
+        }
+        if self.duration != base.duration {
+            f.push(format!("duration={}", dur_to_text(self.duration)));
+        }
+        if self.seed != base.seed {
+            f.push(format!("seed={}", self.seed));
+        }
+        f.join(" ")
+    }
+
+    /// Appends `tcp_*` fields that differ from [`TcpConfig::hydra_paper`].
+    fn tcp_overrides(&self, f: &mut Vec<String>) {
+        let d = TcpConfig::hydra_paper();
+        let t = &self.tcp;
+        if t.mss != d.mss {
+            f.push(format!("tcp_mss={}", t.mss));
+        }
+        if t.recv_buffer != d.recv_buffer {
+            f.push(format!("tcp_recv_buf={}", t.recv_buffer));
+        }
+        if t.send_buffer != d.send_buffer {
+            f.push(format!("tcp_send_buf={}", t.send_buffer));
+        }
+        if t.initial_cwnd_segments != d.initial_cwnd_segments {
+            f.push(format!("tcp_init_cwnd={}", t.initial_cwnd_segments));
+        }
+        if t.initial_ssthresh != d.initial_ssthresh {
+            f.push(format!("tcp_ssthresh={}", t.initial_ssthresh));
+        }
+        if t.rto_initial != d.rto_initial {
+            f.push(format!("tcp_rto_init={}", dur_to_text(t.rto_initial)));
+        }
+        if t.rto_min != d.rto_min {
+            f.push(format!("tcp_rto_min={}", dur_to_text(t.rto_min)));
+        }
+        if t.rto_max != d.rto_max {
+            f.push(format!("tcp_rto_max={}", dur_to_text(t.rto_max)));
+        }
+        if t.delayed_ack != d.delayed_ack {
+            f.push(format!("tcp_delayed_ack={}", if t.delayed_ack { "on" } else { "off" }));
+        }
+        if t.delayed_ack_timeout != d.delayed_ack_timeout {
+            f.push(format!("tcp_da_timeout={}", dur_to_text(t.delayed_ack_timeout)));
+        }
+        if t.max_retransmits != d.max_retransmits {
+            f.push(format!("tcp_max_retx={}", t.max_retransmits));
+        }
+        if t.time_wait != d.time_wait {
+            f.push(format!("tcp_time_wait={}", dur_to_text(t.time_wait)));
+        }
+    }
+
+    /// Parses one `.scn` line (strict: unknown keys, duplicate keys, or
+    /// missing required keys are errors).
+    pub fn from_scn(line: &str) -> Result<ScenarioSpec, String> {
+        let mut fields: Vec<(&str, &str)> = Vec::new();
+        for tok in line.split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("`{tok}` is not key=value"))?;
+            if v.is_empty() {
+                return Err(format!("key `{k}` has an empty value"));
+            }
+            if fields.iter().any(|(seen, _)| *seen == k) {
+                return Err(format!("duplicate key `{k}`"));
+            }
+            fields.push((k, v));
+        }
+        let take = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        let require = |key: &str| take(key).ok_or_else(|| format!("missing required key `{key}`"));
+
+        let topo = topo_from_text(require("topo")?)?;
+        let policy = policy_from_text(require("policy")?)?;
+        let rate = rate_from_text(require("rate")?)?;
+        let traffic = parse_traffic(require("traffic")?)?;
+
+        // The traffic-matched constructor supplies every default
+        // (notably the CBR 2 s warmup / 20 s window vs the file
+        // transfer's 300 s deadline).
+        let mut spec = match traffic {
+            Traffic::FileTransfer { .. } => ScenarioSpec::tcp(topo, policy, rate),
+            Traffic::Cbr { .. } => ScenarioSpec::udp(topo, policy, rate, Duration::ZERO),
+        };
+        spec.traffic = traffic;
+
+        for &(key, value) in &fields {
+            match key {
+                "topo" | "policy" | "rate" | "traffic" => {}
+                "medium" => spec.medium = parse_medium(value)?,
+                "bcast" => spec.broadcast_rate = Some(rate_from_text(value)?),
+                "flows" => spec.flows = parse_flows(value)?,
+                "max_agg" => spec.max_aggregate = usize_from(value, key)?,
+                "sizing" => spec.sizing = Some(parse_sizing(value)?),
+                "ack" => {
+                    spec.ack_policy = match value {
+                        "normal" => AckPolicy::Normal,
+                        "block" => AckPolicy::Block,
+                        _ => return Err(format!("bad ack value `{value}` (normal|block)")),
+                    }
+                }
+                "rts" => spec.rts_cts = bool_from(value, key)?,
+                "flush" => spec.flush_timeout = Some(dur_from_text(value)?),
+                "fault" => {
+                    let (d, c) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("expected fault=DROP:CORRUPT, got `{value}`"))?;
+                    spec.fault = Some((prob_from_text(d)?, prob_from_text(c)?));
+                }
+                "flood" => {
+                    let (i, p) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("expected flood=INTERVAL:PAYLOAD, got `{value}`"))?;
+                    spec.flooding =
+                        Some(Flooding { interval: dur_from_text(i)?, payload: usize_from(p, key)? });
+                }
+                "warmup" => spec.warmup = dur_from_text(value)?,
+                "duration" => spec.duration = dur_from_text(value)?,
+                "seed" => spec.seed = u64_from(value, key)?,
+                "tcp_mss" => spec.tcp.mss = usize_from(value, key)?,
+                "tcp_recv_buf" => spec.tcp.recv_buffer = usize_from(value, key)?,
+                "tcp_send_buf" => spec.tcp.send_buffer = usize_from(value, key)?,
+                "tcp_init_cwnd" => spec.tcp.initial_cwnd_segments = u32_from(value, key)?,
+                "tcp_ssthresh" => spec.tcp.initial_ssthresh = u32_from(value, key)?,
+                "tcp_rto_init" => spec.tcp.rto_initial = dur_from_text(value)?,
+                "tcp_rto_min" => spec.tcp.rto_min = dur_from_text(value)?,
+                "tcp_rto_max" => spec.tcp.rto_max = dur_from_text(value)?,
+                "tcp_delayed_ack" => spec.tcp.delayed_ack = bool_from(value, key)?,
+                "tcp_da_timeout" => spec.tcp.delayed_ack_timeout = dur_from_text(value)?,
+                "tcp_max_retx" => spec.tcp.max_retransmits = u32_from(value, key)?,
+                "tcp_time_wait" => spec.tcp.time_wait = dur_from_text(value)?,
+                _ => return Err(format!("unknown key `{key}` (see docs/SCENARIO_FORMAT.md)")),
+            }
+        }
+
+        let n = spec.topology.node_count();
+        for (i, fl) in spec.flows.iter().enumerate() {
+            if fl.src >= n || fl.dst >= n {
+                return Err(format!("flow {}>{} out of range for {n}-node topology", fl.src, fl.dst));
+            }
+            if fl.src == fl.dst {
+                return Err(format!("flow {}>{} has equal endpoints", fl.src, fl.dst));
+            }
+            if spec.flows[..i].iter().any(|prev| prev.port == fl.port) {
+                return Err(format!("duplicate flow port {}", fl.port));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_traffic(s: &str) -> Result<Traffic, String> {
+    if let Some(bytes) = s.strip_prefix("file:") {
+        return Ok(Traffic::FileTransfer { bytes: usize_from(bytes, "traffic file bytes")? });
+    }
+    if let Some(rest) = s.strip_prefix("cbr:") {
+        let (interval, payload) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("expected traffic=cbr:INTERVAL:PAYLOAD, got `{s}`"))?;
+        let interval = dur_from_text(interval)?;
+        if interval.is_zero() {
+            return Err("cbr interval must be positive".into());
+        }
+        return Ok(Traffic::Cbr { interval, payload: usize_from(payload, "cbr payload")? });
+    }
+    Err(format!("unknown traffic `{s}` (file:BYTES|cbr:INTERVAL:PAYLOAD)"))
+}
+
+fn parse_medium(s: &str) -> Result<MediumKind, String> {
+    if s == "shared" {
+        return Ok(MediumKind::SharedDomain);
+    }
+    if let Some(spacing) = s.strip_prefix("spatial:") {
+        let spacing_m = f64_from_text(spacing)?;
+        if spacing_m <= 0.0 {
+            return Err("spatial spacing must be positive".into());
+        }
+        return Ok(MediumKind::Spatial { spacing_m });
+    }
+    Err(format!("unknown medium `{s}` (shared|spatial:METRES)"))
+}
+
+fn parse_sizing(s: &str) -> Result<AggSizing, String> {
+    if let Some(b) = s.strip_prefix("fixed:") {
+        return Ok(AggSizing::Fixed(usize_from(b, "sizing fixed bytes")?));
+    }
+    if let Some(samples) = s.strip_prefix("budget:") {
+        return Ok(AggSizing::CoherenceBudget(u64_from(samples, "sizing budget samples")?));
+    }
+    Err(format!("unknown sizing `{s}` (fixed:BYTES|budget:SAMPLES)"))
+}
+
+fn parse_flows(s: &str) -> Result<Vec<Flow>, String> {
+    let mut flows = Vec::new();
+    for part in s.split(',') {
+        let (src, rest) =
+            part.split_once('>').ok_or_else(|| format!("expected SRC>DST:PORT, got `{part}`"))?;
+        let (dst, port) =
+            rest.split_once(':').ok_or_else(|| format!("expected SRC>DST:PORT, got `{part}`"))?;
+        flows.push(Flow {
+            src: usize_from(src, "flow src")?,
+            dst: usize_from(dst, "flow dst")?,
+            port: port.parse().map_err(|_| format!("bad flow port `{port}`"))?,
+        });
+    }
+    if flows.is_empty() {
+        return Err("flows= needs at least one SRC>DST:PORT".into());
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_sim::Duration;
+
+    fn roundtrip(spec: &ScenarioSpec) {
+        let line = spec.to_scn();
+        let back = ScenarioSpec::from_scn(&line).unwrap_or_else(|e| panic!("parse `{line}`: {e}"));
+        assert_eq!(&back, spec, "value round-trip through `{line}`");
+        assert_eq!(back.to_scn(), line, "canonical re-serialization of `{line}`");
+        assert_eq!(back.stable_hash(), spec.stable_hash(), "stable_hash through `{line}`");
+    }
+
+    #[test]
+    fn default_tcp_spec_is_four_keys() {
+        let spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        assert_eq!(spec.to_scn(), "topo=linear:2 policy=ba rate=1.3 traffic=file:204800");
+        roundtrip(&spec);
+    }
+
+    #[test]
+    fn every_field_round_trips() {
+        let mut spec = ScenarioSpec::udp(
+            TopologyKind::Grid { w: 3, h: 2 },
+            Policy::Dba,
+            Rate::R2_60,
+            Duration::from_micros(17_400),
+        );
+        spec.medium = MediumKind::Spatial { spacing_m: 7.25 };
+        spec.broadcast_rate = Some(Rate::R0_65);
+        spec.flows = vec![Flow { src: 0, dst: 5, port: 9000 }, Flow { src: 5, dst: 0, port: 9001 }];
+        spec.max_aggregate = 11 * 1024;
+        spec.sizing = Some(AggSizing::CoherenceBudget(110_000));
+        spec.ack_policy = AckPolicy::Block;
+        spec.rts_cts = false;
+        spec.flush_timeout = Some(Duration::from_millis(5));
+        spec.tcp.delayed_ack = true;
+        spec.tcp.send_buffer = 32 * 1024;
+        spec.fault = Some((0.01, 0.125));
+        spec.flooding = Some(Flooding { interval: Duration::from_millis(250), payload: 120 });
+        spec.warmup = Duration::from_millis(500);
+        spec.duration = Duration::from_secs(5);
+        spec.seed = 42;
+        roundtrip(&spec);
+        // Fixed sizing and odd durations too.
+        spec.sizing = Some(AggSizing::Fixed(4096));
+        spec.duration = Duration::from_nanos(1_234_567);
+        roundtrip(&spec);
+    }
+
+    #[test]
+    fn durations_use_the_largest_exact_unit() {
+        assert_eq!(dur_to_text(Duration::ZERO), "0s");
+        assert_eq!(dur_to_text(Duration::from_secs(20)), "20s");
+        assert_eq!(dur_to_text(Duration::from_micros(17_400)), "17400us");
+        assert_eq!(dur_to_text(Duration::from_millis(4)), "4ms");
+        assert_eq!(dur_to_text(Duration::from_nanos(1_000_000_001)), "1000000001ns");
+        for text in ["0s", "20s", "17400us", "4ms", "999ns"] {
+            assert_eq!(dur_to_text(dur_from_text(text).unwrap()), text);
+        }
+        assert!(dur_from_text("12").is_err(), "unit suffix required");
+        assert!(dur_from_text("12m").is_err());
+    }
+
+    #[test]
+    fn parser_is_strict() {
+        let ok = "topo=linear:2 policy=ba rate=1.3 traffic=file:204800";
+        assert!(ScenarioSpec::from_scn(ok).is_ok());
+        for (broken, why) in [
+            ("topo=linear:2 policy=ba rate=1.3", "missing traffic"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:204800 bogus=1", "unknown key"),
+            ("topo=linear:2 policy=ba policy=ua rate=1.3 traffic=file:1", "duplicate key"),
+            ("topo=linear:2 policy=ba rate=9.9 traffic=file:1", "unknown rate"),
+            ("topo=linear:0 policy=ba rate=1.3 traffic=file:1", "zero hops"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 flows=0>9:1", "flow out of range"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=cbr:0s:100", "zero interval"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 medium=spatial:-1.0", "bad spacing"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 fault=10:0", "probability > 1"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 fault=-0.1:0", "negative probability"),
+            ("topo=star policy=ba rate=1.3 traffic=file:1 flows=2>0:5001,3>0:5001", "duplicate flow port"),
+            ("notakv", "not key=value"),
+        ] {
+            assert!(ScenarioSpec::from_scn(broken).is_err(), "{why}: `{broken}`");
+        }
+    }
+
+    #[test]
+    fn file_parse_reports_line_numbers() {
+        let text = "# a sweep\n\ntopo=linear:2 policy=ba rate=1.3 traffic=file:204800\ntopo=star policy=zz rate=1.3 traffic=file:1\n";
+        let err = parse_scn(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("unknown policy"), "{err}");
+        assert!(err.to_string().starts_with("line 4:"));
+
+        let specs = parse_scn("# only comments\n\n").unwrap();
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn render_parse_inverse_on_a_mixed_sweep() {
+        let specs = vec![
+            ScenarioSpec::tcp(TopologyKind::Star, Policy::Ua, Rate::R1_95),
+            ScenarioSpec::udp(TopologyKind::Linear(3), Policy::Ba, Rate::R0_65, Duration::from_millis(16))
+                .spatial(7.0),
+        ];
+        let text = render_scn(&specs);
+        let back = parse_scn(&text).unwrap();
+        assert_eq!(back, specs);
+        assert_eq!(render_scn(&back), text);
+    }
+}

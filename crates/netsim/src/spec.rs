@@ -194,8 +194,11 @@ pub struct Flooding {
 ///
 /// `build()` turns it into a ready [`World`]; `run()` executes it and
 /// returns a [`RunOutcome`]. Two specs with equal fields produce
-/// byte-identical runs — on any thread, in any order.
-#[derive(Debug, Clone)]
+/// byte-identical runs — on any thread, in any order. A spec also has a
+/// canonical one-line text form (see [`ScenarioSpec::to_scn`] /
+/// [`ScenarioSpec::from_scn`] in the [`crate::scn`] module), so whole
+/// sweeps can live in `.scn` files instead of compiled code.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Topology.
     pub topology: TopologyKind,
@@ -476,7 +479,7 @@ pub(crate) fn install_transfer(
 }
 
 /// Result of a [`ScenarioSpec`] run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// FileTransfer: every transfer finished before the deadline.
     /// Cbr: always true.

@@ -15,6 +15,10 @@
 //!   (the paper's bench) or range-limited per directed link;
 //! * [`placement`] — node coordinates and the log-distance link budget
 //!   that classifies each link into sense/delivery range.
+//!
+//! **Layer**: above `hydra-sim` (durations) and `hydra-wire` (frame
+//! sizes); below `hydra-core`, whose MAC consumes the rates, airtime
+//! and channel verdicts, and `hydra-netsim`, which owns the `Medium`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

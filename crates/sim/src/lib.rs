@@ -15,6 +15,10 @@
 //! (pure state machines with typed inputs/outputs, as in smoltcp). This
 //! crate deliberately knows nothing about networking; it only orders
 //! events. The glue lives in `hydra-netsim`.
+//!
+//! **Layer**: the foundation — this crate depends on nothing, and every
+//! other `hydra-*` crate stands on it (the first users above are
+//! `hydra-phy`'s airtime math and the protocol state machines' timers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 use hydra_sim::Duration;
 
 /// TCP configuration, shared by both ends in the experiments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpConfig {
     /// Maximum segment size in bytes. The paper fixes 1357 B so a full
     /// segment yields a 1464 B MAC frame.

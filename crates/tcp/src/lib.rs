@@ -9,6 +9,11 @@
 //! nothing it doesn't (no SACK, no window scaling, no timestamps: the
 //! 2008 testbed ran plain NewReno, and the paper's frame sizes confirm
 //! option-free 20-byte headers).
+//!
+//! **Layer**: above `hydra-sim` (virtual time) and `hydra-wire`
+//! (segments/checksums); below `hydra-app`'s file transfer and
+//! `hydra-netsim`, which pumps segments between stacks and the network
+//! layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -19,6 +19,10 @@
 //! Everything is dependency-free, deterministic, and panic-free on
 //! malformed input: frames coming off the simulated channel are parsed
 //! exactly like frames off a real radio.
+//!
+//! **Layer**: dependency-free, beside `hydra-sim` at the bottom of the
+//! stack. Above it, `hydra-phy` puts these bytes on the air and
+//! `hydra-core`/`hydra-net`/`hydra-tcp` build and dissect them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
