@@ -1,6 +1,7 @@
 //! Micro-benchmarks for the aggregation MAC's hot paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::microbench::{BatchSize, Criterion};
+use hydra_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use hydra_core::{assemble, AggPolicy, Mac, MacConfig, MacInput, QueueKind, QueuedMpdu, TxQueues};
@@ -14,7 +15,7 @@ fn mpdu(dst: u16, len: usize) -> QueuedMpdu {
     QueuedMpdu {
         next_hop: MacAddr::from_node_id(dst),
         src: MacAddr::from_node_id(0),
-        payload: vec![0xAB; len],
+        payload: vec![0xAB; len].into(),
         no_ack: false,
         enqueued_at: Instant::ZERO,
     }
@@ -35,7 +36,7 @@ fn bench_assemble(c: &mut Criterion) {
                 q
             },
             |mut q| assemble(&mut q, &cfg, &profile, MacAddr::from_node_id(9), 500, None),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
 }
@@ -55,10 +56,10 @@ fn bench_receive_process(c: &mut Criterion) {
     };
     let mut b = AggregateBuilder::new();
     for _ in 0..3 {
-        b.push_broadcast(&repr(true, me), &vec![0u8; 77]);
+        b.push_broadcast(&repr(true, me), &[0u8; 77]);
     }
     for _ in 0..3 {
-        b.push_unicast(&repr(false, me), &vec![0u8; 1434]);
+        b.push_unicast(&repr(false, me), &[0u8; 1434]);
     }
     let (phy_hdr, psdu, slots) = b.finish(Rate::R2_60.code(), Rate::R2_60.code());
 
@@ -66,10 +67,10 @@ fn bench_receive_process(c: &mut Criterion) {
         bch.iter_batched(
             || Mac::new(me, MacConfig::hydra(Rate::R2_60), PhyProfile::hydra(), Rng::seed_from_u64(1)),
             |mut mac| {
-                let frame = OnAirFrame::Aggregate { phy_hdr, psdu: psdu.clone(), slots: slots.clone() };
-                mac.handle(Instant::from_micros(10), MacInput::Rx(black_box(frame)))
+                let frame = OnAirFrame::aggregate(phy_hdr, psdu.clone(), slots.clone());
+                mac.handle_collect(Instant::from_micros(10), MacInput::Rx(black_box(frame)))
             },
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
 }

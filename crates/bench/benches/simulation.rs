@@ -5,7 +5,8 @@
 //! regressions in the experiment pipeline itself; the full-size runs live
 //! in `src/bin/`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::microbench::Criterion;
+use hydra_bench::{criterion_group, criterion_main};
 
 use hydra_netsim::{Policy, TcpScenario, TopologyKind, UdpScenario};
 use hydra_phy::Rate;

@@ -1,7 +1,8 @@
 //! Micro-benchmarks for the wire formats (hot path of every simulated
 //! transmission).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hydra_bench::microbench::{BatchSize, Criterion, Throughput};
+use hydra_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use hydra_wire::aggregate::AggregateBuilder;

@@ -1,0 +1,229 @@
+//! Simulator performance profiling: runs a deterministic grid with the
+//! counting allocator installed and writes `results/BENCH_profile.json`.
+//!
+//! ```text
+//! cargo run --release -p hydra-bench --bin profile -- \
+//!     [--grid full|smoke] [--seeds N] [--out PATH] \
+//!     [--baseline-wall-s S] [--note TEXT]
+//! ```
+//!
+//! The workload is always sequential and cache-less, so the event counts
+//! it reports are **deterministic** — CI runs the smoke grid twice and
+//! diffs them (wall times are machine noise and live in separate
+//! fields). `--grid full` runs every shipped sweep at one seed, the
+//! reference workload for before/after comparisons; `--baseline-wall-s`
+//! folds in a previously measured wall time for the same workload so
+//! the emitted JSON carries both sides of a speedup claim.
+//!
+//! This binary is the only place the counting global allocator is
+//! installed by default: `allocations_per_1k_events` is the number the
+//! allocation-regression test bounds.
+
+use std::io::Write as _;
+
+use hydra_bench::experiments::shipped_sweeps;
+use hydra_bench::ExperimentRunner;
+use hydra_netsim::RunPerf;
+use hydra_netsim::{parse_scn, ScenarioSpec};
+
+#[global_allocator]
+static ALLOC: hydra_sim::CountingAlloc = hydra_sim::CountingAlloc;
+
+const HELP: &str = "\
+usage: profile [options]
+
+Runs a deterministic, sequential, cache-less grid with allocation
+counting enabled and writes a JSON profile report.
+
+options:
+  --grid full|smoke    workload: every shipped sweep x 1 seed (default),
+                       or the 4-cell smoke grid for CI
+  --seeds N            replications per scenario (default 1)
+  --out PATH           report path (default results/BENCH_profile.json)
+  --baseline-wall-s S  wall seconds previously measured for this same
+                       workload; adds a before/after comparison block
+  --note TEXT          free-form provenance note embedded in the report
+  --help               this text
+";
+
+struct Args {
+    grid: String,
+    seeds: u64,
+    out: String,
+    baseline_wall_s: Option<f64>,
+    note: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        grid: "full".into(),
+        seeds: 1,
+        out: "results/BENCH_profile.json".into(),
+        baseline_wall_s: None,
+        note: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| die("missing value"))
+        };
+        match argv[i].as_str() {
+            "--grid" => a.grid = val(&mut i),
+            "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
+            "--out" => a.out = val(&mut i),
+            "--baseline-wall-s" => {
+                a.baseline_wall_s = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad wall seconds")))
+            }
+            "--note" => a.note = Some(val(&mut i)),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    a
+}
+
+/// The CI smoke workload: exactly the cells of the checked-in
+/// `examples/sweeps/smoke.scn` (parsed, not duplicated, so the two can
+/// never drift).
+fn smoke_grid() -> Vec<(String, Vec<ScenarioSpec>)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/sweeps/smoke.scn");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let specs = parse_scn(&text).unwrap_or_else(|e| die(&format!("{path}:{e}")));
+    vec![("smoke".to_string(), specs)]
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct SweepPerf {
+    name: String,
+    cells: usize,
+    perf: RunPerf,
+}
+
+fn main() {
+    let args = parse_args();
+    let grids = match args.grid.as_str() {
+        "full" => shipped_sweeps().into_iter().map(|(n, s)| (n.to_string(), s)).collect(),
+        "smoke" => smoke_grid(),
+        other => die(&format!("unknown grid `{other}` (full|smoke)")),
+    };
+
+    // Sequential + cache-less: the event counts below must reproduce
+    // run-to-run and machine-to-machine.
+    let runner = ExperimentRunner::sequential();
+    let mut sweeps: Vec<SweepPerf> = Vec::new();
+    let mut total = RunPerf::default();
+    let started = std::time::Instant::now();
+    for (name, specs) in grids {
+        let cells = runner.run_sweep(&specs, args.seeds);
+        let mut perf = RunPerf::default();
+        for cell in &cells {
+            for run in &cell.runs {
+                perf.events_processed += run.perf.events_processed;
+                perf.wall_ms += run.perf.wall_ms;
+                perf.allocations += run.perf.allocations;
+                perf.allocated_bytes += run.perf.allocated_bytes;
+            }
+        }
+        eprintln!(
+            "{name}: {} runs, {} events, {:.1} ms, {:.0} ev/s, {:.1} allocs/1k events",
+            specs.len() as u64 * args.seeds,
+            perf.events_processed,
+            perf.wall_ms,
+            perf.events_per_sec(),
+            perf.allocations as f64 / (perf.events_processed.max(1) as f64 / 1e3),
+        );
+        total.events_processed += perf.events_processed;
+        total.wall_ms += perf.wall_ms;
+        total.allocations += perf.allocations;
+        total.allocated_bytes += perf.allocated_bytes;
+        sweeps.push(SweepPerf { name, cells: cells.len(), perf });
+    }
+    let wall_total_s = started.elapsed().as_secs_f64();
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"hydra-agg.bench-profile.v1\",\n");
+    j.push_str(&format!("  \"grid\": {},\n", quote(&args.grid)));
+    j.push_str(&format!("  \"seeds\": {},\n", args.seeds));
+    if let Some(note) = &args.note {
+        j.push_str(&format!("  \"note\": {},\n", quote(note)));
+    }
+    j.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": {}, \"cells\": {}, \"events_processed\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"allocations\": {}}}{}\n",
+            quote(&s.name),
+            s.cells,
+            s.perf.events_processed,
+            s.perf.wall_ms,
+            s.perf.events_per_sec(),
+            s.perf.allocations,
+            if i + 1 < sweeps.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"total\": {{\"events_processed\": {}, \"wall_s\": {:.2}, \"events_per_sec\": {:.0}, \"allocations\": {}, \"allocations_per_1k_events\": {:.1}}}",
+        total.events_processed,
+        wall_total_s,
+        total.events_processed as f64 / wall_total_s,
+        total.allocations,
+        total.allocations as f64 / (total.events_processed.max(1) as f64 / 1e3),
+    ));
+    if let Some(before_s) = args.baseline_wall_s {
+        j.push_str(&format!(
+            ",\n  \"baseline_comparison\": {{\"workload\": {}, \"before_wall_s\": {:.2}, \"after_wall_s\": {:.2}, \"before_events_per_sec\": {:.0}, \"after_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"note\": \"events normalized to the post-refactor batched event count for both sides\"}}",
+            quote(&args.grid),
+            before_s,
+            wall_total_s,
+            total.events_processed as f64 / before_s,
+            total.events_processed as f64 / wall_total_s,
+            before_s / wall_total_s,
+        ));
+    }
+    j.push_str("\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    let mut f =
+        std::fs::File::create(&args.out).unwrap_or_else(|e| die(&format!("create {}: {e}", args.out)));
+    f.write_all(j.as_bytes()).expect("write report");
+    // Machine-comparable determinism line for CI (no wall times).
+    println!("events_processed_total={}", total.events_processed);
+    for s in &sweeps {
+        println!("events_processed[{}]={}", s.name, s.perf.events_processed);
+    }
+    eprintln!(
+        "total: {} events in {wall_total_s:.2} s ({:.0} ev/s) -> {}",
+        total.events_processed,
+        total.events_processed as f64 / wall_total_s,
+        args.out
+    );
+}

@@ -6,7 +6,7 @@
 //! cargo run --release -p hydra-bench --bin sweep -- --export DIR
 //! ```
 //!
-//! Each non-comment line of a `.scn` file is one [`ScenarioSpec`] in the
+//! Each non-comment line of a `.scn` file is one [`hydra_netsim::ScenarioSpec`] in the
 //! `key=value` format documented in `docs/SCENARIO_FORMAT.md`. Every
 //! shipped experiment grid is checked in under `examples/sweeps/`;
 //! `--export DIR` regenerates those files from the in-code definitions.
@@ -16,13 +16,14 @@
 //! simulates nothing and prints byte-identical tables. Cache statistics
 //! go to stderr so stdout stays comparable across runs.
 
-use hydra_bench::experiments::shipped_sweeps;
+use hydra_bench::experiments::{shipped_sweep_meta, shipped_sweeps};
 use hydra_bench::{ExperimentRunner, ResultCache, Table};
-use hydra_netsim::{parse_scn, render_scn, ScenarioSpec};
+use hydra_netsim::{parse_scn_file, render_scn};
 
 struct Args {
     files: Vec<String>,
-    seeds: u64,
+    /// Explicit `--seeds` (wins over a file's `#! seeds=` directive).
+    seeds: Option<u64>,
     threads: usize,
     cache_dir: Option<String>,
     use_cache: bool,
@@ -38,7 +39,8 @@ ExperimentRunner and prints one table per file. Line format (one
 ScenarioSpec per line, `#` comments): see docs/SCENARIO_FORMAT.md.
 
 options:
-  --seeds N        replications per scenario (default 3)
+  --seeds N        replications per scenario (default: the file's
+                   `#! seeds=` directive, else 3)
   --threads N      worker threads (0 = one per CPU, default)
   --no-cache       always simulate; do not read or write the result cache
   --cache-dir DIR  result cache location (default results/cache)
@@ -54,7 +56,7 @@ fn die(msg: &str) -> ! {
 
 fn parse_args() -> Args {
     let mut a =
-        Args { files: Vec::new(), seeds: 3, threads: 0, cache_dir: None, use_cache: true, export: None };
+        Args { files: Vec::new(), seeds: None, threads: 0, cache_dir: None, use_cache: true, export: None };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -63,7 +65,7 @@ fn parse_args() -> Args {
             argv.get(*i).cloned().unwrap_or_else(|| die("missing value"))
         };
         match argv[i].as_str() {
-            "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
+            "--seeds" => a.seeds = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds"))),
             "--threads" => a.threads = val(&mut i).parse().unwrap_or_else(|_| die("bad --threads")),
             "--no-cache" => a.use_cache = false,
             "--cache-dir" => a.cache_dir = Some(val(&mut i)),
@@ -83,7 +85,8 @@ fn parse_args() -> Args {
     a
 }
 
-/// Writes every shipped experiment grid as `<dir>/<name>.scn`.
+/// Writes every shipped experiment grid as `<dir>/<name>.scn`, with
+/// its caption and default seed count as `#!` directives.
 fn export(dir: &str) {
     std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create {dir}: {e}")));
     for (name, specs) in shipped_sweeps() {
@@ -94,27 +97,31 @@ fn export(dir: &str) {
              # Regenerate with: cargo run -p hydra-bench --bin sweep -- --export examples/sweeps\n",
             count = specs.len()
         );
+        text.push_str(&shipped_sweep_meta(name).render());
         text.push_str(&render_scn(&specs));
         std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         println!("wrote {path} ({} scenarios)", specs.len());
     }
 }
 
-fn run_file(runner: &ExperimentRunner, path: &str, seeds: u64) {
+fn run_file(runner: &ExperimentRunner, path: &str, cli_seeds: Option<u64>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-    let specs: Vec<ScenarioSpec> = match parse_scn(&text) {
-        Ok(specs) => specs,
+    let file = match parse_scn_file(&text) {
+        Ok(file) => file,
         Err(e) => die(&format!("{path}:{e}")),
     };
-    if specs.is_empty() {
+    if file.specs.is_empty() {
         eprintln!("{path}: no scenarios, skipping");
         return;
     }
-    let cells = runner.run_sweep(&specs, seeds);
-    let mut t = Table::new(
-        format!("{path} — {} scenarios × {seeds} seed(s)", specs.len()),
-        &["#", "scenario", "mean Mbps", "per-seed Mbps"],
-    );
+    // Replication count: explicit flag > `#! seeds=` directive > 3.
+    let seeds = cli_seeds.or(file.meta.seeds).unwrap_or(3);
+    let cells = runner.run_sweep(&file.specs, seeds);
+    let title = match &file.meta.caption {
+        Some(caption) => format!("{caption} [{path} — {} scenarios × {seeds} seed(s)]", file.specs.len()),
+        None => format!("{path} — {} scenarios × {seeds} seed(s)", file.specs.len()),
+    };
+    let mut t = Table::new(title, &["#", "scenario", "mean Mbps", "per-seed Mbps"]);
     for (i, cell) in cells.iter().enumerate() {
         let per_seed: Vec<String> =
             cell.runs.iter().map(|r| format!("{:.3}", r.throughput_bps / 1e6)).collect();
@@ -125,6 +132,9 @@ fn run_file(runner: &ExperimentRunner, path: &str, seeds: u64) {
             format!("{:.3}{}", cell.mean_throughput_bps() / 1e6, if stuck { " (STUCK)" } else { "" }),
             per_seed.join(" "),
         ]);
+    }
+    for note in &file.meta.notes {
+        t.note(note.clone());
     }
     t.print();
 }

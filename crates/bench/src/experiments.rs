@@ -10,7 +10,7 @@
 //! EXPERIMENTS.md for per-experiment commentary).
 
 use hydra_core::{AckPolicy, AggSizing};
-use hydra_netsim::{Flooding, MediumKind, Policy, ScenarioSpec, TopologyKind};
+use hydra_netsim::{Flooding, MediumKind, Policy, ScenarioSpec, SweepMeta, TopologyKind};
 use hydra_phy::Rate;
 use hydra_sim::Duration;
 
@@ -111,6 +111,52 @@ pub fn shipped_sweeps() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
     ]
 }
 
+/// The sweep-level metadata exported into each shipped `.scn` file's
+/// `#!` directives: the caption its experiment fn gives the table, and
+/// the replication count `run_all` uses for it — so
+/// `--bin sweep examples/sweeps/<name>.scn` reproduces the experiment's
+/// data with its caption, by default, with no flags.
+pub fn shipped_sweep_meta(name: &str) -> SweepMeta {
+    let (caption, seeds): (&str, u64) = match name {
+        "fig07_agg_size" => ("Figure 7 — UDP throughput (Mbps) vs max aggregation size, 1-hop", 1),
+        "table2_udp" => ("Table 2 — 2-hop UDP throughput (Mbps)", 1),
+        "fig08_unicast_tcp" => ("Figure 8 — TCP throughput (Mbps): unicast aggregation", 3),
+        "fig09_flooding" => ("Figure 9 — 2-hop UDP goodput (Mbps) under per-node flooding", 1),
+        "fig10_fixed_bcast" => ("Figure 10 — TCP throughput (Mbps), BA with fixed broadcast rate", 3),
+        "fig11_2hop" => ("Figure 11 — 2-hop TCP throughput (Mbps): NA / UA / BA", 3),
+        "fig12_topologies" => ("Figure 12 — TCP throughput (Mbps): 3-hop linear & star", 3),
+        "fig13_delayed" => ("Figure 13 — TCP throughput (Mbps): BA vs delayed BA", 3),
+        "fig14_no_forward" => ("Figure 14 — 3-hop TCP throughput (Mbps): backward-only aggregation", 3),
+        "table3_relay" => ("Table 3 — 2-hop relay detail (TCP)", 1),
+        "table4_time_overhead" => ("Table 4 — 2-hop relay time overhead (paper / here, %)", 1),
+        "table5_6_7_star" => ("Tables 5–7 — relay detail, 2-hop vs star", 1),
+        "table8_frame_sizes" => ("Table 8 — average frame size per node (paper / here, B)", 1),
+        "ext_topologies" => ("Extension — TCP throughput (Mbps) on grid & cross topologies", 3),
+        "ext_spatial_reuse" => {
+            ("Extension — spatial reuse: chain UDP goodput (Mbps), shared domain vs 5 m spacing", 1)
+        }
+        "ext_spatial_rts" => ("Extension — RTS/CTS crossover: 3-hop UDP goodput (Mbps) vs spacing", 1),
+        "ablation_block_ack" => ("Ablation — block ACK vs all-or-nothing under coherence stress", 1),
+        "ablation_rate_adaptive_sizing" => ("Ablation — fixed 5 KB cap vs coherence-budget sizing", 3),
+        "ablation_dba_flush" => ("Ablation — DBA flush timeout sensitivity (2.6 Mbps)", 3),
+        "ablation_rts_cts" => ("Ablation — RTS/CTS handshake on vs off (2-hop TCP)", 3),
+        "ablation_delayed_ack" => ("Ablation — TCP delayed ACKs (2-hop, BA)", 3),
+        "ablation_broadcast_position" => {
+            ("Ablation — positional protection of the broadcast portion (oversized aggregates, 0.65 Mbps)", 1)
+        }
+        other => panic!("unknown shipped sweep `{other}`"),
+    };
+    SweepMeta { seeds: Some(seeds), caption: Some(caption.to_string()), notes: Vec::new() }
+}
+
+/// The caption [`shipped_sweep_meta`] exports for `name` — also used as
+/// the experiment fn's own table title wherever the sweep maps to one
+/// table, so the two can never drift (the multi-table experiments,
+/// `table5_6_7_star` and nothing else, keep their own titles).
+fn caption(name: &str) -> String {
+    shipped_sweep_meta(name).caption.expect("every shipped sweep has a caption")
+}
+
 // ----------------------------------------------------------------------
 // Figure 7 — throughput vs maximum aggregation size (1-hop UDP)
 // ----------------------------------------------------------------------
@@ -148,10 +194,8 @@ pub fn fig07_agg_size(opts: &Opts) -> Table {
     let sizes_kb = FIG07_SIZES_KB;
     let results = opts.runner().run_grid(fig07_agg_size_specs(), 1);
 
-    let mut t = Table::new(
-        "Figure 7 — UDP throughput (Mbps) vs max aggregation size, 1-hop",
-        &["max agg (KB)", "0.65 Mbps", "1.30 Mbps", "1.95 Mbps"],
-    );
+    let mut t =
+        Table::new(caption("fig07_agg_size"), &["max agg (KB)", "0.65 Mbps", "1.30 Mbps", "1.95 Mbps"]);
     for (kb, row) in sizes_kb.iter().zip(results) {
         let mut cells = vec![format!("{kb}")];
         cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
@@ -187,7 +231,7 @@ pub fn table2_udp(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(table2_udp_specs(), 1);
 
     let mut t = Table::new(
-        "Table 2 — 2-hop UDP throughput (Mbps)",
+        caption("table2_udp"),
         &["rate", "NA paper", "NA here", "UA paper", "UA here", "gain paper", "gain here"],
     );
     for ((&(rate, _), row), (p_rate, p_na, p_ua, p_gain)) in intervals.iter().zip(&results).zip(paper::TABLE2)
@@ -230,10 +274,8 @@ pub fn fig08_unicast_tcp_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn fig08_unicast_tcp(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig08_unicast_tcp_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Figure 8 — TCP throughput (Mbps): unicast aggregation",
-        &["rate", "2-hop NA", "2-hop UA", "3-hop NA", "3-hop UA"],
-    );
+    let mut t =
+        Table::new(caption("fig08_unicast_tcp"), &["rate", "2-hop NA", "2-hop UA", "3-hop NA", "3-hop UA"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let mut cells = vec![format!("{rate}")];
         cells.extend(means(row).iter().map(|&m| mbps(m)));
@@ -273,7 +315,7 @@ pub fn fig09_flooding(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig09_flooding_specs(), 1);
 
     let mut t = Table::new(
-        "Figure 9 — 2-hop UDP goodput (Mbps) under per-node flooding",
+        caption("fig09_flooding"),
         &["flood interval", "0.65 NA", "0.65 BA", "1.30 NA", "1.30 BA"],
     );
     for (f, row) in floods.iter().zip(&results) {
@@ -312,10 +354,8 @@ pub fn fig10_fixed_bcast_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn fig10_fixed_bcast(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig10_fixed_bcast_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Figure 10 — TCP throughput (Mbps), BA with fixed broadcast rate",
-        &["unicast rate", "BA(0.65)", "BA(1.3)", "BA(2.6)", "UA"],
-    );
+    let mut t =
+        Table::new(caption("fig10_fixed_bcast"), &["unicast rate", "BA(0.65)", "BA(1.3)", "BA(2.6)", "UA"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let mut cells = vec![format!("{rate}")];
         cells.extend(means(row).iter().map(|&m| mbps(m)));
@@ -342,10 +382,7 @@ pub fn fig11_2hop_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn fig11_2hop(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig11_2hop_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Figure 11 — 2-hop TCP throughput (Mbps): NA / UA / BA",
-        &["rate", "NA", "UA", "BA", "BA/UA gap"],
-    );
+    let mut t = Table::new(caption("fig11_2hop"), &["rate", "NA", "UA", "BA", "BA/UA gap"]);
     let mut max_gap: f64 = 0.0;
     for (rate, row) in RATES.iter().zip(&results) {
         let m = means(row);
@@ -387,7 +424,7 @@ pub fn fig12_topologies(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig12_topologies_specs(), opts.seeds);
 
     let mut t = Table::new(
-        "Figure 12 — TCP throughput (Mbps): 3-hop linear & star",
+        caption("fig12_topologies"),
         &["rate", "3-hop NA", "3-hop UA", "3-hop BA", "star UA", "star BA"],
     );
     let mut g3: f64 = 0.0;
@@ -429,10 +466,8 @@ pub fn fig13_delayed_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn fig13_delayed(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig13_delayed_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Figure 13 — TCP throughput (Mbps): BA vs delayed BA",
-        &["rate", "2-hop BA", "2-hop DBA", "3-hop BA", "3-hop DBA"],
-    );
+    let mut t =
+        Table::new(caption("fig13_delayed"), &["rate", "2-hop BA", "2-hop DBA", "3-hop BA", "3-hop DBA"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let mut cells = vec![format!("{rate}")];
         cells.extend(means(row).iter().map(|&m| mbps(m)));
@@ -466,10 +501,8 @@ pub fn fig14_no_forward_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn fig14_no_forward(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(fig14_no_forward_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Figure 14 — 3-hop TCP throughput (Mbps): backward-only aggregation",
-        &["rate", "NA", "BA no-forward", "BA", "fwd contribution"],
-    );
+    let mut t =
+        Table::new(caption("fig14_no_forward"), &["rate", "NA", "BA no-forward", "BA", "fwd contribution"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let m = means(row);
         t.row(vec![
@@ -508,7 +541,7 @@ pub fn table3_relay(opts: &Opts) -> Table {
     let na_base = results[0].first().report.relay().tx_data_frames as f64;
 
     let mut t = Table::new(
-        "Table 3 — 2-hop relay detail (TCP)",
+        caption("table3_relay"),
         &["policy", "size paper", "size here", "TXs paper", "TXs here", "ovh paper", "ovh here"],
     );
     for ((&(_, name), cell), (p_name, p_size, p_tx, p_ovh)) in
@@ -546,10 +579,7 @@ pub fn table4_time_overhead_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn table4_time_overhead(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(table4_time_overhead_specs(), 1);
 
-    let mut t = Table::new(
-        "Table 4 — 2-hop relay time overhead (paper / here, %)",
-        &["rate", "NA", "UA", "BA", "DBA"],
-    );
+    let mut t = Table::new(caption("table4_time_overhead"), &["rate", "NA", "UA", "BA", "DBA"]);
     for ((p_rate, p_na, p_ua, p_ba, p_dba), row) in paper::TABLE4.iter().zip(&results) {
         let rate = RATES.iter().find(|r| r.mbps() == *p_rate).copied().unwrap();
         let mut cells = vec![format!("{rate}")];
@@ -641,7 +671,7 @@ pub fn table8_frame_sizes(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(table8_frame_sizes_specs(), 1);
 
     let mut t = Table::new(
-        "Table 8 — average frame size per node (paper / here, B)",
+        caption("table8_frame_sizes"),
         &["policy", "server(2)", "relay(2)", "client(2)", "server(3)", "relay1(3)", "relay2(3)", "client(3)"],
     );
     for ((i, (_, name)), row) in policies.into_iter().enumerate().zip(&results) {
@@ -687,10 +717,8 @@ pub fn ext_topologies(opts: &Opts) -> Table {
     let rates = [Rate::R1_30, Rate::R2_60];
     let results = opts.runner().run_grid(ext_topologies_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Extension — TCP throughput (Mbps) on grid & cross topologies",
-        &["rate", "grid UA", "grid BA", "cross UA", "cross BA"],
-    );
+    let mut t =
+        Table::new(caption("ext_topologies"), &["rate", "grid UA", "grid BA", "cross UA", "cross BA"]);
     for (rate, row) in rates.iter().zip(&results) {
         let mut cells = vec![format!("{rate}")];
         cells.extend(means(row).iter().map(|&m| mbps(m)));
@@ -777,7 +805,7 @@ pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
     let results = runner.run_grid(ext_spatial_reuse_specs(), 1);
 
     let mut reuse = Table::new(
-        "Extension — spatial reuse: chain UDP goodput (Mbps), shared domain vs 5 m spacing",
+        caption("ext_spatial_reuse"),
         &["hops", "shared NA", "shared BA", "spatial NA", "spatial BA", "BA spatial gain"],
     );
     for (hops, row) in lengths.iter().zip(&results) {
@@ -799,7 +827,7 @@ pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
     let results = runner.run_grid(ext_spatial_rts_specs(), 1);
 
     let mut rts = Table::new(
-        "Extension — RTS/CTS crossover: 3-hop UDP goodput (Mbps) vs spacing",
+        caption("ext_spatial_rts"),
         &["spacing (m)", "RTS/CTS on", "RTS/CTS off", "handshake effect"],
     );
     for (spacing, row) in spacings.iter().zip(&results) {
@@ -848,10 +876,7 @@ pub fn ablation_block_ack(opts: &Opts) -> Table {
     let sizes_kb = ABLATION_BLOCK_SIZES_KB;
     let results = opts.runner().run_grid(ablation_block_ack_specs(), 1);
 
-    let mut t = Table::new(
-        "Ablation — block ACK vs all-or-nothing under coherence stress",
-        &["max agg (KB)", "normal ACK", "block ACK"],
-    );
+    let mut t = Table::new(caption("ablation_block_ack"), &["max agg (KB)", "normal ACK", "block ACK"]);
     for (kb, row) in sizes_kb.iter().zip(&results) {
         let mut cells = vec![format!("{kb}")];
         cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
@@ -879,10 +904,8 @@ pub fn ablation_rate_adaptive_sizing_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn ablation_rate_adaptive_sizing(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(ablation_rate_adaptive_sizing_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Ablation — fixed 5 KB cap vs coherence-budget sizing",
-        &["rate", "fixed 5 KB", "110 Ksample budget"],
-    );
+    let mut t =
+        Table::new(caption("ablation_rate_adaptive_sizing"), &["rate", "fixed 5 KB", "110 Ksample budget"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let m = means(row);
         t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
@@ -922,10 +945,7 @@ pub fn ablation_dba_flush(opts: &Opts) -> Table {
     let mut results = opts.runner().run_grid(ablation_dba_flush_specs(), opts.seeds);
     let ba = means(&results.remove(0));
 
-    let mut t = Table::new(
-        "Ablation — DBA flush timeout sensitivity (2.6 Mbps)",
-        &["flush (ms)", "2-hop DBA", "3-hop DBA"],
-    );
+    let mut t = Table::new(caption("ablation_dba_flush"), &["flush (ms)", "2-hop DBA", "3-hop DBA"]);
     for (flush_ms, row) in flushes_ms.iter().zip(&results) {
         let m = means(row);
         t.row(vec![format!("{flush_ms}"), mbps(m[0]), mbps(m[1])]);
@@ -953,10 +973,7 @@ pub fn ablation_rts_cts_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn ablation_rts_cts(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(ablation_rts_cts_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Ablation — RTS/CTS handshake on vs off (2-hop TCP)",
-        &["rate", "with RTS/CTS", "without"],
-    );
+    let mut t = Table::new(caption("ablation_rts_cts"), &["rate", "with RTS/CTS", "without"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let m = means(row);
         t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
@@ -984,10 +1001,8 @@ pub fn ablation_delayed_ack_specs() -> Vec<Vec<ScenarioSpec>> {
 pub fn ablation_delayed_ack(opts: &Opts) -> Table {
     let results = opts.runner().run_grid(ablation_delayed_ack_specs(), opts.seeds);
 
-    let mut t = Table::new(
-        "Ablation — TCP delayed ACKs (2-hop, BA)",
-        &["rate", "ACK per segment (paper)", "delayed ACKs"],
-    );
+    let mut t =
+        Table::new(caption("ablation_delayed_ack"), &["rate", "ACK per segment (paper)", "delayed ACKs"]);
     for (rate, row) in RATES.iter().zip(&results) {
         let m = means(row);
         t.row(vec![format!("{rate}"), mbps(m[0]), mbps(m[1])]);
@@ -1019,7 +1034,7 @@ pub fn ablation_broadcast_position(opts: &Opts) -> Table {
     let results = opts.runner().run_sweep(&ablation_broadcast_position_specs(), 1);
 
     let mut t = Table::new(
-        "Ablation — positional protection of the broadcast portion (oversized aggregates, 0.65 Mbps)",
+        caption("ablation_broadcast_position"),
         &["max agg (KB)", "bcast CRC loss rate", "unicast portion drop rate"],
     );
     for (kb, cell) in sizes_kb.iter().zip(&results) {

@@ -1,0 +1,373 @@
+//! A minimal, in-tree `criterion` substitute so the micro-benchmarks
+//! under `benches/` compile and run in this dependency-free workspace.
+//!
+//! Mirrors the slice of criterion's API those benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Criterion::benchmark_group`] with
+//! [`Throughput`], and the [`crate::criterion_group!`] /
+//! [`crate::criterion_main!`] macros — with a deliberately simple
+//! measurement loop: calibrated warm-up, `N` timed samples of `M`
+//! iterations each, and a **median ± MAD** report (robust statistics;
+//! no outlier modeling).
+//!
+//! Runner flags (after `cargo bench ... --`):
+//!
+//! * `--smoke` (or env `HYDRA_BENCH_SMOKE=1`) — a fast pass with tiny
+//!   sample counts, used by CI to prove the benches still run;
+//! * any other non-flag argument — substring filter on benchmark names.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// How a batched input is sized. Picks the sub-batch bound
+/// [`Bencher::iter_batched`] materialises at once (1024 / 64 / 1
+/// inputs), which caps peak memory for allocating setups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (the common case).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement configuration + name filter.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target duration of one timed sample, nanoseconds.
+    sample_ns: u64,
+    /// Warm-up budget, nanoseconds.
+    warmup_ns: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Reads `--smoke` / name-filter arguments (and `HYDRA_BENCH_SMOKE`)
+    /// from the environment, criterion-style.
+    fn default() -> Self {
+        let mut smoke = std::env::var("HYDRA_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                // Flags cargo/libtest pass to `harness = false` targets.
+                "--bench" | "--test" => {}
+                a if a.starts_with('-') => {}
+                name => filter = Some(name.to_string()),
+            }
+        }
+        if smoke {
+            Criterion { sample_size: 3, sample_ns: 500_000, warmup_ns: 200_000, filter }
+        } else {
+            Criterion { sample_size: 20, sample_ns: 10_000_000, warmup_ns: 100_000_000, filter }
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_named(name, None, f);
+        self
+    }
+
+    /// Opens a named group (throughput annotations, `group/name` ids).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string(), throughput: None }
+    }
+
+    fn run_named(&mut self, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            sample_ns: self.sample_ns,
+            warmup_ns: self.warmup_ns,
+            samples_ns_per_iter: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        b.report(name, throughput);
+    }
+}
+
+/// A benchmark group: shared name prefix + optional throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        let throughput = self.throughput;
+        self.c.run_named(&full, throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    sample_ns: u64,
+    warmup_ns: u64,
+    samples_ns_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` called back-to-back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up + calibration: how many calls fit in one sample?
+        let iters = self.calibrate(|n| {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            t.elapsed().as_nanos() as u64
+        });
+        self.samples_ns_per_iter = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        self.iters_per_sample = iters;
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    ///
+    /// Inputs are materialised in bounded sub-batches (the `BatchSize`
+    /// hint picks the bound), so peak memory stays flat no matter how
+    /// many iterations the calibration decides a sample needs — an
+    /// allocating setup paired with a nanosecond routine must not hold
+    /// millions of inputs live at once.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        size: BatchSize,
+    ) {
+        let chunk = match size {
+            BatchSize::SmallInput => 1024,
+            BatchSize::LargeInput => 64,
+            BatchSize::PerIteration => 1,
+        };
+        // One timed pass of `n` routine calls, setup excluded, chunked.
+        let mut run = move |n: u64| -> u64 {
+            let mut elapsed = 0u64;
+            let mut remaining = n;
+            while remaining > 0 {
+                let m = remaining.min(chunk);
+                let inputs: Vec<I> = (0..m).map(|_| setup()).collect();
+                let t = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                elapsed += t.elapsed().as_nanos() as u64;
+                remaining -= m;
+            }
+            elapsed
+        };
+        let iters = self.calibrate(&mut run);
+        self.samples_ns_per_iter = (0..self.sample_size).map(|_| run(iters) as f64 / iters as f64).collect();
+        self.iters_per_sample = iters;
+    }
+
+    /// Runs `measure(n) -> elapsed_ns` with growing `n` until the
+    /// warm-up budget is spent; returns the iteration count whose
+    /// elapsed time approximates the sample target.
+    fn calibrate(&self, mut measure: impl FnMut(u64) -> u64) -> u64 {
+        let mut n = 1u64;
+        let mut spent = 0u64;
+        let mut last = (1u64, 1u64); // (n, elapsed)
+        while spent < self.warmup_ns {
+            let elapsed = measure(n).max(1);
+            spent += elapsed;
+            last = (n, elapsed);
+            if elapsed >= self.sample_ns {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        let per_iter = (last.1 / last.0).max(1);
+        (self.sample_ns / per_iter).clamp(1, 1 << 24)
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let mut sorted = self.samples_ns_per_iter.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = median_of(&sorted);
+        let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(f64::total_cmp);
+        let mad = median_of(&dev);
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10}/s", human_bytes(b as f64 / (median / 1e9)))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.0} elem/s", e as f64 / (median / 1e9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<40} median {:>12}  MAD {:>10}{rate}  ({} samples x {} iters)",
+            human_time(median),
+            human_time(mad),
+            sorted.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{:.3} ms", ns / 1e6)
+    }
+}
+
+fn human_bytes(per_sec: f64) -> String {
+    if per_sec >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", per_sec / (1024.0 * 1024.0 * 1024.0))
+    } else if per_sec >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", per_sec / (1024.0 * 1024.0))
+    } else {
+        format!("{:.0} KiB", per_sec / 1024.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style. Both the
+/// plain form and the `name = ...; config = ...; targets = ...` form
+/// are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::microbench::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_of_known_samples() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(median_of(&sorted), 3.0);
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median_of(&even), 2.5);
+        assert_eq!(median_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut c = Criterion { sample_size: 3, sample_ns: 50_000, warmup_ns: 50_000, filter: None };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c =
+            Criterion { sample_size: 2, sample_ns: 10_000, warmup_ns: 10_000, filter: Some("yes".into()) };
+        let mut ran = false;
+        c.bench_function("no-match", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered-out benches must not run");
+    }
+
+    #[test]
+    fn batched_setup_not_counted_in_iters() {
+        let mut c = Criterion { sample_size: 2, sample_ns: 20_000, warmup_ns: 20_000, filter: None };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("sum", |b| {
+            b.iter_batched(|| vec![1u64; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(12.34), "12.3 ns");
+        assert_eq!(human_time(12_340.0), "12.34 us");
+        assert_eq!(human_time(12_340_000.0), "12.340 ms");
+    }
+}

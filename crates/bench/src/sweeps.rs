@@ -29,7 +29,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use hydra_netsim::{RunOutcome, RunReport, ScenarioSpec};
+use hydra_netsim::{RunOutcome, RunPerf, RunReport, ScenarioSpec};
 use hydra_sim::Instant;
 
 /// Schema tag stamped on every cache record; records with a foreign
@@ -297,6 +297,9 @@ fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
             at: Instant::from_nanos(json::get_u64(o, "at_ns")?),
             collisions: json::get_u64(o, "collisions")?,
         },
+        // Telemetry is never persisted: a cache hit reports zeros (it
+        // cost no simulation), keeping cached == fresh under PartialEq.
+        perf: RunPerf::default(),
     };
     Some(((hash, rep), outcome))
 }

@@ -1,0 +1,57 @@
+//! Allocation-regression guard for the zero-copy hot path.
+//!
+//! Installs the counting global allocator and measures steady-state
+//! allocations per dispatched event: the world is warmed up first (so
+//! scratch-buffer pools are populated and TCP/app buffers sized), then
+//! a measurement window runs and the allocation/event deltas are
+//! bounded. Remaining allocations are *per-packet* (segment build, MPDU
+//! wrap, PSDU assembly, `Payload` promotion), not per-event — if a
+//! future change reintroduces per-event churn (per-`handle` output
+//! vectors, per-receiver PSDU copies, per-edge heap events), the ratio
+//! jumps well past the bound.
+//!
+//! This file holds exactly one test: the counters are process-wide, so
+//! it must not share its process with concurrently allocating tests.
+
+use hydra_netsim::{Policy, ScenarioSpec, TopologyKind};
+use hydra_phy::Rate;
+use hydra_sim::{alloc_stats, Duration, Instant};
+
+#[global_allocator]
+static ALLOC: hydra_sim::CountingAlloc = hydra_sim::CountingAlloc;
+
+#[test]
+fn steady_state_allocations_per_event_are_bounded() {
+    // A busy 2-hop BA chain under CBR load: data forwarding + classified
+    // ACK broadcasts exercise enqueue, assembly, RTS/CTS/ACK exchanges,
+    // fan-out, and delivery.
+    // The spec's defaults keep the CBR source alive until
+    // warmup + duration + 1 s = 23 s of virtual time.
+    let spec = ScenarioSpec::udp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30, Duration::from_millis(17));
+    let mut world = spec.build();
+    world.start();
+
+    // Warm-up: populate the scratch pools, route caches, TCP buffers.
+    world.run_until(Instant::ZERO + Duration::from_secs(2));
+    let events0 = world.events_processed;
+    let allocs0 = alloc_stats();
+
+    // Steady-state window.
+    world.run_until(Instant::ZERO + Duration::from_secs(12));
+    let events = world.events_processed - events0;
+    let allocs = alloc_stats().since(allocs0);
+
+    assert!(events > 10_000, "window too small to be meaningful: {events} events");
+    let per_1k = allocs.allocations as f64 / (events as f64 / 1e3);
+    // Measured ~1.33k allocs / 1k events on the PR 4 tree (per-packet
+    // work only). ~2.6x headroom: a regression to per-event allocation
+    // (the pre-PR 4 behaviour added several per event from `Mac::handle`
+    // output vectors and per-receiver PSDU clones alone) blows through
+    // this bound.
+    assert!(
+        per_1k < 3_500.0,
+        "steady-state allocation churn regressed: {per_1k:.0} allocations per 1k events \
+         ({} allocations over {events} events)",
+        allocs.allocations
+    );
+}

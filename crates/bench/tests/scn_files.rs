@@ -2,8 +2,8 @@
 //! through the text format, and the checked-in files under
 //! `examples/sweeps/` stay in lockstep with the in-code definitions.
 
-use hydra_bench::experiments::shipped_sweeps;
-use hydra_netsim::{parse_scn, ScenarioSpec};
+use hydra_bench::experiments::{shipped_sweep_meta, shipped_sweeps};
+use hydra_netsim::{parse_scn, parse_scn_file, ScenarioSpec};
 
 fn sweeps_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweeps")
@@ -42,11 +42,16 @@ fn example_files_match_the_code() {
         expected_files.push(format!("{name}.scn"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{}: {e} — regenerate with --bin sweep -- --export", path.display()));
-        let parsed = parse_scn(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let parsed = parse_scn_file(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert_eq!(
-            parsed,
+            parsed.specs,
             specs,
             "{name}.scn diverged from {name}_specs(); regenerate with `--bin sweep -- --export examples/sweeps`"
+        );
+        assert_eq!(
+            parsed.meta,
+            shipped_sweep_meta(name),
+            "{name}.scn directives diverged from shipped_sweep_meta(); regenerate with --export"
         );
     }
     // No orphans: every .scn in the directory belongs to a shipped
@@ -60,12 +65,17 @@ fn example_files_match_the_code() {
     }
 }
 
-/// The hand-written CI smoke sweep must stay parseable too.
+/// The hand-written CI smoke sweep must stay parseable too, and carry
+/// its sweep-level directives.
 #[test]
 fn smoke_file_parses() {
     let text = std::fs::read_to_string(sweeps_dir().join("smoke.scn")).expect("smoke.scn exists");
-    let specs = parse_scn(&text).expect("smoke.scn parses");
-    assert!(!specs.is_empty());
+    let file = parse_scn_file(&text).expect("smoke.scn parses");
+    assert!(!file.specs.is_empty());
+    assert_eq!(file.meta.seeds, Some(2));
+    assert!(file.meta.caption.as_deref().unwrap_or("").starts_with("Smoke"));
+    // The directive-blind parser sees the same scenarios.
+    assert_eq!(parse_scn(&text).unwrap(), file.specs);
 }
 
 /// Malformed sweep files die with the offending line number, not a

@@ -169,7 +169,7 @@ pub fn assemble(
         builder.push_broadcast(&repr, &mpdu.payload);
         let (phy_hdr, psdu, slots) = builder.finish(bcast_rate.code(), ucast_rate.code());
         return Some(AssembledFrame {
-            on_air: OnAirFrame::Aggregate { phy_hdr, psdu, slots },
+            on_air: OnAirFrame::aggregate(phy_hdr, psdu, slots),
             ucast_dest: None,
             ucast_burst: Vec::new(),
             bcast_count: 1,
@@ -213,7 +213,7 @@ pub fn assemble(
     let ucast_dest = ucast_burst.first().map(|m| m.next_hop);
     let (phy_hdr, psdu, slots) = builder.finish(bcast_rate.code(), ucast_rate.code());
     Some(AssembledFrame {
-        on_air: OnAirFrame::Aggregate { phy_hdr, psdu, slots },
+        on_air: OnAirFrame::aggregate(phy_hdr, psdu, slots),
         ucast_dest,
         ucast_burst,
         bcast_count,
@@ -234,7 +234,7 @@ mod tests {
         QueuedMpdu {
             next_hop: MacAddr::from_node_id(dst),
             src: MacAddr::from_node_id(0),
-            payload: vec![0xAB; len],
+            payload: vec![0xAB; len].into(),
             no_ack,
             enqueued_at: Instant::ZERO,
         }

@@ -38,5 +38,5 @@ pub use assembler::{assemble, AssembledFrame};
 pub use classifier::{Classification, Classifier, ClassifierStats};
 pub use config::{AckPolicy, AggPolicy, AggSizing, MacConfig};
 pub use counters::MacCounters;
-pub use mac::{Mac, MacInput, MacOutput};
+pub use mac::{Mac, MacInput, MacOutput, MacSink};
 pub use queues::{QueueKind, QueuedMpdu, TxQueues};

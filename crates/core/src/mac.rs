@@ -25,7 +25,8 @@ use hydra_phy::{OnAirFrame, PhyProfile, Rate};
 use hydra_sim::{Duration, Instant, Rng, TimerSet, TimerToken};
 use hydra_wire::aggregate::Portion;
 use hydra_wire::control::{ControlFrame, ACK_LEN, BLOCK_ACK_LEN, CTS_LEN, RTS_LEN};
-use hydra_wire::{parse_aggregate, MacAddr};
+use hydra_wire::subframe::HEADER_LEN;
+use hydra_wire::{parse_aggregate, MacAddr, Payload};
 
 use crate::assembler::{assemble, AssembledFrame};
 use crate::classifier::Classifier;
@@ -42,8 +43,8 @@ pub enum MacInput {
         next_hop: MacAddr,
         /// Original source address (addr3).
         src: MacAddr,
-        /// MPDU payload bytes.
-        payload: Vec<u8>,
+        /// MPDU payload bytes (shared, cheap to clone).
+        payload: Payload,
     },
     /// Physical carrier sense went busy (another node transmits).
     ChannelBusy,
@@ -76,14 +77,34 @@ pub enum MacOutput {
         src: MacAddr,
         /// Transmitter of the delivering hop (addr2).
         transmitter: MacAddr,
-        /// MPDU payload bytes.
-        payload: Vec<u8>,
+        /// MPDU payload bytes — a zero-copy sub-view of the received
+        /// frame's shared PSDU buffer.
+        payload: Payload,
     },
     /// A unicast burst was dropped after exhausting retries.
     UnicastDropped {
         /// Number of MPDUs lost.
         count: usize,
     },
+}
+
+/// Where [`Mac::handle`] writes its outputs.
+///
+/// The MAC is sans-IO: it never allocates its own output buffer. The
+/// event loop hands in a reusable sink (in practice a pooled
+/// `Vec<MacOutput>` it drains right after the call), so steady-state
+/// dispatch performs **zero** per-event output allocations. Tests and
+/// one-shot callers can use [`Mac::handle_collect`], which allocates a
+/// fresh `Vec` for convenience.
+pub trait MacSink {
+    /// Accepts one output.
+    fn push(&mut self, out: MacOutput);
+}
+
+impl MacSink for Vec<MacOutput> {
+    fn push(&mut self, out: MacOutput) {
+        Vec::push(self, out);
+    }
 }
 
 /// Timer slots.
@@ -219,19 +240,27 @@ impl Mac {
         &self.classifier.stats
     }
 
-    /// Main entry point: feed one input, collect outputs.
-    pub fn handle(&mut self, now: Instant, input: MacInput) -> Vec<MacOutput> {
-        let mut out = Vec::new();
+    /// Main entry point: feed one input, emit outputs into `out`.
+    ///
+    /// The sink is supplied by the caller so the hot path never
+    /// allocates; the event loop reuses one scratch buffer across every
+    /// event it dispatches.
+    pub fn handle<S: MacSink>(&mut self, now: Instant, input: MacInput, out: &mut S) {
         match input {
-            MacInput::Enqueue { next_hop, src, payload } => {
-                self.on_enqueue(now, next_hop, src, payload, &mut out)
-            }
+            MacInput::Enqueue { next_hop, src, payload } => self.on_enqueue(now, next_hop, src, payload, out),
             MacInput::ChannelBusy => self.on_busy(now),
-            MacInput::ChannelIdle => self.on_idle(now, &mut out),
-            MacInput::Rx(frame) => self.on_rx(now, &frame, &mut out),
-            MacInput::TxDone => self.on_tx_done(now, &mut out),
-            MacInput::Timer(token) => self.on_timer(now, token, &mut out),
+            MacInput::ChannelIdle => self.on_idle(now, out),
+            MacInput::Rx(frame) => self.on_rx(now, &frame, out),
+            MacInput::TxDone => self.on_tx_done(now, out),
+            MacInput::Timer(token) => self.on_timer(now, token, out),
         }
+    }
+
+    /// [`Mac::handle`] into a fresh `Vec` — the allocating convenience
+    /// wrapper for tests and one-shot callers.
+    pub fn handle_collect(&mut self, now: Instant, input: MacInput) -> Vec<MacOutput> {
+        let mut out = Vec::new();
+        self.handle(now, input, &mut out);
         out
     }
 
@@ -263,8 +292,8 @@ impl Mac {
         now: Instant,
         next_hop: MacAddr,
         src: MacAddr,
-        payload: Vec<u8>,
-        out: &mut Vec<MacOutput>,
+        payload: Payload,
+        out: &mut dyn MacSink,
     ) {
         let class = self.classifier.classify(next_hop, &payload, self.cfg.agg.tcp_ack_as_broadcast);
         let mpdu = QueuedMpdu { next_hop, src, payload, no_ack: class.no_ack, enqueued_at: now };
@@ -274,7 +303,7 @@ impl Mac {
 
     /// Starts contention if idle, traffic is pending, and the DBA gate
     /// passes. Draws a fresh backoff.
-    fn try_contend(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn try_contend(&mut self, now: Instant, out: &mut dyn MacSink) {
         if self.state != State::Idle || self.after_sifs.is_some() {
             return;
         }
@@ -302,7 +331,7 @@ impl Mac {
 
     /// Arms the DIFS+backoff timer if the channel is idle; otherwise the
     /// countdown stays frozen until `ChannelIdle` / NAV expiry.
-    fn arm_backoff(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn arm_backoff(&mut self, now: Instant, out: &mut dyn MacSink) {
         debug_assert_eq!(self.state, State::Contend);
         if self.phys_busy {
             return; // will resume on ChannelIdle
@@ -340,14 +369,14 @@ impl Mac {
         }
     }
 
-    fn on_idle(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn on_idle(&mut self, now: Instant, out: &mut dyn MacSink) {
         self.phys_busy = false;
         if self.state == State::Contend && self.after_sifs.is_none() {
             self.arm_backoff(now, out);
         }
     }
 
-    fn set_nav(&mut self, now: Instant, duration_us: u16, out: &mut Vec<MacOutput>) {
+    fn set_nav(&mut self, now: Instant, duration_us: u16, out: &mut dyn MacSink) {
         let until = now + Duration::from_micros(duration_us as u64);
         if until > self.nav_until {
             self.nav_until = until;
@@ -365,7 +394,7 @@ impl Mac {
     // ------------------------------------------------------------------
 
     /// Backoff complete: assemble and launch the exchange.
-    fn tx_opportunity(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn tx_opportunity(&mut self, now: Instant, out: &mut dyn MacSink) {
         // Account the fully elapsed DIFS + backoff.
         self.counters.time.add(cat::DIFS, self.cfg.difs);
         self.counters.time.add(cat::BACKOFF, self.cfg.slot * self.backoff_slots as u64);
@@ -401,7 +430,7 @@ impl Mac {
             self.counters.time.add(cat::CONTROL, self.control_airtime(RTS_LEN));
             self.current = Some(frame);
             self.state = State::TxRts;
-            out.push(MacOutput::StartTx(OnAirFrame::Control(rts.to_bytes())));
+            out.push(MacOutput::StartTx(OnAirFrame::control(rts.to_bytes())));
         } else if frame.expects_ack() {
             self.current = Some(frame);
             self.start_data_tx(now, out);
@@ -434,7 +463,7 @@ impl Mac {
         let mut payload = Duration::ZERO;
         let mut header = Duration::ZERO;
         let mut overhead_bytes = 0u64;
-        for slot in slots {
+        for slot in slots.iter() {
             let rate = match slot.portion {
                 Portion::Broadcast => bcast_rate,
                 Portion::Unicast => ucast_rate,
@@ -451,7 +480,7 @@ impl Mac {
     }
 
     /// Launches the data aggregate (after CTS, or directly without RTS).
-    fn start_data_tx(&mut self, _now: Instant, out: &mut Vec<MacOutput>) {
+    fn start_data_tx(&mut self, _now: Instant, out: &mut dyn MacSink) {
         let frame = self.current.take().expect("data tx without frame");
         self.account_data_tx(&frame);
         let on_air = frame.on_air.clone();
@@ -460,7 +489,7 @@ impl Mac {
         out.push(MacOutput::StartTx(on_air));
     }
 
-    fn on_tx_done(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn on_tx_done(&mut self, now: Instant, out: &mut dyn MacSink) {
         match self.state {
             State::TxRts => {
                 self.state = State::AwaitCts;
@@ -494,7 +523,7 @@ impl Mac {
     }
 
     /// Successful exchange: burst delivered and acknowledged.
-    fn finish_success(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn finish_success(&mut self, now: Instant, out: &mut dyn MacSink) {
         self.timers.cancel(Slot::AckTimeout as usize);
         self.counters.time.add(cat::CONTROL, self.control_airtime(self.expected_ack_len()));
         self.counters.time.add(cat::SIFS, self.cfg.sifs);
@@ -506,7 +535,7 @@ impl Mac {
     }
 
     /// Failed attempt (CTS or ACK timeout): retry with doubled CW or drop.
-    fn fail_attempt(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn fail_attempt(&mut self, now: Instant, out: &mut dyn MacSink) {
         self.retry_count += 1;
         self.cw = (self.cw * 2).min(self.cfg.cw_max);
         if self.retry_count > self.cfg.retry_limit {
@@ -524,7 +553,7 @@ impl Mac {
     /// Post-failure contention: allowed even if queues are empty, because
     /// the stored burst must be retried. A failed attempt always draws a
     /// fresh backoff from the (doubled) contention window.
-    fn try_contend_for_retry(&mut self, now: Instant, out: &mut Vec<MacOutput>) {
+    fn try_contend_for_retry(&mut self, now: Instant, out: &mut dyn MacSink) {
         if self.current.is_some() {
             self.state = State::Contend;
             self.backoff_slots = self.rng.below(self.cw as u64) as u32;
@@ -540,7 +569,7 @@ impl Mac {
     // Timers
     // ------------------------------------------------------------------
 
-    fn on_timer(&mut self, now: Instant, token: TimerToken, out: &mut Vec<MacOutput>) {
+    fn on_timer(&mut self, now: Instant, token: TimerToken, out: &mut dyn MacSink) {
         if !self.timers.fire(token) {
             return; // stale
         }
@@ -575,12 +604,12 @@ impl Mac {
                 Some(AfterSifs::Cts(cts)) => {
                     self.counters.tx_cts += 1;
                     self.state = State::TxResponse;
-                    out.push(MacOutput::StartTx(OnAirFrame::Control(cts.to_bytes())));
+                    out.push(MacOutput::StartTx(OnAirFrame::control(cts.to_bytes())));
                 }
                 Some(AfterSifs::Ack(ack)) => {
                     self.counters.tx_acks += 1;
                     self.state = State::TxResponse;
-                    out.push(MacOutput::StartTx(OnAirFrame::Control(ack.to_bytes())));
+                    out.push(MacOutput::StartTx(OnAirFrame::control(ack.to_bytes())));
                 }
                 Some(AfterSifs::Data) => {
                     self.counters.time.add(cat::SIFS, self.cfg.sifs);
@@ -605,14 +634,14 @@ impl Mac {
     // Receive path
     // ------------------------------------------------------------------
 
-    fn on_rx(&mut self, now: Instant, frame: &OnAirFrame, out: &mut Vec<MacOutput>) {
+    fn on_rx(&mut self, now: Instant, frame: &OnAirFrame, out: &mut dyn MacSink) {
         match frame {
             OnAirFrame::Control(bytes) => self.on_rx_control(now, bytes, out),
             OnAirFrame::Aggregate { phy_hdr, psdu, .. } => self.on_rx_aggregate(now, phy_hdr, psdu, out),
         }
     }
 
-    fn respond_after_sifs(&mut self, now: Instant, action: AfterSifs, out: &mut Vec<MacOutput>) {
+    fn respond_after_sifs(&mut self, now: Instant, action: AfterSifs, out: &mut dyn MacSink) {
         if self.after_sifs.is_some() {
             self.counters.rx_control_ignored += 1;
             return;
@@ -627,7 +656,7 @@ impl Mac {
         out.push(MacOutput::SetTimer { token, at: now + self.cfg.sifs });
     }
 
-    fn on_rx_control(&mut self, now: Instant, bytes: &[u8], out: &mut Vec<MacOutput>) {
+    fn on_rx_control(&mut self, now: Instant, bytes: &[u8], out: &mut dyn MacSink) {
         let Ok(ctrl) = ControlFrame::parse(bytes) else {
             self.counters.rx_control_ignored += 1;
             return;
@@ -677,7 +706,7 @@ impl Mac {
     }
 
     /// Block-ACK (extension): keep only unACKed subframes for retry.
-    fn on_block_ack(&mut self, now: Instant, bitmap: u64, out: &mut Vec<MacOutput>) {
+    fn on_block_ack(&mut self, now: Instant, bitmap: u64, out: &mut dyn MacSink) {
         let Some(mut frame) = self.current.take() else {
             return self.finish_success(now, out);
         };
@@ -698,12 +727,18 @@ impl Mac {
         }
     }
 
+    /// A zero-copy sub-view of `psdu` holding one subframe's payload.
+    fn subframe_payload(psdu: &Payload, sub: &hydra_wire::ParsedSubframe<'_>) -> Payload {
+        let at = sub.range.start + HEADER_LEN;
+        psdu.slice(at..at + sub.view().payload_len() as usize)
+    }
+
     fn on_rx_aggregate(
         &mut self,
         now: Instant,
         phy_hdr: &hydra_wire::PhyHeader,
-        psdu: &[u8],
-        out: &mut Vec<MacOutput>,
+        psdu: &Payload,
+        out: &mut dyn MacSink,
     ) {
         let parsed = parse_aggregate(phy_hdr, psdu);
 
@@ -720,7 +755,7 @@ impl Mac {
                 out.push(MacOutput::Deliver {
                     src: view.addr3(),
                     transmitter: view.addr2(),
-                    payload: view.payload().to_vec(),
+                    payload: Self::subframe_payload(psdu, sub),
                 });
             } else {
                 // Decode-and-drop: a classified TCP ACK meant for another
@@ -757,7 +792,7 @@ impl Mac {
                 if all_ok {
                     self.counters.rx_unicast_ok += 1;
                     for sub in &ucast {
-                        self.deliver_unicast(sub, out);
+                        self.deliver_unicast(psdu, sub, out);
                     }
                     let ack = ControlFrame::Ack { duration_us: 0, ra: transmitter };
                     self.respond_after_sifs(now, AfterSifs::Ack(ack), out);
@@ -771,7 +806,7 @@ impl Mac {
                     if sub.fcs_ok && i < 64 {
                         bitmap |= 1 << i;
                         self.counters.rx_block_subframes_ok += 1;
-                        self.deliver_unicast(sub, out);
+                        self.deliver_unicast(psdu, sub, out);
                     }
                 }
                 let ba = ControlFrame::BlockAck { duration_us: 0, ra: transmitter, bitmap };
@@ -782,7 +817,12 @@ impl Mac {
 
     /// Delivers one unicast subframe upward, filtering duplicates from
     /// retransmitted bursts whose original ACK was lost.
-    fn deliver_unicast(&mut self, sub: &hydra_wire::ParsedSubframe<'_>, out: &mut Vec<MacOutput>) {
+    fn deliver_unicast(
+        &mut self,
+        psdu: &Payload,
+        sub: &hydra_wire::ParsedSubframe<'_>,
+        out: &mut dyn MacSink,
+    ) {
         let view = sub.view();
         let payload = view.payload();
         // The encap shim carries (src_node via addr2, packet_id) — enough
@@ -804,7 +844,7 @@ impl Mac {
         out.push(MacOutput::Deliver {
             src: view.addr3(),
             transmitter: view.addr2(),
-            payload: payload.to_vec(),
+            payload: Self::subframe_payload(psdu, sub),
         });
     }
 }

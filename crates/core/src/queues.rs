@@ -6,7 +6,7 @@
 //! destination — exactly the paper's transmit process.
 
 use hydra_sim::Instant;
-use hydra_wire::MacAddr;
+use hydra_wire::{MacAddr, Payload};
 
 /// One frame waiting at the MAC.
 #[derive(Debug, Clone)]
@@ -16,8 +16,9 @@ pub struct QueuedMpdu {
     pub next_hop: MacAddr,
     /// Original source address (addr3).
     pub src: MacAddr,
-    /// MPDU payload bytes (`shim | IP | L4` or `shim | raw`).
-    pub payload: Vec<u8>,
+    /// MPDU payload bytes (`shim | IP | L4` or `shim | raw`), shared
+    /// with every other holder of the same packet.
+    pub payload: Payload,
     /// True if this unicast-addressed frame must not be link-ACKed
     /// (broadcast-classified TCP ACK).
     pub no_ack: bool,
@@ -137,7 +138,7 @@ mod tests {
         QueuedMpdu {
             next_hop: MacAddr::from_node_id(dst),
             src: MacAddr::from_node_id(0),
-            payload: vec![0; 10],
+            payload: vec![0; 10].into(),
             no_ack: false,
             enqueued_at: Instant::ZERO,
         }

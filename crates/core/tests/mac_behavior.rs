@@ -34,12 +34,12 @@ impl Harness {
     }
 
     fn feed(&mut self, input: MacInput) {
-        let outs = self.mac.handle(self.now, input);
+        let outs = self.mac.handle_collect(self.now, input);
         for o in outs {
             match o {
                 MacOutput::SetTimer { token, at } => self.timers.push((at, token)),
                 MacOutput::StartTx(f) => self.tx.push(f),
-                MacOutput::Deliver { src, payload, .. } => self.delivered.push((src, payload)),
+                MacOutput::Deliver { src, payload, .. } => self.delivered.push((src, payload.to_vec())),
                 MacOutput::UnicastDropped { count } => self.dropped += count,
             }
         }
@@ -99,7 +99,7 @@ fn pure_ack_payload(id: u32) -> Vec<u8> {
 }
 
 fn enqueue_unicast(h: &mut Harness, id: u32, len: usize) {
-    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: udp_payload(id, len) });
+    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: udp_payload(id, len).into() });
 }
 
 /// Builds an incoming data aggregate addressed to `dst` from `src_mac`.
@@ -137,7 +137,7 @@ fn incoming_aggregate(
         b.push_unicast(&repr, p);
     }
     let (phy_hdr, psdu, slots) = b.finish(Rate::R1_30.code(), Rate::R1_30.code());
-    OnAirFrame::Aggregate { phy_hdr, psdu, slots }
+    OnAirFrame::aggregate(phy_hdr, psdu, slots)
 }
 
 // ----------------------------------------------------------------------
@@ -166,7 +166,7 @@ fn unicast_tx_runs_full_rts_cts_data_ack_exchange() {
     // CTS arrives.
     h.advance(Duration::from_micros(400));
     let cts = ControlFrame::Cts { duration_us: 3000, ra: me() };
-    h.feed(MacInput::Rx(OnAirFrame::Control(cts.to_bytes())));
+    h.feed(MacInput::Rx(OnAirFrame::control(cts.to_bytes())));
 
     // SIFS fires -> data aggregate.
     let f = h.run_until_tx();
@@ -180,7 +180,7 @@ fn unicast_tx_runs_full_rts_cts_data_ack_exchange() {
     // ACK arrives -> success, counters updated.
     h.advance(Duration::from_micros(400));
     let ack = ControlFrame::Ack { duration_us: 0, ra: me() };
-    h.feed(MacInput::Rx(OnAirFrame::Control(ack.to_bytes())));
+    h.feed(MacInput::Rx(OnAirFrame::control(ack.to_bytes())));
 
     assert_eq!(h.mac.counters.tx_data_frames, 1);
     assert_eq!(h.mac.counters.tx_rts, 1);
@@ -191,7 +191,7 @@ fn unicast_tx_runs_full_rts_cts_data_ack_exchange() {
 #[test]
 fn broadcast_only_tx_skips_handshake() {
     let mut h = Harness::new(AggPolicy::broadcast(), Rate::R1_30);
-    h.feed(MacInput::Enqueue { next_hop: MacAddr::BROADCAST, src: me(), payload: vec![0xEE; 100] });
+    h.feed(MacInput::Enqueue { next_hop: MacAddr::BROADCAST, src: me(), payload: vec![0xEE; 100].into() });
     let f = h.run_until_tx();
     let OnAirFrame::Aggregate { phy_hdr, .. } = &f else { panic!("expected aggregate") };
     assert!(phy_hdr.bcast_len > 0);
@@ -206,7 +206,7 @@ fn broadcast_only_tx_skips_handshake() {
 #[test]
 fn classified_tcp_ack_goes_to_broadcast_queue_and_air() {
     let mut h = Harness::new(AggPolicy::broadcast(), Rate::R1_30);
-    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: pure_ack_payload(7) });
+    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: pure_ack_payload(7).into() });
     assert_eq!(h.mac.queues().bcast_len(), 1);
     assert_eq!(h.mac.classifier_stats().acks_classified, 1);
     let f = h.run_until_tx();
@@ -223,7 +223,7 @@ fn classified_tcp_ack_goes_to_broadcast_queue_and_air() {
 #[test]
 fn na_policy_keeps_acks_unicast() {
     let mut h = Harness::new(AggPolicy::no_aggregation(), Rate::R1_30);
-    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: pure_ack_payload(7) });
+    h.feed(MacInput::Enqueue { next_hop: peer(), src: me(), payload: pure_ack_payload(7).into() });
     assert_eq!(h.mac.queues().bcast_len(), 0);
     assert_eq!(h.mac.queues().ucast_len(), 1);
     // Goes out through the full RTS path.
@@ -307,7 +307,7 @@ fn dba_flush_timer_releases_stuck_frames() {
 fn responds_cts_to_rts_after_sifs() {
     let mut h = Harness::new(AggPolicy::broadcast(), Rate::R1_30);
     let rts = ControlFrame::Rts { duration_us: 5000, ra: me(), ta: peer() };
-    h.feed(MacInput::Rx(OnAirFrame::Control(rts.to_bytes())));
+    h.feed(MacInput::Rx(OnAirFrame::control(rts.to_bytes())));
     let f = h.run_until_tx();
     let OnAirFrame::Control(bytes) = &f else { panic!() };
     let ControlFrame::Cts { ra, duration_us } = ControlFrame::parse(bytes).unwrap() else {
@@ -335,11 +335,13 @@ fn delivers_clean_unicast_and_acks() {
 fn corrupt_unicast_subframe_discards_all_no_ack() {
     let mut h = Harness::new(AggPolicy::broadcast(), Rate::R1_30);
     let agg = incoming_aggregate(me(), peer(), &[udp_payload(1, 300), udp_payload(2, 300)], None);
-    let OnAirFrame::Aggregate { phy_hdr, mut psdu, slots } = agg else { panic!() };
-    // Corrupt a payload byte of the second unicast subframe.
+    let OnAirFrame::Aggregate { phy_hdr, psdu, slots } = agg else { panic!() };
+    // Corrupt a payload byte of the second unicast subframe (the shared
+    // payload is immutable: copy out, damage, wrap back up).
+    let mut bytes = psdu.to_vec();
     let r = &slots[1].range;
-    psdu[r.start + 30] ^= 0x40;
-    h.feed(MacInput::Rx(OnAirFrame::Aggregate { phy_hdr, psdu, slots }));
+    bytes[r.start + 30] ^= 0x40;
+    h.feed(MacInput::Rx(OnAirFrame::Aggregate { phy_hdr, psdu: bytes.into(), slots }));
     assert!(h.delivered.is_empty(), "all-or-nothing: nothing delivered");
     assert!(h.timers.is_empty() || h.tx.is_empty(), "no ACK scheduled");
     assert_eq!(h.mac.counters.rx_unicast_crc_drop, 1);
@@ -401,7 +403,7 @@ fn duplicate_retry_delivery_is_filtered() {
         let mut b = AggregateBuilder::new();
         b.push_unicast(&repr, &udp_payload(42, 200));
         let (phy_hdr, psdu, slots) = b.finish(Rate::R1_30.code(), Rate::R1_30.code());
-        OnAirFrame::Aggregate { phy_hdr, psdu, slots }
+        OnAirFrame::aggregate(phy_hdr, psdu, slots)
     };
     h.feed(MacInput::Rx(build(false)));
     assert_eq!(h.delivered.len(), 1);
@@ -424,7 +426,7 @@ fn rts_for_someone_else_sets_nav_and_defers() {
     let mut h = Harness::new(AggPolicy::unicast(), Rate::R1_30);
     // A long NAV from a foreign RTS.
     let rts = ControlFrame::Rts { duration_us: 50_000, ra: peer(), ta: MacAddr::from_node_id(7) };
-    h.feed(MacInput::Rx(OnAirFrame::Control(rts.to_bytes())));
+    h.feed(MacInput::Rx(OnAirFrame::control(rts.to_bytes())));
     // Now traffic arrives; contention must wait out the NAV.
     enqueue_unicast(&mut h, 1, 200);
     // First timer is the NAV wake-up; the MAC must not transmit before

@@ -34,7 +34,7 @@ pub mod world;
 pub use metrics::{mbps, NodeReport, RunReport};
 pub use node::{Apps, Node};
 pub use scenario::{TcpRunResult, TcpScenario, UdpRunResult, UdpScenario};
-pub use scn::{parse_scn, render_scn, ScnError};
-pub use spec::{Flooding, Flow, Policy, RunOutcome, ScenarioSpec, TopologyKind, Traffic};
+pub use scn::{parse_scn, parse_scn_file, render_scn, ScnError, SweepFile, SweepMeta};
+pub use spec::{Flooding, Flow, Policy, RunOutcome, RunPerf, ScenarioSpec, TopologyKind, Traffic};
 pub use topology::Topology;
 pub use world::{MediumKind, World};

@@ -43,9 +43,10 @@ impl std::fmt::Display for ScnError {
 
 impl std::error::Error for ScnError {}
 
-/// Parses a whole `.scn` text: blank lines and `#` comment lines are
-/// skipped, every other line must be one spec. The first malformed line
-/// aborts the parse with its line number.
+/// Parses a whole `.scn` text: blank lines and `#` comment lines
+/// (including `#!` directives — see [`parse_scn_file`]) are skipped,
+/// every other line must be one spec. The first malformed line aborts
+/// the parse with its line number.
 pub fn parse_scn(text: &str) -> Result<Vec<ScenarioSpec>, ScnError> {
     let mut specs = Vec::new();
     for (i, raw) in text.lines().enumerate() {
@@ -57,6 +58,119 @@ pub fn parse_scn(text: &str) -> Result<Vec<ScenarioSpec>, ScnError> {
         specs.push(spec);
     }
     Ok(specs)
+}
+
+/// Sweep-level metadata carried by `#!` directive lines.
+///
+/// Directives let a `.scn` file describe the *sweep*, not just its
+/// cells, so data-driven tables carry the captions and replication
+/// counts the built-in experiment bins hard-code:
+///
+/// ```text
+/// #! caption=Figure 8 — TCP throughput (Mbps): unicast aggregation
+/// #! seeds=3
+/// #! note=paper: UA > NA everywhere; improvement grows with rate
+/// ```
+///
+/// `seeds` is the default replication count (a `--seeds` flag still
+/// wins); `caption` titles the rendered table; `note` lines (repeatable)
+/// become table footnotes. Directives are invisible to [`parse_scn`]
+/// (they parse as comments), so metadata never affects which scenarios
+/// run or their hashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepMeta {
+    /// Default replications per scenario (overridden by an explicit
+    /// `--seeds`).
+    pub seeds: Option<u64>,
+    /// Table caption for the sweep.
+    pub caption: Option<String>,
+    /// Table footnotes, in file order.
+    pub notes: Vec<String>,
+}
+
+impl SweepMeta {
+    /// True when no directive is set.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_none() && self.caption.is_none() && self.notes.is_empty()
+    }
+
+    /// Renders the canonical directive lines (empty when nothing is
+    /// set), in the fixed order caption, seeds, notes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(caption) = &self.caption {
+            out.push_str(&format!("#! caption={caption}\n"));
+        }
+        if let Some(seeds) = self.seeds {
+            out.push_str(&format!("#! seeds={seeds}\n"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("#! note={note}\n"));
+        }
+        out
+    }
+}
+
+/// A fully parsed `.scn` file: sweep metadata plus the scenario list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepFile {
+    /// `#!` directives.
+    pub meta: SweepMeta,
+    /// One spec per non-comment line, in file order.
+    pub specs: Vec<ScenarioSpec>,
+}
+
+/// Parses a whole `.scn` file including its `#!` directive lines.
+///
+/// Like [`parse_scn`] for the scenario lines; additionally each `#!`
+/// line must be a valid `key=value` directive (`seeds`, `caption`,
+/// `note`) — unknown or duplicate (non-`note`) directives are errors
+/// with their line number.
+pub fn parse_scn_file(text: &str) -> Result<SweepFile, ScnError> {
+    let mut file = SweepFile::default();
+    for (i, raw) in text.lines().enumerate() {
+        let err = |msg: String| ScnError { line: i + 1, msg };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(directive) = line.strip_prefix("#!") {
+            let directive = directive.trim();
+            let (key, value) = directive
+                .split_once('=')
+                .ok_or_else(|| err(format!("directive `{directive}` is not key=value")))?;
+            match key.trim() {
+                "seeds" => {
+                    if file.meta.seeds.is_some() {
+                        return Err(err("duplicate `seeds` directive".into()));
+                    }
+                    let seeds: u64 =
+                        value.trim().parse().map_err(|_| err(format!("bad seeds value `{value}`")))?;
+                    if seeds == 0 {
+                        return Err(err("seeds must be at least 1".into()));
+                    }
+                    file.meta.seeds = Some(seeds);
+                }
+                "caption" => {
+                    if file.meta.caption.is_some() {
+                        return Err(err("duplicate `caption` directive".into()));
+                    }
+                    file.meta.caption = Some(value.trim().to_string());
+                }
+                "note" => file.meta.notes.push(value.trim().to_string()),
+                other => {
+                    return Err(err(format!("unknown directive `{other}` (seeds|caption|note)")));
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let spec = ScenarioSpec::from_scn(line).map_err(err)?;
+        file.specs.push(spec);
+    }
+    Ok(file)
 }
 
 /// Renders a list of specs as a `.scn` file body (no header comment).
@@ -612,5 +726,63 @@ mod tests {
         let back = parse_scn(&text).unwrap();
         assert_eq!(back, specs);
         assert_eq!(render_scn(&back), text);
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+
+    const BODY: &str = "topo=linear:2 policy=ba rate=1.3 traffic=file:204800\n";
+
+    #[test]
+    fn directives_parse_and_render_canonically() {
+        let text = format!(
+            "#! caption=Figure X — demo sweep\n#! seeds=5\n# plain comment\n#! note=first\n#! note=second\n{BODY}"
+        );
+        let file = parse_scn_file(&text).unwrap();
+        assert_eq!(file.meta.seeds, Some(5));
+        assert_eq!(file.meta.caption.as_deref(), Some("Figure X — demo sweep"));
+        assert_eq!(file.meta.notes, vec!["first", "second"]);
+        assert_eq!(file.specs.len(), 1);
+        assert_eq!(
+            file.meta.render(),
+            "#! caption=Figure X — demo sweep\n#! seeds=5\n#! note=first\n#! note=second\n"
+        );
+        // Directives are invisible to the plain parser.
+        assert_eq!(parse_scn(&text).unwrap(), file.specs);
+    }
+
+    #[test]
+    fn empty_meta_renders_nothing() {
+        assert!(SweepMeta::default().is_empty());
+        assert_eq!(SweepMeta::default().render(), "");
+        let file = parse_scn_file(BODY).unwrap();
+        assert!(file.meta.is_empty());
+    }
+
+    #[test]
+    fn bad_directives_report_line_numbers() {
+        for (text, why) in [
+            ("#! seeds=0\n", "zero seeds"),
+            ("#! seeds=abc\n", "non-numeric seeds"),
+            ("#! seeds=1\n#! seeds=2\n", "duplicate seeds"),
+            ("#! caption=a\n#! caption=b\n", "duplicate caption"),
+            ("#! shrug=1\n", "unknown directive"),
+            ("#! no-equals\n", "not key=value"),
+        ] {
+            let err = parse_scn_file(text).unwrap_err();
+            assert!(err.line >= 1, "{why}: {err}");
+        }
+        // The duplicate errors point at the second occurrence.
+        assert_eq!(parse_scn_file("#! seeds=1\n#! seeds=2\n").unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn scenario_errors_still_carry_line_numbers() {
+        let text = "#! seeds=2\n\ntopo=linear:2 policy=zz rate=1.3 traffic=file:1\n";
+        let err = parse_scn_file(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("unknown policy"));
     }
 }

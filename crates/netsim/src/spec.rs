@@ -408,7 +408,21 @@ impl ScenarioSpec {
         }
     }
 
+    /// Telemetry for a finished world (allocation deltas vs the marks
+    /// taken before `build()`).
+    fn collect_perf(world: &World, started: std::time::Instant, allocs0: hydra_sim::AllocStats) -> RunPerf {
+        let allocs = hydra_sim::alloc_stats().since(allocs0);
+        RunPerf {
+            events_processed: world.events_processed,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            allocations: allocs.allocations,
+            allocated_bytes: allocs.allocated_bytes,
+        }
+    }
+
     fn run_tcp(&self) -> RunOutcome {
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
         let mut world = self.build();
         world.start();
         let deadline = Instant::ZERO + self.duration;
@@ -430,10 +444,13 @@ impl ScenarioSpec {
             throughput_bps: if worst.is_finite() { worst } else { 0.0 },
             per_flow_bps: per_flow,
             report: RunReport::collect(&world, now),
+            perf: Self::collect_perf(&world, started, allocs0),
         }
     }
 
     fn run_cbr(&self) -> RunOutcome {
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
         let mut world = self.build();
         world.start();
         // One measurement per flow, keyed by its (sink node, port) pair —
@@ -455,6 +472,7 @@ impl ScenarioSpec {
             throughput_bps: if worst.is_finite() { worst } else { 0.0 },
             per_flow_bps: per_flow,
             report: RunReport::collect(&world, now),
+            perf: Self::collect_perf(&world, started, allocs0),
         }
     }
 }
@@ -478,8 +496,42 @@ pub(crate) fn install_transfer(
     world.nodes[server].apps.file_tx.push((FileSender::new(bytes), sock));
 }
 
+/// Per-run performance telemetry: how fast the *simulator* ran, not
+/// what it simulated.
+///
+/// Deliberately second-class data: excluded from [`RunOutcome`]
+/// equality, never written to the persistent result cache, and absent
+/// from every table — so a cached outcome and a fresh one still render
+/// byte-identically, and determinism tests keep passing on machines of
+/// any speed. The allocation counters are zero unless the binary
+/// installs [`hydra_sim::CountingAlloc`] (see `--bin profile`), and are
+/// process-wide — under a multi-threaded runner they include every
+/// concurrent run.
+#[derive(Debug, Clone, Default)]
+pub struct RunPerf {
+    /// Events dispatched by the world's run loop.
+    pub events_processed: u64,
+    /// Wall-clock duration of build + run, in milliseconds.
+    pub wall_ms: f64,
+    /// Allocation calls during the run (0 without the counting allocator).
+    pub allocations: u64,
+    /// Bytes requested by those calls.
+    pub allocated_bytes: u64,
+}
+
+impl RunPerf {
+    /// Simulator throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events_processed as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Result of a [`ScenarioSpec`] run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// FileTransfer: every transfer finished before the deadline.
     /// Cbr: always true.
@@ -492,6 +544,21 @@ pub struct RunOutcome {
     pub per_flow_bps: Vec<f64>,
     /// Per-node MAC/NET reports.
     pub report: RunReport,
+    /// Simulator performance telemetry (see [`RunPerf`]: measurement
+    /// only, excluded from equality and the result cache).
+    pub perf: RunPerf,
+}
+
+/// Equality covers the *simulated* result only — [`RunPerf`] is
+/// wall-clock noise and must never make two outcomes differ (cached vs
+/// fresh, fast machine vs slow).
+impl PartialEq for RunOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.completed == other.completed
+            && self.throughput_bps == other.throughput_bps
+            && self.per_flow_bps == other.per_flow_bps
+            && self.report == other.report
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,21 @@
 //! The event loop: glues MACs, the medium, the channel model, network
 //! stacks, TCP, and applications together under virtual time.
-
-use std::collections::HashMap;
+//!
+//! The dispatch path is zero-allocation in steady state: MAC outputs go
+//! into pooled scratch buffers (the sans-IO MAC writes into a
+//! [`hydra_core::MacSink`]), carrier-sense edges ride one batched event
+//! per transmission boundary in a recycled `Vec`, and in-flight frames
+//! live in a slab indexed by [`TxId`] instead of a `HashMap`. Frame
+//! bytes themselves are shared [`hydra_wire::Payload`]s all the way
+//! from enqueue to delivery — see `docs/PERFORMANCE.md`.
 
 use hydra_core::{Mac, MacConfig, MacInput, MacOutput};
-use hydra_phy::medium::TxId;
+use hydra_phy::medium::{BusyEdge, Delivery, TxId};
 use hydra_phy::{apply_channel, ChannelStack, LinkBudget, Medium, OnAirFrame, PhyProfile, Placement};
 use hydra_sim::{Duration, EventQueue, Instant, Rng, TimerToken};
 use hydra_tcp::TcpStack;
 use hydra_wire::ipv4::IpProtocol;
-use hydra_wire::MacAddr;
+use hydra_wire::{MacAddr, Payload};
 
 use crate::node::{Apps, Node};
 use crate::topology::Topology;
@@ -62,8 +68,12 @@ enum Event {
     MacTimer { node: usize, token: TimerToken },
     /// A transmission's airtime elapsed.
     TxEnd { tx: TxId, node: usize },
-    /// Carrier-sense edge reaches a node.
-    CsEdge { node: usize, busy: bool },
+    /// All carrier-sense edges of one transmission boundary reach their
+    /// nodes. One batched event per tx start/end replaces the former
+    /// one-heap-push-per-neighbor `CsEdge`; edges are applied in the
+    /// order they were discovered, which is exactly the order the
+    /// separate events used to pop in (same timestamp, FIFO ties).
+    CsEdges { edges: Vec<BusyEdge> },
     /// TCP timer wake.
     TcpWake { node: usize },
     /// Application timer wake (CBR/flooder schedules).
@@ -82,9 +92,19 @@ pub struct World {
     pub profile: PhyProfile,
     channel: ChannelStack,
     channel_rng: Rng,
-    in_flight: HashMap<TxId, (usize, OnAirFrame)>,
+    /// In-flight frames, slab-indexed by [`TxId::index`] (ids are dense
+    /// and reused, so this stays as small as the peak concurrency).
+    in_flight: Vec<Option<OnAirFrame>>,
     /// Frames whose reception was destroyed by overlap, per run.
     pub collisions: u64,
+    /// Events dispatched so far (all [`World::run_until`]-family calls).
+    pub events_processed: u64,
+    /// Recycled MAC output scratch buffers; one per re-entrancy level.
+    mac_out_pool: Vec<Vec<MacOutput>>,
+    /// Recycled carrier-sense edge buffers (cycle through the queue).
+    edge_pool: Vec<Vec<BusyEdge>>,
+    /// Recycled delivery buffer for `TxEnd` processing.
+    delivery_pool: Vec<Vec<Delivery>>,
 }
 
 impl World {
@@ -144,8 +164,12 @@ impl World {
             profile,
             channel,
             channel_rng,
-            in_flight: HashMap::new(),
+            in_flight: Vec::new(),
             collisions: 0,
+            events_processed: 0,
+            mac_out_pool: Vec::new(),
+            edge_pool: Vec::new(),
+            delivery_pool: Vec::new(),
         }
     }
 
@@ -200,6 +224,7 @@ impl World {
             self.dispatch(ev);
             processed += 1;
         }
+        self.events_processed += processed;
         processed
     }
 
@@ -212,6 +237,7 @@ impl World {
             }
             let (_, _, ev) = self.events.pop().expect("peeked");
             self.dispatch(ev);
+            self.events_processed += 1;
             if pred(self) {
                 return true;
             }
@@ -223,8 +249,14 @@ impl World {
         let now = self.now();
         match ev {
             Event::MacTimer { node, token } => self.mac_input(node, MacInput::Timer(token)),
-            Event::CsEdge { node, busy } => {
-                self.mac_input(node, if busy { MacInput::ChannelBusy } else { MacInput::ChannelIdle })
+            Event::CsEdges { mut edges } => {
+                for e in edges.drain(..) {
+                    self.mac_input(
+                        e.node,
+                        if e.busy { MacInput::ChannelBusy } else { MacInput::ChannelIdle },
+                    );
+                }
+                self.edge_pool.push(edges);
             }
             Event::TxEnd { tx, node } => self.on_tx_end(tx, node),
             Event::TcpWake { node } => {
@@ -245,12 +277,18 @@ impl World {
 
     fn mac_input(&mut self, node: usize, input: MacInput) {
         let now = self.now();
-        let outs = self.nodes[node].mac.handle(now, input);
-        self.process_mac_outputs(node, outs);
+        // Pooled scratch: `deliver_up` can re-enter `mac_input` (forwarded
+        // packets re-enqueue), so each nesting level takes its own buffer;
+        // after warm-up no level ever allocates.
+        let mut outs = self.mac_out_pool.pop().unwrap_or_default();
+        self.nodes[node].mac.handle(now, input, &mut outs);
+        self.process_mac_outputs(node, &mut outs);
+        debug_assert!(outs.is_empty());
+        self.mac_out_pool.push(outs);
     }
 
-    fn process_mac_outputs(&mut self, node: usize, outs: Vec<MacOutput>) {
-        for out in outs {
+    fn process_mac_outputs(&mut self, node: usize, outs: &mut Vec<MacOutput>) {
+        for out in outs.drain(..) {
             match out {
                 MacOutput::SetTimer { token, at } => {
                     self.events.schedule_at(at.max(self.now()), Event::MacTimer { node, token });
@@ -264,26 +302,40 @@ impl World {
         }
     }
 
+    /// Schedules the batched carrier-sense event (recycling empty
+    /// batches straight back into the pool).
+    fn schedule_cs_edges(&mut self, edges: Vec<BusyEdge>) {
+        if edges.is_empty() {
+            self.edge_pool.push(edges);
+        } else {
+            self.events.schedule_after(CS_DELAY, Event::CsEdges { edges });
+        }
+    }
+
     fn start_tx(&mut self, node: usize, frame: OnAirFrame) {
         let airtime = frame.airtime(&self.profile).total();
-        let (tx, edges) = self.medium.start_tx(node);
-        for e in edges {
-            self.events.schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
+        let mut edges = self.edge_pool.pop().unwrap_or_default();
+        let tx = self.medium.start_tx_into(node, &mut edges);
+        self.schedule_cs_edges(edges);
+        let idx = tx.index();
+        if idx >= self.in_flight.len() {
+            self.in_flight.resize_with(idx + 1, || None);
         }
-        self.in_flight.insert(tx, (node, frame));
+        debug_assert!(self.in_flight[idx].is_none(), "tx id in use");
+        self.in_flight[idx] = Some(frame);
         self.events.schedule_after(airtime, Event::TxEnd { tx, node });
     }
 
     fn on_tx_end(&mut self, tx: TxId, node: usize) {
-        let (deliveries, edges) = self.medium.end_tx(tx);
-        for e in edges {
-            self.events.schedule_after(CS_DELAY, Event::CsEdge { node: e.node, busy: e.busy });
-        }
-        let (_, frame) = self.in_flight.remove(&tx).expect("unknown tx");
+        let mut deliveries = self.delivery_pool.pop().unwrap_or_default();
+        let mut edges = self.edge_pool.pop().unwrap_or_default();
+        self.medium.end_tx_into(tx, &mut deliveries, &mut edges);
+        self.schedule_cs_edges(edges);
+        let frame = self.in_flight[tx.index()].take().expect("unknown tx");
         // Tell the transmitter first (it arms its response timeout), then
         // fan out receptions in deterministic node order.
         self.mac_input(node, MacInput::TxDone);
-        for d in deliveries {
+        for d in deliveries.drain(..) {
             if !d.clean {
                 self.collisions += 1;
                 self.nodes[d.receiver].collisions_seen += 1;
@@ -295,20 +347,21 @@ impl World {
                 None => self.nodes[d.receiver].channel_drops += 1,
             }
         }
+        self.delivery_pool.push(deliveries);
     }
 
     // ------------------------------------------------------------------
     // Upward delivery: network layer, TCP, apps
     // ------------------------------------------------------------------
 
-    fn deliver_up(&mut self, node: usize, payload: Vec<u8>) {
+    fn deliver_up(&mut self, node: usize, payload: Payload) {
         use hydra_net::NetVerdict;
         let now = self.now();
         let verdict = self.nodes[node].net.receive(&payload);
         match verdict {
             NetVerdict::Forward { next_hop, mpdu_payload } => {
                 let src = self.nodes[node].mac.addr();
-                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu_payload });
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu_payload.into() });
             }
             NetVerdict::DeliverTcp { ip, tcp, payload } => {
                 self.nodes[node].tcp.on_segment(now, &ip, &tcp, &payload);
@@ -349,7 +402,7 @@ impl World {
             let send = self.nodes[node].net.send_l4(IpProtocol::Tcp, seg.dst, &seg.bytes);
             if let Some((next_hop, mpdu)) = send {
                 let src = self.nodes[node].mac.addr();
-                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
             }
         }
         // Post-send app pass: sending may have freed buffer space and the
@@ -393,13 +446,13 @@ impl World {
             let send = self.nodes[node].net.send_l4(IpProtocol::Udp, dst.addr, &seg);
             if let Some((next_hop, mpdu)) = send {
                 let src = self.nodes[node].mac.addr();
-                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+                self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
             }
         }
         for beacon in flood_out {
             let (next_hop, mpdu) = self.nodes[node].net.send_raw_broadcast(&beacon);
             let src = self.nodes[node].mac.addr();
-            self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu });
+            self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
         }
         if let Some(w) = next_wake {
             self.schedule_app_wake(node, w);

@@ -174,13 +174,21 @@ impl ChannelModel for ChannelStack {
     }
 }
 
-/// Applies a channel model to a frame copy bound for one receiver.
+/// Applies a channel model to a frame bound for one receiver.
 ///
 /// Returns `None` if the frame is dropped entirely; otherwise the frame
-/// with corrupted subframes' bytes damaged in place (one covered byte
-/// flipped — enough to fail the CRC; the length field is spared so that
-/// framing survives, matching the paper's receive process which treats
-/// each subframe CRC independently).
+/// with corrupted subframes' bytes damaged (one covered byte flipped —
+/// enough to fail the CRC; the length field is spared so that framing
+/// survives, matching the paper's receive process which treats each
+/// subframe CRC independently).
+///
+/// **Copy-on-corrupt**: the returned frame shares the transmitter's
+/// PSDU buffer (an O(1) [`hydra_wire::Payload`] clone) until the first
+/// corruption decision actually lands, at which point a private copy is
+/// materialised and damaged. Broadcast fan-out to N clean receivers
+/// therefore copies zero PSDU bytes. RNG consumption is identical on
+/// both paths, so runs stay bit-comparable with the pre-copy-on-corrupt
+/// implementation.
 pub fn apply_channel(
     frame: &OnAirFrame,
     snr_db: f64,
@@ -200,18 +208,21 @@ pub fn apply_channel(
                 bytes: bytes.len(),
                 snr_db,
             };
-            let mut out = bytes.clone();
             if model.subframe_corrupt(&ctx, rng) {
+                let mut out = bytes.to_vec();
                 corrupt_byte(&mut out, 2, rng); // hit duration/addr region
+                Some(OnAirFrame::Control(out.into()))
+            } else {
+                Some(OnAirFrame::Control(bytes.clone()))
             }
-            Some(OnAirFrame::Control(out))
         }
         OnAirFrame::Aggregate { phy_hdr, psdu, slots } => {
             let bcast_rate = Rate::from_code(phy_hdr.bcast_rate).unwrap_or(profile.base_rate);
             let ucast_rate = Rate::from_code(phy_hdr.ucast_rate).unwrap_or(profile.base_rate);
-            let mut out = psdu.clone();
+            // Copy-on-corrupt: no private PSDU until damage is certain.
+            let mut damaged: Option<Vec<u8>> = None;
             let mut cursor = profile.samples_for(profile.phy_header_bytes, profile.base_rate);
-            for slot in slots {
+            for slot in slots.iter() {
                 let rate = match slot.portion {
                     Portion::Broadcast => bcast_rate,
                     Portion::Unicast => ucast_rate,
@@ -227,10 +238,14 @@ pub fn apply_channel(
                 };
                 cursor += samples;
                 if model.subframe_corrupt(&ctx, rng) {
-                    corrupt_subframe(&mut out, slot, rng);
+                    corrupt_subframe(damaged.get_or_insert_with(|| psdu.to_vec()), slot, rng);
                 }
             }
-            Some(OnAirFrame::Aggregate { phy_hdr: *phy_hdr, psdu: out, slots: slots.clone() })
+            let psdu = match damaged {
+                Some(buf) => buf.into(),
+                None => psdu.clone(),
+            };
+            Some(OnAirFrame::Aggregate { phy_hdr: *phy_hdr, psdu, slots: slots.clone() })
         }
     }
 }
@@ -280,7 +295,7 @@ mod tests {
             b.push_unicast(&repr, &vec![0xAB; payload_len]);
         }
         let (phy_hdr, psdu, slots) = b.finish(rate.code(), rate.code());
-        OnAirFrame::Aggregate { phy_hdr, psdu, slots }
+        OnAirFrame::aggregate(phy_hdr, psdu, slots)
     }
 
     #[test]
@@ -403,7 +418,7 @@ mod tests {
             ra: MacAddr::from_node_id(1),
             ta: MacAddr::from_node_id(2),
         };
-        let f = OnAirFrame::Control(rts.to_bytes());
+        let f = OnAirFrame::control(rts.to_bytes());
         let out = apply_channel(&f, 25.0, &mut model, &mut rng, &p).unwrap();
         let OnAirFrame::Control(bytes) = out else { panic!() };
         assert!(hydra_wire::ControlFrame::parse(&bytes).is_err());

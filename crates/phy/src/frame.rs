@@ -1,30 +1,55 @@
 //! On-air frame representation and airtime accounting.
 
+use std::sync::Arc;
+
 use hydra_sim::Duration;
 use hydra_wire::aggregate::SubframeSlot;
 use hydra_wire::phy_hdr::PhyHeader;
+use hydra_wire::Payload;
 
 use crate::profile::PhyProfile;
 use crate::rates::Rate;
 
+/// Shared per-subframe slot metadata: built once at assembly, then
+/// reference-counted through every receiver's copy of the frame (the
+/// channel model reads slots but never rewrites them).
+pub type SharedSlots = Arc<[SubframeSlot]>;
+
 /// A frame as it exists on the air.
+///
+/// Cloning is cheap: the PSDU bytes and the slot metadata are
+/// reference-counted ([`Payload`] / [`SharedSlots`]), so fanning one
+/// transmission out to N receivers bumps two counters per receiver
+/// instead of copying the whole frame N times. The channel model only
+/// materialises a private copy when it actually corrupts bytes
+/// (copy-on-corrupt, see [`crate::channel::apply_channel`]).
 #[derive(Debug, Clone)]
 pub enum OnAirFrame {
     /// A standalone control frame (RTS/CTS/ACK) at the base rate.
-    Control(Vec<u8>),
+    Control(Payload),
     /// An aggregated data frame: dual-rate PHY header + PSDU.
     Aggregate {
         /// The dual-rate PHY header (paper Figure 2).
         phy_hdr: PhyHeader,
         /// The PSDU: broadcast subframes followed by unicast subframes.
-        psdu: Vec<u8>,
+        psdu: Payload,
         /// Byte-range metadata for each subframe (for the channel model
         /// and MAC accounting).
-        slots: Vec<SubframeSlot>,
+        slots: SharedSlots,
     },
 }
 
 impl OnAirFrame {
+    /// A control frame from freshly serialized bytes.
+    pub fn control(bytes: impl Into<Payload>) -> Self {
+        OnAirFrame::Control(bytes.into())
+    }
+
+    /// An aggregate from freshly assembled parts.
+    pub fn aggregate(phy_hdr: PhyHeader, psdu: impl Into<Payload>, slots: Vec<SubframeSlot>) -> Self {
+        OnAirFrame::Aggregate { phy_hdr, psdu: psdu.into(), slots: slots.into() }
+    }
+
     /// The broadcast-portion rate (base rate for control frames).
     pub fn bcast_rate(&self, profile: &PhyProfile) -> Rate {
         match self {
@@ -122,7 +147,7 @@ mod tests {
 
     #[test]
     fn control_airtime() {
-        let f = OnAirFrame::Control(vec![0; 20]); // RTS
+        let f = OnAirFrame::control(vec![0; 20]); // RTS
         let a = f.airtime(&profile());
         assert_eq!(a.preamble, Duration::from_micros(170));
         assert_eq!(a.phy_header, Duration::ZERO);
@@ -139,7 +164,7 @@ mod tests {
             bcast_len: 480,
             ucast_len: 4392,
         };
-        let f = OnAirFrame::Aggregate { phy_hdr, psdu: vec![0; 4872], slots: vec![] };
+        let f = OnAirFrame::aggregate(phy_hdr, vec![0; 4872], vec![]);
         let a = f.airtime(&profile());
         // 480*8/0.65e6 ≈ 5908 µs; 4392*8/2.6e6 ≈ 13514 µs.
         assert!((a.bcast.as_micros() as i64 - 5907).abs() <= 2, "{:?}", a.bcast);
@@ -151,7 +176,7 @@ mod tests {
     fn unknown_rate_code_falls_back_to_base() {
         let phy_hdr =
             PhyHeader { bcast_rate: RateCode(99), ucast_rate: RateCode(99), bcast_len: 0, ucast_len: 650 };
-        let f = OnAirFrame::Aggregate { phy_hdr, psdu: vec![0; 650], slots: vec![] };
+        let f = OnAirFrame::aggregate(phy_hdr, vec![0; 650], vec![]);
         assert_eq!(f.ucast_rate(&profile()), Rate::R0_65);
         // 650 B = 5200 bits at 0.65 = 8 ms.
         assert_eq!(f.airtime(&profile()).ucast, Duration::from_millis(8));
@@ -166,7 +191,7 @@ mod tests {
             bcast_len: 160,
             ucast_len: 1464,
         };
-        let f = OnAirFrame::Aggregate { phy_hdr, psdu: vec![0; 1624], slots: vec![] };
+        let f = OnAirFrame::aggregate(phy_hdr, vec![0; 1624], vec![]);
         let expect = p.samples_for(8, Rate::R0_65)
             + p.samples_for(160, Rate::R1_30)
             + p.samples_for(1464, Rate::R1_30);

@@ -26,8 +26,22 @@ use crate::placement::{Link, LinkBudget, Placement};
 use crate::profile::PhyProfile;
 
 /// Identifies one in-flight transmission.
+///
+/// Ids are slab indices: when a transmission ends its id returns to a
+/// free list and is reused by a later `start_tx`. At any moment every
+/// in-flight transmission has a distinct id, and because concurrent
+/// transmissions are bounded by the node count, [`TxId::index`] stays
+/// tiny — the event loop tracks in-flight frames in a plain `Vec`
+/// indexed by it instead of a `HashMap`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxId(u64);
+
+impl TxId {
+    /// The slab index of this transmission (dense, reused after end).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A carrier-sense transition at one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +86,10 @@ pub struct Medium {
     /// Per node: number of audible foreign transmissions currently on air.
     heard: Vec<usize>,
     next_id: u64,
+    /// Ids of ended transmissions, reused by the next start (slab).
+    free_ids: Vec<u64>,
+    /// Recycled `interfered` vectors (steady state allocates none).
+    interfered_pool: Vec<Vec<bool>>,
 }
 
 impl Medium {
@@ -97,6 +115,8 @@ impl Medium {
             active: Vec::new(),
             heard: vec![0; n],
             next_id: 0,
+            free_ids: Vec::new(),
+            interfered_pool: Vec::new(),
         }
     }
 
@@ -161,12 +181,30 @@ impl Medium {
     }
 
     /// Begins a transmission from `node`. Returns the transmission id and
-    /// the carrier-sense edges it causes at other nodes.
+    /// the carrier-sense edges it causes at other nodes (allocating
+    /// wrapper around [`Medium::start_tx_into`]).
     pub fn start_tx(&mut self, node: usize) -> (TxId, Vec<BusyEdge>) {
-        let id = TxId(self.next_id);
-        self.next_id += 1;
+        let mut edges = Vec::new();
+        let id = self.start_tx_into(node, &mut edges);
+        (id, edges)
+    }
 
-        let mut interfered = vec![false; self.n];
+    /// Begins a transmission from `node`, appending the carrier-sense
+    /// edges it causes to `edges` (cleared first). The hot-path variant:
+    /// the caller owns and recycles the edge buffer, and the per-node
+    /// interference scratch comes from an internal pool, so steady-state
+    /// operation allocates nothing.
+    pub fn start_tx_into(&mut self, node: usize, edges: &mut Vec<BusyEdge>) -> TxId {
+        edges.clear();
+        let id = TxId(self.free_ids.pop().unwrap_or_else(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        }));
+
+        let mut interfered = self.interfered_pool.pop().unwrap_or_default();
+        interfered.clear();
+        interfered.resize(self.n, false);
         for (r, slot) in interfered.iter_mut().enumerate() {
             if r == node {
                 continue;
@@ -191,7 +229,6 @@ impl Medium {
             }
         }
 
-        let mut edges = Vec::new();
         for r in 0..self.n {
             if r != node && self.senses[node][r] {
                 let was_busy = self.is_busy(r);
@@ -203,16 +240,27 @@ impl Medium {
         }
 
         self.active.push(ActiveTx { id, tx_node: node, interfered });
-        (id, edges)
+        id
     }
 
-    /// Ends a transmission: returns deliveries and carrier-sense edges.
+    /// Ends a transmission: returns deliveries and carrier-sense edges
+    /// (allocating wrapper around [`Medium::end_tx_into`]).
     pub fn end_tx(&mut self, id: TxId) -> (Vec<Delivery>, Vec<BusyEdge>) {
+        let mut deliveries = Vec::new();
+        let mut edges = Vec::new();
+        self.end_tx_into(id, &mut deliveries, &mut edges);
+        (deliveries, edges)
+    }
+
+    /// Ends a transmission, appending deliveries and carrier-sense edges
+    /// to caller-recycled buffers (cleared first). Frees the id and the
+    /// interference scratch for reuse.
+    pub fn end_tx_into(&mut self, id: TxId, deliveries: &mut Vec<Delivery>, edges: &mut Vec<BusyEdge>) {
+        deliveries.clear();
+        edges.clear();
         let idx = self.active.iter().position(|a| a.id == id).expect("end_tx for unknown transmission");
         let tx = self.active.remove(idx);
 
-        let mut deliveries = Vec::new();
-        let mut edges = Vec::new();
         for r in 0..self.n {
             if r == tx.tx_node || !self.senses[tx.tx_node][r] {
                 continue;
@@ -229,7 +277,8 @@ impl Medium {
                 });
             }
         }
-        (deliveries, edges)
+        self.free_ids.push(id.0);
+        self.interfered_pool.push(tx.interfered);
     }
 }
 

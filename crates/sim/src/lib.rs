@@ -9,7 +9,9 @@
 //!   bit-stable across platforms and dependency upgrades;
 //! * [`timer::TimerSet`] — generation-counted lazy-cancellation timers;
 //! * [`stats`] — Welford accumulators and per-category time ledgers;
-//! * [`trace::Tracer`] — cheap, capturable event tracing.
+//! * [`trace::Tracer`] — cheap, capturable event tracing;
+//! * [`alloc_count`] — an opt-in counting global allocator, the
+//!   measurement side of the zero-allocation hot-path work.
 //!
 //! Design note: the network layers in this workspace are written *sans-IO*
 //! (pure state machines with typed inputs/outputs, as in smoltcp). This
@@ -20,9 +22,13 @@
 //! other `hydra-*` crate stands on it (the first users above are
 //! `hydra-phy`'s airtime math and the protocol state machines' timers).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`alloc_count`] module implements
+// `GlobalAlloc` (an unsafe trait by definition) behind a local,
+// documented `allow` — everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod event;
 pub mod rng;
 pub mod stats;
@@ -30,6 +36,7 @@ pub mod time;
 pub mod timer;
 pub mod trace;
 
+pub use alloc_count::{alloc_stats, AllocStats, CountingAlloc};
 pub use event::{EventId, EventQueue};
 pub use rng::{stream_seed, Rng};
 pub use stats::{Running, TimeLedger};

@@ -14,7 +14,9 @@
 //!   checksums;
 //! * [`builder`] — whole-stack packet construction/dissection and the
 //!   wire-level **pure TCP ACK classifier** (paper §4.2.4);
-//! * [`crc`] / [`checksum`] — CRC-32 FCS and the Internet checksum.
+//! * [`crc`] / [`checksum`] — CRC-32 FCS and the Internet checksum;
+//! * [`payload`] — the shared, cheap-clone byte buffer ([`Payload`])
+//!   the hot path threads through the MAC, PHY, and event loop.
 //!
 //! Everything is dependency-free, deterministic, and panic-free on
 //! malformed input: frames coming off the simulated channel are parsed
@@ -36,6 +38,7 @@ pub mod crc;
 pub mod encap;
 pub mod error;
 pub mod ipv4;
+pub mod payload;
 pub mod phy_hdr;
 pub mod subframe;
 pub mod tcp;
@@ -50,6 +53,7 @@ pub use control::ControlFrame;
 pub use encap::{EncapProto, EncapRepr};
 pub use error::WireError;
 pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
+pub use payload::Payload;
 pub use phy_hdr::{PhyHeader, RateCode, PHY_HDR_LEN};
 pub use subframe::{FrameType, Subframe, SubframeRepr};
 pub use tcp::{TcpFlags, TcpRepr};

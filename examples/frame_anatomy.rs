@@ -106,7 +106,7 @@ fn main() {
 
     // Airtime and the coherence budget.
     let profile = PhyProfile::hydra();
-    let frame = OnAirFrame::Aggregate { phy_hdr, psdu, slots };
+    let frame = OnAirFrame::aggregate(phy_hdr, psdu, slots);
     let air = frame.airtime(&profile);
     println!(
         "\nairtime: preamble {} + PHY hdr {} + bcast {} + ucast {} = {}",
