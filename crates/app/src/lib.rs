@@ -1,7 +1,9 @@
 //! # hydra-app — workload generators for the paper's experiments
 //!
 //! * [`udp::UdpCbr`] / [`udp::UdpSink`] — the controllable-rate UDP
-//!   application of §5 (payload sized for 1140 B MAC frames);
+//!   application of §5 (payload sized for 1140 B MAC frames), with an
+//!   optional on/off burst mode ([`udp::OnOff`]) for bursty background
+//!   traffic;
 //! * [`flood::Flooder`] / [`flood::FloodSink`] — fixed-rate broadcast
 //!   flooding standing in for DSR/AODV route chatter (§6.3);
 //! * [`file::FileSender`] / [`file::FileReceiver`] — the one-way 0.2 MB
@@ -21,4 +23,4 @@ pub mod udp;
 
 pub use file::{FileReceiver, FileSender, PAPER_FILE_BYTES};
 pub use flood::{FloodSink, Flooder};
-pub use udp::{PortStats, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};
+pub use udp::{OnOff, PortStats, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};

@@ -11,7 +11,20 @@ pub const UDP_FRAME_OVERHEAD: usize = 26 + 4 + 37 + 20 + 8;
 /// The UDP payload size that yields the paper's 1140 B MAC frames.
 pub const PAPER_UDP_PAYLOAD: usize = 1140 - UDP_FRAME_OVERHEAD;
 
+/// The on-phase shape of an on/off source: `burst` packets spaced the
+/// source's `interval` apart, then `idle` of silence before the next
+/// burst — one period is `(burst - 1) · interval + idle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnOff {
+    /// Packets per on-phase (≥ 1).
+    pub burst: u32,
+    /// Gap between the last packet of one burst and the first of the
+    /// next (> 0).
+    pub idle: Duration,
+}
+
 /// A CBR source: one `payload_len`-byte datagram every `interval`.
+/// With [`UdpCbr::on_off`] it becomes a bursty on/off source instead.
 #[derive(Debug)]
 pub struct UdpCbr {
     /// Destination endpoint.
@@ -26,7 +39,10 @@ pub struct UdpCbr {
     pub start: Instant,
     /// Stop time (exclusive); `None` = run forever.
     pub stop: Option<Instant>,
+    /// On/off burst shape; `None` = plain CBR.
+    pub on_off: Option<OnOff>,
     next_send: Instant,
+    sent_in_burst: u32,
     seq: u32,
     /// Datagrams emitted.
     pub packets_sent: u64,
@@ -45,7 +61,9 @@ impl UdpCbr {
             interval,
             start,
             stop: None,
+            on_off: None,
             next_send: start,
+            sent_in_burst: 0,
             seq: 0,
             packets_sent: 0,
             bytes_sent: 0,
@@ -55,6 +73,15 @@ impl UdpCbr {
     /// Limits the sending window.
     pub fn until(mut self, stop: Instant) -> Self {
         self.stop = Some(stop);
+        self
+    }
+
+    /// Switches to on/off mode: bursts of `burst` packets (spaced
+    /// `interval` apart) separated by `idle` of silence.
+    pub fn on_off(mut self, burst: u32, idle: Duration) -> Self {
+        assert!(burst >= 1, "a burst needs at least one packet");
+        assert!(!idle.is_zero(), "idle must be positive");
+        self.on_off = Some(OnOff { burst, idle });
         self
     }
 
@@ -78,7 +105,18 @@ impl UdpCbr {
             self.packets_sent += 1;
             self.bytes_sent += self.payload_len as u64;
             out.push(payload);
-            self.next_send += self.interval;
+            self.next_send += match self.on_off {
+                Some(OnOff { burst, idle }) => {
+                    self.sent_in_burst += 1;
+                    if self.sent_in_burst >= burst {
+                        self.sent_in_burst = 0;
+                        idle
+                    } else {
+                        self.interval
+                    }
+                }
+                None => self.interval,
+            };
         }
         (out, Some(self.next_send))
     }
@@ -269,6 +307,33 @@ mod tests {
         assert_eq!(sink.port(9001).unwrap().highest_seq, 2);
         assert_eq!(sink.active_ports().collect::<Vec<_>>(), vec![9000, 9001]);
         assert_eq!(sink.port_bytes(1234), 0);
+    }
+
+    #[test]
+    fn on_off_bursts_then_idles() {
+        // Bursts of 3 packets 1 ms apart, 10 ms idle: period 12 ms.
+        let mut src = UdpCbr::new(dst(), 1, 100, Duration::from_millis(1), Instant::ZERO)
+            .on_off(3, Duration::from_millis(10));
+        let (pkts, next) = src.poll(Instant::from_millis(2));
+        assert_eq!(pkts.len(), 3, "full burst at t = 0, 1, 2 ms");
+        assert_eq!(next, Some(Instant::from_millis(12)), "idle gap after the burst");
+        let (pkts, _) = src.poll(Instant::from_millis(11));
+        assert!(pkts.is_empty(), "silent during the off phase");
+        let (pkts, next) = src.poll(Instant::from_millis(14));
+        assert_eq!(pkts.len(), 3, "next burst at t = 12, 13, 14 ms");
+        assert_eq!(next, Some(Instant::from_millis(24)));
+        assert_eq!(src.packets_sent, 6);
+        // Sequence numbers keep running across bursts.
+        assert_eq!(src.seq, 6);
+    }
+
+    #[test]
+    fn on_off_single_packet_burst_is_periodic_at_idle() {
+        let mut src = UdpCbr::new(dst(), 1, 100, Duration::from_millis(1), Instant::ZERO)
+            .on_off(1, Duration::from_millis(5));
+        let (pkts, next) = src.poll(Instant::from_millis(10));
+        assert_eq!(pkts.len(), 3); // t = 0, 5, 10
+        assert_eq!(next, Some(Instant::from_millis(15)));
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Extension: heterogeneous TCP foreground + CBR background in one world.
+fn main() {
+    hydra_bench::experiments::ext_mixed(&hydra_bench::experiments::Opts::cli()).print();
+}

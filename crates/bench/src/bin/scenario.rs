@@ -8,10 +8,16 @@
 //!     [tcp|udp] [--hops N | --star | --grid WxH | --cross]
 //!     [--policy na|ua|ba|dba|ba-nofwd]
 //!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N] [--threads N]
-//!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--max-agg-kb N]
-//!     [--block-ack] [--no-rts] [--drop P] [--corrupt P]
+//!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--mix T ...]
+//!     [--max-agg-kb N] [--block-ack] [--no-rts] [--drop P] [--corrupt P]
 //!     [--spatial] [--spacing M] [--dump-links]
 //! ```
+//!
+//! `--mix T` (repeatable) adds a background flow with its own traffic
+//! (`tcp:BYTES` | `cbr:INTERVAL:PAYLOAD` |
+//! `onoff:BURST:IDLE:INTERVAL:PAYLOAD`) on the primary flow's path, so
+//! any topology can run heterogeneous foreground/background mixes; the
+//! result prints as a labeled per-flow table.
 //!
 //! `--spatial` switches from the paper's single carrier-sense domain to
 //! the range-limited medium built from the topology's geometry
@@ -25,9 +31,11 @@
 //! them as a batch — with result caching — via `--bin sweep`.
 //! `--help` prints the full flag reference.
 
-use hydra_bench::ExperimentRunner;
+use hydra_bench::{ExperimentRunner, Table};
 use hydra_core::AckPolicy;
-use hydra_netsim::{Flooding, MediumKind, Policy, ScenarioSpec, TopologyKind, Traffic};
+use hydra_netsim::{
+    Flooding, FlowSpec, FlowTraffic, MediumKind, Policy, ScenarioSpec, TopologyKind, Traffic,
+};
 use hydra_phy::{PhyProfile, Rate};
 use hydra_sim::Duration;
 
@@ -50,6 +58,8 @@ struct Args {
     corrupt: f64,
     spacing: Option<f64>,
     dump_links: bool,
+    /// Background flow traffic tokens (`--mix`, repeatable).
+    mix: Vec<String>,
 }
 
 fn parse_rate(s: &str) -> Rate {
@@ -109,6 +119,11 @@ traffic & policy:
   --file-kb N      TCP transfer size (default 200)
   --interval-ms N  CBR inter-packet interval (default 17)
   --flood-ms N     per-node broadcast flooding at this interval
+  --mix T          add a background flow on the primary path; T is a
+                   flow-traffic token: tcp:BYTES | cbr:INTERVAL:PAYLOAD |
+                   onoff:BURST:IDLE:INTERVAL:PAYLOAD (e.g. cbr:10ms:1140).
+                   Repeatable; ports 9900, 9901, ... A tcp run mixed
+                   with window traffic gets a 1 s warmup + 20 s horizon.
 
 MAC & channel:
   --max-agg-kb N   aggregation cap (default 5)
@@ -152,6 +167,7 @@ fn parse() -> Args {
         corrupt: 0.0,
         spacing: None,
         dump_links: false,
+        mix: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -179,6 +195,7 @@ fn parse() -> Args {
                 a.interval_ms = val(&mut i).parse().unwrap_or_else(|_| die("bad --interval-ms"))
             }
             "--flood-ms" => a.flood_ms = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad --flood-ms"))),
+            "--mix" => a.mix.push(val(&mut i)),
             "--max-agg-kb" => a.max_agg_kb = val(&mut i).parse().unwrap_or_else(|_| die("bad --max-agg-kb")),
             "--block-ack" => a.block_ack = true,
             "--no-rts" => a.rts = false,
@@ -228,6 +245,31 @@ fn spec_from(a: &Args) -> ScenarioSpec {
     spec.rts_cts = a.rts;
     if let Some(spacing_m) = a.spacing {
         spec.medium = MediumKind::Spatial { spacing_m };
+    }
+    if !a.mix.is_empty() {
+        let mixes: Vec<FlowTraffic> = a
+            .mix
+            .iter()
+            .map(|tok| FlowTraffic::from_token(tok).unwrap_or_else(|e| die(&format!("--mix: {e}"))))
+            .collect();
+        // A mixed run executes to the horizon `warmup + duration`; give
+        // a file-transfer foreground a sane window instead of the pure
+        // TCP 300 s deadline.
+        if a.tcp && mixes.iter().any(|t| !t.is_file()) {
+            spec.warmup = Duration::from_secs(1);
+            spec.duration = Duration::from_secs(20);
+        }
+        // Background flows ride the primary flow's path on their own
+        // ports.
+        let primary = spec.effective_flows()[0];
+        for (k, traffic) in mixes.into_iter().enumerate() {
+            spec = spec.add_flow(FlowSpec {
+                src: primary.src,
+                dst: primary.dst,
+                port: 9900 + k as u16,
+                traffic,
+            });
+        }
     }
     spec
 }
@@ -315,9 +357,29 @@ fn main() {
             ExperimentRunner::run_seed(&spec, i as u64 + 1),
             if r.completed { "ok  " } else { "STUCK" },
             r.throughput_bps / 1e6,
-            r.per_flow_bps.iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
+            r.per_flow_bps().iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
         );
     }
+    // The labeled per-flow breakdown: one row per flow, means across
+    // seeds, plus run 1's delivered bytes and completion time.
+    let flows = spec.effective_flows();
+    let mut t = Table::new(
+        format!("per-flow results ({} seed(s))", a.seeds),
+        &["flow", "kind", "mean Mbps", "bytes (run 1)", "done at (run 1)"],
+    );
+    for (j, f) in flows.iter().enumerate() {
+        let mean = cell.runs.iter().map(|r| r.per_flow[j].bps).sum::<f64>() / cell.runs.len() as f64;
+        let first = &cell.runs[0].per_flow[j];
+        t.row(vec![
+            format!("{}>{}:{}", f.src, f.dst, f.port),
+            f.traffic.kind().label().into(),
+            format!("{:.3}", mean / 1e6),
+            first.bytes.to_string(),
+            first.completed_at.map_or("-".into(), |at| format!("{:.3}s", at.as_nanos() as f64 / 1e9)),
+        ]);
+    }
+    println!();
+    t.print();
     if let (Some(&relay), Some(first)) = (spec.relays().first(), cell.runs.first()) {
         let rel = &first.report.nodes[relay];
         println!(

@@ -10,7 +10,9 @@
 //! EXPERIMENTS.md for per-experiment commentary).
 
 use hydra_core::{AckPolicy, AggSizing};
-use hydra_netsim::{Flooding, MediumKind, Policy, ScenarioSpec, SweepMeta, TopologyKind};
+use hydra_netsim::{
+    Flooding, FlowSpec, FlowTraffic, MediumKind, Policy, ScenarioSpec, SweepMeta, TopologyKind,
+};
 use hydra_phy::Rate;
 use hydra_sim::Duration;
 
@@ -102,6 +104,7 @@ pub fn shipped_sweeps() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
         ("ext_topologies", flat(ext_topologies_specs())),
         ("ext_spatial_reuse", flat(ext_spatial_reuse_specs())),
         ("ext_spatial_rts", flat(ext_spatial_rts_specs())),
+        ("ext_mixed", flat(ext_mixed_specs())),
         ("ablation_block_ack", flat(ablation_block_ack_specs())),
         ("ablation_rate_adaptive_sizing", flat(ablation_rate_adaptive_sizing_specs())),
         ("ablation_dba_flush", flat(ablation_dba_flush_specs())),
@@ -136,6 +139,9 @@ pub fn shipped_sweep_meta(name: &str) -> SweepMeta {
             ("Extension — spatial reuse: chain UDP goodput (Mbps), shared domain vs 5 m spacing", 1)
         }
         "ext_spatial_rts" => ("Extension — RTS/CTS crossover: 3-hop UDP goodput (Mbps) vs spacing", 1),
+        "ext_mixed" => {
+            ("Extension — mixed traffic: 2-hop TCP foreground vs CBR background (per-flow Mbps)", 3)
+        }
         "ablation_block_ack" => ("Ablation — block ACK vs all-or-nothing under coherence stress", 1),
         "ablation_rate_adaptive_sizing" => ("Ablation — fixed 5 KB cap vs coherence-budget sizing", 3),
         "ablation_dba_flush" => ("Ablation — DBA flush timeout sensitivity (2.6 Mbps)", 3),
@@ -847,6 +853,93 @@ pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
 }
 
 // ----------------------------------------------------------------------
+// Extension — heterogeneous traffic: TCP foreground vs CBR background
+// ----------------------------------------------------------------------
+
+/// Background CBR inter-packet intervals swept by `ext_mixed`
+/// (`None` = no background). 160 B payloads: VoIP-sized datagrams, the
+/// many-small-frames regime aggregation targets.
+const EXT_MIXED_BG_MS: [Option<u64>; 4] = [None, Some(20), Some(10), Some(5)];
+const EXT_MIXED_BG_PAYLOAD: usize = 160;
+
+/// One mixed cell: the paper's 0.2 MB transfer over the 2-hop chain at
+/// 1.3 Mbps, plus (optionally) a same-path CBR background flow. The
+/// mixed horizon is 1 s warmup + 20 s window.
+fn ext_mixed_cell(policy: Policy, bg_interval_ms: Option<u64>) -> ScenarioSpec {
+    let mut spec = tcp(TopologyKind::Linear(2), policy, Rate::R1_30, None);
+    spec.warmup = Duration::from_secs(1);
+    spec.duration = Duration::from_secs(20);
+    if let Some(ms) = bg_interval_ms {
+        spec = spec.add_flow(FlowSpec {
+            src: 0,
+            dst: 2,
+            port: 9000,
+            traffic: FlowTraffic::Cbr { interval: Duration::from_millis(ms), payload: EXT_MIXED_BG_PAYLOAD },
+        });
+    }
+    spec
+}
+
+/// The mixed-traffic grid: background intensity × NA/UA/BA.
+pub fn ext_mixed_specs() -> Vec<Vec<ScenarioSpec>> {
+    EXT_MIXED_BG_MS
+        .iter()
+        .map(|&bg| [Policy::Na, Policy::Ua, Policy::Ba].iter().map(|&p| ext_mixed_cell(p, bg)).collect())
+        .collect()
+}
+
+/// Mean throughput of flow `idx` across a cell's replications, bit/s.
+fn mean_flow_bps(cell: &CellResult, idx: usize) -> f64 {
+    cell.runs.iter().map(|r| r.per_flow[idx].bps).sum::<f64>() / cell.runs.len() as f64
+}
+
+/// Extension: the per-flow traffic engine runs a TCP file transfer and
+/// a small-frame CBR background flow in *one* world — the heterogeneous
+/// mix the paper's premise is about (many small frames contending with
+/// bulk data) but its run-global harness could not express. As the
+/// background intensifies, the channel fills with tiny frames whose
+/// per-frame overhead aggregation amortises: the BA-over-NA foreground
+/// gain should *grow* with background load, and BA should also deliver
+/// more of the background itself.
+pub fn ext_mixed(opts: &Opts) -> Table {
+    let results = opts.runner().run_grid(ext_mixed_specs(), opts.seeds);
+
+    let mut t = Table::new(
+        caption("ext_mixed"),
+        &["background", "NA tcp", "NA cbr", "UA tcp", "UA cbr", "BA tcp", "BA cbr", "BA/NA tcp"],
+    );
+    for (bg, row) in EXT_MIXED_BG_MS.iter().zip(&results) {
+        let label = match bg {
+            None => "none".to_string(),
+            Some(ms) => {
+                let offered = EXT_MIXED_BG_PAYLOAD as f64 * 8.0 / (*ms as f64 / 1e3);
+                format!("{EXT_MIXED_BG_PAYLOAD}B/{ms}ms ({:.0} kb/s)", offered / 1e3)
+            }
+        };
+        let mut cells = vec![label];
+        // Flow 0 is the transfer, flow 1 (when present) the background.
+        for cell in row {
+            let starved = cell.runs.iter().any(|r| !r.completed);
+            cells.push(format!("{}{}", mbps(mean_flow_bps(cell, 0)), if starved { "*" } else { "" }));
+            cells.push(if cell.spec.effective_flows().len() > 1 {
+                mbps(mean_flow_bps(cell, 1))
+            } else {
+                "-".into()
+            });
+        }
+        let (na, ba) = (mean_flow_bps(&row[0], 0), mean_flow_bps(&row[2], 0));
+        cells.push(if na > 0.0 { format!("{:+.1}%", (ba / na - 1.0) * 100.0) } else { "NA starved".into() });
+        t.row(cells);
+    }
+    t.note("one world per cell: 0.2 MB transfer 0->2:5001 + CBR background 0->2:9000 (160 B datagrams)");
+    t.note("mixed semantics: CBR measures over [1s, 21s]; the transfer must finish by the horizon");
+    t.note("expectation: the BA/NA foreground gain grows with background intensity (small frames");
+    t.note("are where aggregation pays); BA also sustains more of the background itself");
+    t.note("* = some replication's transfer missed the horizon (the policy starved the foreground)");
+    t
+}
+
+// ----------------------------------------------------------------------
 // Ablations (design choices + the paper's future work, DESIGN.md §7/§8)
 // ----------------------------------------------------------------------
 
@@ -1086,6 +1179,7 @@ pub fn run_all(opts: &Opts) -> String {
     for t in ext_spatial(opts) {
         emit(t);
     }
+    emit(ext_mixed(opts));
     emit(ablation_block_ack(opts));
     emit(ablation_rate_adaptive_sizing(opts));
     emit(ablation_dba_flush(opts));

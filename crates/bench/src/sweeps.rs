@@ -40,7 +40,11 @@ use hydra_sim::Instant;
 /// The key `(stable_hash, replication)` only tracks the *scenario*;
 /// it cannot see code edits, so a stale tag silently serves stale
 /// numbers. When in doubt, bump — or `rm -rf results/cache`.
-pub const CACHE_SCHEMA: &str = "hydra-agg.run.v1";
+///
+/// v2: `RunOutcome` reports labeled per-flow results
+/// (`per_flow: [{src,dst,port,traffic,bytes,bps,completed_at_ns?}]`)
+/// instead of the bare `per_flow_bps` float array.
+pub const CACHE_SCHEMA: &str = "hydra-agg.run.v2";
 
 /// A cache shared between experiment functions and runner threads.
 pub type SharedCache = Arc<Mutex<ResultCache>>;
@@ -183,12 +187,25 @@ fn encode_outcome(s: &mut String, o: &RunOutcome) {
     s.push('{');
     s.push_str(&format!("\"completed\":{},", o.completed));
     s.push_str(&format!("\"throughput_bps\":{},", fnum(o.throughput_bps)));
-    s.push_str("\"per_flow_bps\":[");
-    for (i, v) in o.per_flow_bps.iter().enumerate() {
+    s.push_str("\"per_flow\":[");
+    for (i, fo) in o.per_flow.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&fnum(*v));
+        s.push('{');
+        s.push_str(&format!("\"src\":{},", fo.flow.src));
+        s.push_str(&format!("\"dst\":{},", fo.flow.dst));
+        s.push_str(&format!("\"port\":{},", fo.flow.port));
+        // The flow's traffic in its canonical `.scn` token form — the
+        // token round-trips the exact value (durations are exact
+        // nanosecond multiples), and keeps records human-readable.
+        s.push_str(&format!("\"traffic\":{},", quote(&fo.flow.traffic.to_token())));
+        s.push_str(&format!("\"bytes\":{},", fo.bytes));
+        s.push_str(&format!("\"bps\":{}", fnum(fo.bps)));
+        if let Some(at) = fo.completed_at {
+            s.push_str(&format!(",\"completed_at_ns\":{}", at.as_nanos()));
+        }
+        s.push('}');
     }
     s.push_str("],");
     s.push_str(&format!("\"at_ns\":{},", o.report.at.as_nanos()));
@@ -283,15 +300,31 @@ fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
             forwarded: json::get_u64(n, "forwarded")?,
         });
     }
-    let per_flow_v = json::get(o, "per_flow_bps")?.as_arr()?;
-    let mut per_flow_bps = Vec::with_capacity(per_flow_v.len());
-    for v in per_flow_v {
-        per_flow_bps.push(v.as_f64()?);
+    let per_flow_v = json::get(o, "per_flow")?.as_arr()?;
+    let mut per_flow = Vec::with_capacity(per_flow_v.len());
+    for fv in per_flow_v {
+        let fo = fv.as_obj()?;
+        let traffic = hydra_netsim::FlowTraffic::from_token(json::get_str(fo, "traffic")?).ok()?;
+        let flow = hydra_netsim::FlowSpec {
+            src: json::get_u64(fo, "src")? as usize,
+            dst: json::get_u64(fo, "dst")? as usize,
+            port: u16::try_from(json::get_u64(fo, "port")?).ok()?,
+            traffic,
+        };
+        per_flow.push(hydra_netsim::FlowOutcome::new(
+            flow,
+            json::get_u64(fo, "bytes")?,
+            json::get_f64(fo, "bps")?,
+            match json::get(fo, "completed_at_ns") {
+                Some(v) => Some(Instant::from_nanos(v.as_u64()?)),
+                None => None,
+            },
+        ));
     }
     let outcome = RunOutcome {
         completed: json::get(o, "completed")?.as_bool()?,
         throughput_bps: json::get_f64(o, "throughput_bps")?,
-        per_flow_bps,
+        per_flow,
         report: RunReport {
             nodes,
             at: Instant::from_nanos(json::get_u64(o, "at_ns")?),
@@ -616,6 +649,31 @@ mod tests {
         assert_eq!(back, outcome, "RunOutcome must survive the cache byte-exactly");
         // Exact float identity, not approximate.
         assert_eq!(back.throughput_bps.to_bits(), outcome.throughput_bps.to_bits());
+    }
+
+    #[test]
+    fn mixed_outcome_round_trips_with_flow_labels() {
+        use hydra_netsim::{FlowKind, FlowSpec, FlowTraffic, Policy, Traffic};
+        let mut spec = ScenarioSpec::tcp(TopologyKind::Linear(1), Policy::Ua, Rate::R1_30);
+        spec.traffic = Traffic::FileTransfer { bytes: 20 * 1024 };
+        spec.warmup = Duration::from_millis(200);
+        spec.duration = Duration::from_secs(2);
+        let spec = spec.add_flow(FlowSpec {
+            src: 0,
+            dst: 1,
+            port: 9000,
+            traffic: FlowTraffic::Cbr { interval: Duration::from_millis(20), payload: 160 },
+        });
+        let outcome = spec.run();
+        assert_eq!(outcome.per_flow.len(), 2);
+        assert!(outcome.per_flow[0].completed_at.is_some(), "transfer should finish");
+        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
+        let (_, back) = decode_record(&line).expect("decode mixed record");
+        assert_eq!(back, outcome, "labeled per-flow outcomes must survive the cache");
+        assert_eq!(back.per_flow[0].kind, FlowKind::FileTransfer);
+        assert_eq!(back.per_flow[1].kind, FlowKind::Cbr);
+        assert_eq!(back.per_flow[1].flow.port, 9000);
+        assert_eq!(back.per_flow[0].completed_at, outcome.per_flow[0].completed_at);
     }
 
     #[test]

@@ -43,6 +43,9 @@ const GOLDEN_SWEEP_HASHES: &[(&str, u64)] = &[
     ("ext_topologies", 0xe9b73a32a103d0d0),
     ("ext_spatial_reuse", 0x40f52f27f6332710),
     ("ext_spatial_rts", 0x42622e673bef9856),
+    // New with the per-flow traffic engine (captured at introduction);
+    // every pre-existing entry above/below is untouched.
+    ("ext_mixed", 0xbc5c5321887b7b51),
     ("ablation_block_ack", 0x1e5465f8ff8155a3),
     ("ablation_rate_adaptive_sizing", 0x3c72c8e2a0726b63),
     ("ablation_dba_flush", 0x7b8dbb68b66cf66c),

@@ -3,14 +3,30 @@
 //! twice, so flaky scheduling would be caught.
 
 use hydra_bench::{ExperimentRunner, Table};
-use hydra_netsim::{Policy, ScenarioSpec, TopologyKind, Traffic};
+use hydra_netsim::{FlowSpec, FlowTraffic, Policy, ScenarioSpec, TopologyKind, Traffic};
 use hydra_phy::Rate;
 use hydra_sim::Duration;
 
+/// A mixed TCP-foreground + CBR-background spec on the 2-hop chain
+/// (both flows in one world — the per-flow traffic engine).
+fn mixed_spec() -> ScenarioSpec {
+    let mut s = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+    s.traffic = Traffic::FileTransfer { bytes: 20 * 1024 };
+    s.warmup = Duration::from_millis(500);
+    s.duration = Duration::from_secs(2);
+    s.add_flow(FlowSpec {
+        src: 0,
+        dst: 2,
+        port: 9000,
+        traffic: FlowTraffic::Cbr { interval: Duration::from_millis(20), payload: 160 },
+    })
+}
+
 /// A small but heterogeneous sweep: TCP and UDP, two policies, two
-/// topologies, and both medium modes (the paper's shared domain and a
-/// spatial chain wide enough for hidden terminals). File sizes / windows
-/// trimmed so debug-mode CI stays fast.
+/// topologies, both medium modes (the paper's shared domain and a
+/// spatial chain wide enough for hidden terminals), and a mixed
+/// TCP+CBR world. File sizes / windows trimmed so debug-mode CI stays
+/// fast.
 fn fixed_sweep() -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     for policy in [Policy::Ua, Policy::Ba] {
@@ -32,6 +48,7 @@ fn fixed_sweep() -> Vec<ScenarioSpec> {
     spatial.warmup = Duration::from_millis(500);
     spatial.duration = Duration::from_secs(2);
     specs.push(spatial);
+    specs.push(mixed_spec());
     specs
 }
 
@@ -39,12 +56,23 @@ fn fixed_sweep() -> Vec<ScenarioSpec> {
 /// print — full float formatting, so any divergence shows up.
 fn render(runner: &ExperimentRunner, seeds: u64) -> String {
     let cells = runner.run_sweep(&fixed_sweep(), seeds);
-    let mut t = Table::new("determinism probe", &["cell", "mean bps", "per-run bps", "TXs"]);
+    let mut t = Table::new("determinism probe", &["cell", "mean bps", "per-run bps", "per-flow bps", "TXs"]);
     for (i, cell) in cells.iter().enumerate() {
         t.row(vec![
             format!("{i}"),
             format!("{:.6}", cell.mean_throughput_bps()),
             cell.runs.iter().map(|r| format!("{:.6}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
+            cell.runs
+                .iter()
+                .map(|r| {
+                    r.per_flow
+                        .iter()
+                        .map(|o| format!("{}:{}={:.6}", o.kind.label(), o.flow.port, o.bps))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
             cell.runs.iter().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
         ]);
     }
@@ -59,6 +87,22 @@ fn parallel_equals_sequential_twice() {
     for round in 0..2 {
         assert_eq!(render(&parallel, 2), reference, "parallel diverged on round {round}");
         assert_eq!(render(&sequential, 2), reference, "sequential not stable on round {round}");
+    }
+}
+
+#[test]
+fn mixed_tcp_cbr_parallel_equals_sequential() {
+    // The heterogeneous world specifically: full RunOutcome equality
+    // (labeled per-flow results included) between a 4-thread and a
+    // sequential runner, over two replications.
+    let spec = mixed_spec();
+    let par = ExperimentRunner::new(4).run_sweep(std::slice::from_ref(&spec), 2);
+    let seq = ExperimentRunner::sequential().run_sweep(std::slice::from_ref(&spec), 2);
+    assert_eq!(par[0].runs, seq[0].runs, "mixed TCP+CBR runs diverged between runners");
+    for run in &par[0].runs {
+        assert_eq!(run.per_flow.len(), 2);
+        assert!(run.per_flow[0].flow.traffic.is_file());
+        assert!(!run.per_flow[1].flow.traffic.is_file());
     }
 }
 

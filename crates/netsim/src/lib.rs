@@ -5,8 +5,10 @@
 //! [`hydra_phy::Medium`], and describes experiments declaratively:
 //!
 //! * [`spec::ScenarioSpec`] — one value = one run: topology, policy,
-//!   rates, traffic mix, flows, warmup/duration, seed. `build()` yields
-//!   a ready [`World`], `run()` a [`spec::RunOutcome`].
+//!   rates, per-flow traffic ([`spec::FlowSpec`] — TCP file transfers,
+//!   UDP CBR, and on/off bursts can share one world), warmup/duration,
+//!   seed. `build()` yields a ready [`World`], `run()` a
+//!   [`spec::RunOutcome`] with labeled [`metrics::FlowOutcome`]s.
 //! * [`scenario::TcpScenario`] / [`scenario::UdpScenario`] — thin
 //!   paper-era front-ends over the spec (file transfers over chains,
 //!   stars, grids, crosses; CBR with optional flooding).
@@ -31,10 +33,12 @@ pub mod spec;
 pub mod topology;
 pub mod world;
 
-pub use metrics::{mbps, NodeReport, RunReport};
+pub use metrics::{mbps, FlowKind, FlowOutcome, NodeReport, RunReport};
 pub use node::{Apps, Node};
 pub use scenario::{TcpRunResult, TcpScenario, UdpRunResult, UdpScenario};
 pub use scn::{parse_scn, parse_scn_file, render_scn, ScnError, SweepFile, SweepMeta};
-pub use spec::{Flooding, Flow, Policy, RunOutcome, RunPerf, ScenarioSpec, TopologyKind, Traffic};
+pub use spec::{
+    Flooding, Flow, FlowSpec, FlowTraffic, Policy, RunOutcome, RunPerf, ScenarioSpec, TopologyKind, Traffic,
+};
 pub use topology::Topology;
 pub use world::{MediumKind, World};

@@ -1,8 +1,66 @@
-//! Extracting per-run reports from node counters (feeds Tables 3–8).
+//! Extracting per-run reports from node counters (feeds Tables 3–8) and
+//! labeling per-flow results ([`FlowOutcome`]).
 
 use hydra_sim::{Duration, Instant};
 
+use crate::spec::FlowSpec;
 use crate::world::World;
+
+/// What kind of traffic a flow carried (the label on a
+/// [`FlowOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A TCP file transfer (completion-driven).
+    FileTransfer,
+    /// UDP constant-bit-rate (window-measured).
+    Cbr,
+    /// UDP on/off bursts (window-measured).
+    OnOff,
+}
+
+impl FlowKind {
+    /// Short text label (`tcp` / `cbr` / `onoff`), matching the flow
+    /// traffic tokens of the `.scn` format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowKind::FileTransfer => "tcp",
+            FlowKind::Cbr => "cbr",
+            FlowKind::OnOff => "onoff",
+        }
+    }
+}
+
+/// One flow's measured result, labeled with the flow it belongs to.
+///
+/// Replaces the bare per-flow `Vec<f64>` of earlier revisions: with
+/// heterogeneous traffic in one world, a number without its flow (and
+/// kind) is ambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// The flow this outcome measures (endpoints + traffic).
+    pub flow: FlowSpec,
+    /// Traffic kind label.
+    pub kind: FlowKind,
+    /// Application bytes delivered: total received for a file
+    /// transfer, window bytes for CBR/on-off.
+    pub bytes: u64,
+    /// Throughput (file transfer, from t=0 to completion) or goodput
+    /// (CBR/on-off, over the measurement window), bit/s.
+    pub bps: f64,
+    /// When the transfer finished (file transfers only; `None` for
+    /// window-measured flows or transfers that missed the deadline).
+    pub completed_at: Option<Instant>,
+}
+
+impl FlowOutcome {
+    /// Builds an outcome for `flow`, deriving `kind` from its traffic —
+    /// the one construction path, so the `kind == flow.traffic.kind()`
+    /// invariant (which `PartialEq`, and therefore the result cache,
+    /// relies on) cannot drift.
+    pub fn new(flow: FlowSpec, bytes: u64, bps: f64, completed_at: Option<Instant>) -> FlowOutcome {
+        FlowOutcome { flow, kind: flow.traffic.kind(), bytes, bps, completed_at }
+    }
+}
 
 /// Snapshot of one node's MAC/NET statistics.
 #[derive(Debug, Clone, PartialEq)]

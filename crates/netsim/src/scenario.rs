@@ -94,7 +94,7 @@ impl TcpScenario {
         TcpRunResult {
             completed: outcome.completed,
             throughput_bps: outcome.throughput_bps,
-            per_session_bps: outcome.per_flow_bps,
+            per_session_bps: outcome.per_flow_bps(),
             report: outcome.report,
         }
     }

@@ -23,7 +23,7 @@ use hydra_phy::Rate;
 use hydra_sim::Duration;
 use hydra_tcp::TcpConfig;
 
-use crate::spec::{Flooding, Flow, Policy, ScenarioSpec, TopologyKind, Traffic};
+use crate::spec::{Flooding, Flow, FlowSpec, FlowTraffic, Policy, ScenarioSpec, TopologyKind, Traffic};
 use crate::world::MediumKind;
 
 /// A parse error with the 1-based line number it occurred on.
@@ -345,6 +345,67 @@ fn bool_from(s: &str, key: &str) -> Result<bool, String> {
     }
 }
 
+impl FlowTraffic {
+    /// The canonical flow-traffic token: `tcp:BYTES`,
+    /// `cbr:INTERVAL:PAYLOAD`, or `onoff:BURST:IDLE:INTERVAL:PAYLOAD`
+    /// (as used after the port in a `flow=` field, by `--mix`, and in
+    /// the result cache's flow labels).
+    pub fn to_token(&self) -> String {
+        match *self {
+            FlowTraffic::FileTransfer { bytes } => format!("tcp:{bytes}"),
+            FlowTraffic::Cbr { interval, payload } => {
+                format!("cbr:{}:{payload}", dur_to_text(interval))
+            }
+            FlowTraffic::OnOff { burst, idle, interval, payload } => {
+                format!("onoff:{burst}:{}:{}:{payload}", dur_to_text(idle), dur_to_text(interval))
+            }
+        }
+    }
+
+    /// Parses a flow-traffic token (`file:` is accepted as an alias of
+    /// `tcp:`, matching the run-global `traffic=` spelling).
+    pub fn from_token(s: &str) -> Result<FlowTraffic, String> {
+        let payload_of = |p: &str| -> Result<usize, String> {
+            let payload = usize_from(p, "flow payload")?;
+            if payload < 4 {
+                return Err(format!("flow payload {payload} is below the 4 B sequence header"));
+            }
+            Ok(payload)
+        };
+        if let Some(bytes) = s.strip_prefix("tcp:").or_else(|| s.strip_prefix("file:")) {
+            return Ok(FlowTraffic::FileTransfer { bytes: usize_from(bytes, "flow tcp bytes")? });
+        }
+        if let Some(rest) = s.strip_prefix("cbr:") {
+            let (interval, payload) =
+                rest.split_once(':').ok_or_else(|| format!("expected cbr:INTERVAL:PAYLOAD, got `{s}`"))?;
+            let interval = dur_from_text(interval)?;
+            if interval.is_zero() {
+                return Err("cbr interval must be positive".into());
+            }
+            return Ok(FlowTraffic::Cbr { interval, payload: payload_of(payload)? });
+        }
+        if let Some(rest) = s.strip_prefix("onoff:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            let [burst, idle, interval, payload] = parts[..] else {
+                return Err(format!("expected onoff:BURST:IDLE:INTERVAL:PAYLOAD, got `{s}`"));
+            };
+            let burst = u32_from(burst, "onoff burst")?;
+            if burst == 0 {
+                return Err("onoff burst must be at least 1 packet".into());
+            }
+            let idle = dur_from_text(idle)?;
+            let interval = dur_from_text(interval)?;
+            if idle.is_zero() || interval.is_zero() {
+                return Err("onoff idle and interval must be positive".into());
+            }
+            return Ok(FlowTraffic::OnOff { burst, idle, interval, payload: payload_of(payload)? });
+        }
+        Err(format!(
+            "unknown flow traffic `{s}` (tcp:BYTES|cbr:INTERVAL:PAYLOAD|onoff:BURST:IDLE:INTERVAL:PAYLOAD)"
+        ))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Serializer
 // ---------------------------------------------------------------------
@@ -379,9 +440,23 @@ impl ScenarioSpec {
             f.push(format!("bcast={}", rate_to_text(b)));
         }
         if !self.flows.is_empty() {
-            let flows: Vec<String> =
-                self.flows.iter().map(|fl| format!("{}>{}:{}", fl.src, fl.dst, fl.port)).collect();
-            f.push(format!("flows={}", flows.join(",")));
+            // Canonical choice between the two flow spellings: the
+            // compact legacy `flows=` whenever every flow just carries
+            // the run-global default traffic, one `flow=` field per
+            // flow otherwise. (Legacy lines therefore re-serialize
+            // byte-identically, and a `flow=` line whose traffic all
+            // equals the default canonicalises to the legacy form —
+            // same value, same hash.)
+            let global = self.traffic.per_flow();
+            if self.flows.iter().all(|fl| fl.traffic == global) {
+                let flows: Vec<String> =
+                    self.flows.iter().map(|fl| format!("{}>{}:{}", fl.src, fl.dst, fl.port)).collect();
+                f.push(format!("flows={}", flows.join(",")));
+            } else {
+                for fl in &self.flows {
+                    f.push(format!("flow={}>{}:{}:{}", fl.src, fl.dst, fl.port, fl.traffic.to_token()));
+                }
+            }
         }
         if self.max_aggregate != AggPolicy::PAPER_MAX_AGG {
             f.push(format!("max_agg={}", self.max_aggregate));
@@ -462,7 +537,9 @@ impl ScenarioSpec {
     }
 
     /// Parses one `.scn` line (strict: unknown keys, duplicate keys, or
-    /// missing required keys are errors).
+    /// missing required keys are errors). The per-flow `flow=` key is
+    /// the one deliberately repeatable key: each occurrence adds one
+    /// flow, in line order.
     pub fn from_scn(line: &str) -> Result<ScenarioSpec, String> {
         let mut fields: Vec<(&str, &str)> = Vec::new();
         for tok in line.split_whitespace() {
@@ -470,7 +547,7 @@ impl ScenarioSpec {
             if v.is_empty() {
                 return Err(format!("key `{k}` has an empty value"));
             }
-            if fields.iter().any(|(seen, _)| *seen == k) {
+            if k != "flow" && fields.iter().any(|(seen, _)| *seen == k) {
                 return Err(format!("duplicate key `{k}`"));
             }
             fields.push((k, v));
@@ -497,7 +574,16 @@ impl ScenarioSpec {
                 "topo" | "policy" | "rate" | "traffic" => {}
                 "medium" => spec.medium = parse_medium(value)?,
                 "bcast" => spec.broadcast_rate = Some(rate_from_text(value)?),
-                "flows" => spec.flows = parse_flows(value)?,
+                "flows" => {
+                    if fields.iter().any(|(k, _)| *k == "flow") {
+                        return Err("`flows=` (shared traffic) and `flow=` (per-flow traffic) \
+                                    cannot be mixed on one line"
+                            .into());
+                    }
+                    let global = spec.traffic.per_flow();
+                    spec.flows = parse_flows(value)?.into_iter().map(|f| f.with_traffic(global)).collect();
+                }
+                "flow" => spec.flows.push(parse_flow_spec(value)?),
                 "max_agg" => spec.max_aggregate = usize_from(value, key)?,
                 "sizing" => spec.sizing = Some(parse_sizing(value)?),
                 "ack" => {
@@ -617,6 +703,21 @@ fn parse_flows(s: &str) -> Result<Vec<Flow>, String> {
     Ok(flows)
 }
 
+/// Parses one `flow=` value: `SRC>DST:PORT:TRAFFIC` where `TRAFFIC` is
+/// a [`FlowTraffic`] token.
+fn parse_flow_spec(s: &str) -> Result<FlowSpec, String> {
+    let bad = || format!("expected SRC>DST:PORT:TRAFFIC, got `{s}`");
+    let (src, rest) = s.split_once('>').ok_or_else(bad)?;
+    let (dst, rest) = rest.split_once(':').ok_or_else(bad)?;
+    let (port, traffic) = rest.split_once(':').ok_or_else(bad)?;
+    Ok(FlowSpec {
+        src: usize_from(src, "flow src")?,
+        dst: usize_from(dst, "flow dst")?,
+        port: port.parse().map_err(|_| format!("bad flow port `{port}`"))?,
+        traffic: FlowTraffic::from_token(traffic)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,7 +748,8 @@ mod tests {
         );
         spec.medium = MediumKind::Spatial { spacing_m: 7.25 };
         spec.broadcast_rate = Some(Rate::R0_65);
-        spec.flows = vec![Flow { src: 0, dst: 5, port: 9000 }, Flow { src: 5, dst: 0, port: 9001 }];
+        spec =
+            spec.with_flows(vec![Flow { src: 0, dst: 5, port: 9000 }, Flow { src: 5, dst: 0, port: 9001 }]);
         spec.max_aggregate = 11 * 1024;
         spec.sizing = Some(AggSizing::CoherenceBudget(110_000));
         spec.ack_policy = AckPolicy::Block;
@@ -713,6 +815,91 @@ mod tests {
 
         let specs = parse_scn("# only comments\n\n").unwrap();
         assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn per_flow_traffic_round_trips() {
+        // A TCP foreground + CBR background + on/off chatter in one
+        // spec: serializes as repeated `flow=` fields, parses back to
+        // the same value, and keeps its hash.
+        let mut spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        spec.warmup = Duration::from_secs(1);
+        spec.duration = Duration::from_secs(20);
+        spec.flows = vec![
+            FlowSpec { src: 0, dst: 2, port: 5001, traffic: FlowTraffic::FileTransfer { bytes: 204800 } },
+            FlowSpec {
+                src: 0,
+                dst: 2,
+                port: 9000,
+                traffic: FlowTraffic::Cbr { interval: Duration::from_millis(10), payload: 160 },
+            },
+            FlowSpec {
+                src: 2,
+                dst: 0,
+                port: 9001,
+                traffic: FlowTraffic::OnOff {
+                    burst: 5,
+                    idle: Duration::from_millis(40),
+                    interval: Duration::from_millis(2),
+                    payload: 120,
+                },
+            },
+        ];
+        let line = spec.to_scn();
+        assert!(
+            line.contains("flow=0>2:5001:tcp:204800")
+                && line.contains("flow=0>2:9000:cbr:10ms:160")
+                && line.contains("flow=2>0:9001:onoff:5:40ms:2ms:120"),
+            "{line}"
+        );
+        assert!(!line.contains("flows="), "mixed specs use flow= fields only: {line}");
+        roundtrip(&spec);
+        // Same endpoints, legacy homogeneous traffic: a different cell.
+        let legacy = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30)
+            .with_flows(vec![Flow { src: 0, dst: 2, port: 5001 }]);
+        assert_ne!(spec.stable_hash(), legacy.stable_hash());
+    }
+
+    #[test]
+    fn uniform_flow_lines_canonicalise_to_the_legacy_form() {
+        // flow= fields whose traffic all equals the run-global default
+        // parse to the same value as the legacy flows= spelling — and
+        // therefore the same stable hash and cache cells.
+        let legacy = "topo=star policy=ba rate=1.3 traffic=file:204800 flows=2>0:5001,3>0:5002";
+        let perflow =
+            "topo=star policy=ba rate=1.3 traffic=file:204800 flow=2>0:5001:tcp:204800 flow=3>0:5002:tcp:204800";
+        let a = ScenarioSpec::from_scn(legacy).unwrap();
+        let b = ScenarioSpec::from_scn(perflow).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_eq!(b.to_scn(), legacy, "canonical form is the compact legacy spelling");
+    }
+
+    #[test]
+    fn flow_lines_are_validated() {
+        let base = "topo=linear:2 policy=ba rate=1.3 traffic=file:204800";
+        for (tail, why) in [
+            ("flow=0>2:5001:tcp:1000 flows=0>2:9000", "flow= and flows= mixed"),
+            ("flow=0>9:5001:tcp:1000", "flow endpoint out of range"),
+            ("flow=0>0:5001:tcp:1000", "flow self-loop"),
+            ("flow=0>2:5001:tcp:1000 flow=2>0:5001:cbr:10ms:160", "duplicate flow port"),
+            ("flow=0>2:5001", "missing traffic token"),
+            ("flow=0>2:5001:udp:160", "unknown traffic kind"),
+            ("flow=0>2:9000:cbr:0s:160", "zero cbr interval"),
+            ("flow=0>2:9000:cbr:10ms:2", "payload below the sequence header"),
+            ("flow=0>2:9000:onoff:0:10ms:1ms:160", "zero burst"),
+            ("flow=0>2:9000:onoff:3:0s:1ms:160", "zero idle"),
+            ("flow=0>2:9000:onoff:3:10ms:1ms", "missing onoff payload"),
+        ] {
+            let line = format!("{base} {tail}");
+            assert!(ScenarioSpec::from_scn(&line).is_err(), "{why}: `{line}`");
+        }
+        // The happy path, including the file: alias for tcp:.
+        let ok = format!("{base} flow=0>2:9000:cbr:10ms:160");
+        assert!(ScenarioSpec::from_scn(&ok).is_ok());
+        let alias = format!("{base} flow=0>2:5005:file:1000 flow=0>2:9000:cbr:10ms:160");
+        let spec = ScenarioSpec::from_scn(&alias).unwrap();
+        assert_eq!(spec.flows[0].traffic, FlowTraffic::FileTransfer { bytes: 1000 });
     }
 
     #[test]

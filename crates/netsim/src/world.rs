@@ -178,6 +178,13 @@ impl World {
         self.events.now()
     }
 
+    /// True when every installed TCP file transfer has completed — the
+    /// run-termination condition for file-transfer flows (also usable
+    /// directly as a [`World::run_until_condition`] predicate).
+    pub fn transfers_complete(&self) -> bool {
+        self.nodes.iter().all(|n| n.apps.file_rx.iter().all(|(r, _)| r.completed_at.is_some()))
+    }
+
     // ------------------------------------------------------------------
     // Bootstrapping
     // ------------------------------------------------------------------

@@ -111,6 +111,90 @@ fn flooding_reduces_goodput_more_without_aggregation() {
 }
 
 #[test]
+fn mixed_tcp_and_cbr_share_one_world() {
+    use hydra_netsim::{FlowKind, FlowSpec, FlowTraffic, ScenarioSpec, Traffic};
+    let mut spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+    spec.traffic = Traffic::FileTransfer { bytes: 50 * 1024 };
+    spec.warmup = Duration::from_millis(500);
+    spec.duration = Duration::from_secs(5);
+    let spec = spec.add_flow(FlowSpec {
+        src: 0,
+        dst: 2,
+        port: 9000,
+        traffic: FlowTraffic::Cbr { interval: Duration::from_millis(20), payload: 160 },
+    });
+    let r = spec.run();
+    assert!(r.completed, "transfer must finish within the horizon");
+    assert_eq!(r.per_flow.len(), 2);
+    let (fg, bg) = (&r.per_flow[0], &r.per_flow[1]);
+    assert_eq!(fg.kind, FlowKind::FileTransfer);
+    assert_eq!(fg.bytes, 50 * 1024);
+    assert!(fg.completed_at.is_some());
+    assert!(fg.bps > 20_000.0, "foreground {}", fg.bps);
+    assert_eq!(bg.kind, FlowKind::Cbr);
+    assert!(bg.completed_at.is_none(), "window flows have no completion time");
+    // 160 B / 20 ms = 64 kbit/s offered; most should arrive over 1 hop
+    // ... through the relay even while the transfer runs.
+    assert!(bg.bps > 30_000.0 && bg.bps < 70_000.0, "background {}", bg.bps);
+    // The headline metric is the worst *foreground* flow.
+    assert_eq!(r.throughput_bps, fg.bps);
+}
+
+#[test]
+fn background_load_slows_the_foreground_transfer() {
+    use hydra_netsim::{FlowSpec, FlowTraffic, ScenarioSpec, Traffic};
+    let mut alone = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+    alone.traffic = Traffic::FileTransfer { bytes: 50 * 1024 };
+    let quiet = alone.clone().run();
+    let loaded = {
+        let mut s = alone.clone();
+        s.warmup = Duration::ZERO;
+        s.duration = Duration::from_secs(30);
+        s.add_flow(FlowSpec {
+            src: 0,
+            dst: 2,
+            port: 9000,
+            traffic: FlowTraffic::Cbr { interval: Duration::from_millis(10), payload: 160 },
+        })
+        .run()
+    };
+    assert!(quiet.completed && loaded.completed);
+    assert!(
+        loaded.throughput_bps < quiet.throughput_bps,
+        "128 kbit/s of small-frame CBR background must slow the transfer: {} vs {}",
+        loaded.throughput_bps,
+        quiet.throughput_bps
+    );
+}
+
+#[test]
+fn on_off_background_flows_deliver() {
+    use hydra_netsim::{FlowKind, FlowSpec, FlowTraffic, ScenarioSpec, Traffic};
+    let mut spec =
+        ScenarioSpec::udp(TopologyKind::Linear(1), Policy::Ua, Rate::R1_30, Duration::from_millis(20));
+    spec.warmup = Duration::from_millis(500);
+    spec.duration = Duration::from_secs(4);
+    spec.traffic = Traffic::Cbr { interval: Duration::from_millis(20), payload: 1045 };
+    let spec = spec.add_flow(FlowSpec {
+        src: 1,
+        dst: 0,
+        port: 9100,
+        traffic: FlowTraffic::OnOff {
+            burst: 4,
+            idle: Duration::from_millis(80),
+            interval: Duration::from_millis(5),
+            payload: 160,
+        },
+    });
+    let r = spec.run();
+    assert_eq!(r.per_flow.len(), 2);
+    assert_eq!(r.per_flow[1].kind, FlowKind::OnOff);
+    // Offered: 4 × 160 B per (3·5 + 80) ms ≈ 54 kbit/s.
+    assert!(r.per_flow[1].bps > 20_000.0, "on/off goodput {}", r.per_flow[1].bps);
+    assert!(r.per_flow[1].bps < 60_000.0);
+}
+
+#[test]
 fn runs_are_deterministic() {
     let a = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(7).run();
     let b = TcpScenario::new(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30).with_seed(7).run();
@@ -165,8 +249,8 @@ fn cross_runs_two_sessions_through_shared_relay() {
     spec.traffic = Traffic::FileTransfer { bytes: 30 * 1024 };
     let r = spec.run();
     assert!(r.completed, "cross transfers did not complete");
-    assert_eq!(r.per_flow_bps.len(), 2);
-    for t in &r.per_flow_bps {
+    assert_eq!(r.per_flow.len(), 2);
+    for t in &r.per_flow_bps() {
         assert!(*t > 10_000.0, "session throughput {t}");
     }
     // Only the center (node 4) relays; everything crosses it.

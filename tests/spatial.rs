@@ -92,7 +92,7 @@ fn spatial_runs_replay_exactly() {
     let a = run();
     let b = run();
     assert_eq!(a.throughput_bps, b.throughput_bps);
-    assert_eq!(a.per_flow_bps, b.per_flow_bps);
+    assert_eq!(a.per_flow, b.per_flow);
     assert_eq!(a.report.collisions, b.report.collisions);
     assert_eq!(a.report.total_data_txs(), b.report.total_data_txs());
 }
