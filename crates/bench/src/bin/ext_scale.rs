@@ -1,0 +1,5 @@
+//! Extension: the ACK policies at mesh scale — 100/300/1000-node
+//! random meshes with hundreds of concurrent TCP + CBR flows.
+fn main() {
+    hydra_bench::experiments::ext_scale(&hydra_bench::experiments::Opts::cli()).print();
+}

@@ -21,10 +21,10 @@
 
 use std::io::Write as _;
 
-use hydra_bench::experiments::shipped_sweeps;
+use hydra_bench::experiments::{scale_profile_specs, shipped_sweeps};
 use hydra_bench::ExperimentRunner;
 use hydra_netsim::RunPerf;
-use hydra_netsim::{parse_scn, ScenarioSpec};
+use hydra_netsim::{parse_scn, ScenarioSpec, TopologyKind};
 
 #[global_allocator]
 static ALLOC: hydra_sim::CountingAlloc = hydra_sim::CountingAlloc;
@@ -42,6 +42,21 @@ options:
   --out PATH           report path (default results/BENCH_profile.json)
   --baseline-wall-s S  wall seconds previously measured for this same
                        workload; adds a before/after comparison block
+  --scale              also run the mesh scale grid: constant-density
+                       random meshes at several node counts, each cell
+                       simulated twice — sparse medium + sharded engine
+                       vs the dense O(n^2) reference medium on the
+                       sequential engine — with outcome equality
+                       asserted and events/s + speedup recorded in a
+                       `scale` block of the report
+  --assert-events-per-s N
+                       fail (exit 1) if any scale row's sparse engine
+                       falls below N events/s — the CI perf floor
+  --assert-scale-speedup X
+                       fail (exit 1) if any scale row with >= 300 nodes
+                       speeds up less than X times over the dense
+                       reference (wall-clock; for record-generating
+                       runs on quiet machines, not shared CI runners)
   --note TEXT          free-form provenance note embedded in the report
   --help               this text
 ";
@@ -51,6 +66,9 @@ struct Args {
     seeds: u64,
     out: String,
     baseline_wall_s: Option<f64>,
+    scale: bool,
+    assert_events_per_s: Option<f64>,
+    assert_scale_speedup: Option<f64>,
     note: Option<String>,
 }
 
@@ -65,6 +83,9 @@ fn parse_args() -> Args {
         seeds: 1,
         out: "results/BENCH_profile.json".into(),
         baseline_wall_s: None,
+        scale: false,
+        assert_events_per_s: None,
+        assert_scale_speedup: None,
         note: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +101,15 @@ fn parse_args() -> Args {
             "--out" => a.out = val(&mut i),
             "--baseline-wall-s" => {
                 a.baseline_wall_s = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad wall seconds")))
+            }
+            "--scale" => a.scale = true,
+            "--assert-events-per-s" => {
+                a.assert_events_per_s =
+                    Some(val(&mut i).parse().unwrap_or_else(|_| die("bad events/s floor")))
+            }
+            "--assert-scale-speedup" => {
+                a.assert_scale_speedup =
+                    Some(val(&mut i).parse().unwrap_or_else(|_| die("bad speedup floor")))
             }
             "--note" => a.note = Some(val(&mut i)),
             "--help" | "-h" => {
@@ -125,6 +155,72 @@ struct SweepPerf {
     perf: RunPerf,
 }
 
+struct ScaleRow {
+    nodes: usize,
+    side_m: u32,
+    flows: usize,
+    domains: usize,
+    events: u64,
+    sparse_wall_s: f64,
+    dense_wall_s: f64,
+}
+
+impl ScaleRow {
+    fn sparse_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.sparse_wall_s
+    }
+    fn dense_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.dense_wall_s
+    }
+    fn speedup(&self) -> f64 {
+        self.dense_wall_s / self.sparse_wall_s
+    }
+}
+
+/// Runs the mesh scale grid: each cell once on the sparse medium via
+/// the sharded engine (`run_sharded(0)`, which takes the plain
+/// sequential path on single-domain worlds) and once on the dense
+/// O(n²) reference medium, asserting the two produce identical
+/// outcomes. Wall times include world construction for both sides —
+/// each engine pays its own setup.
+fn run_scale() -> Vec<ScaleRow> {
+    scale_profile_specs()
+        .into_iter()
+        .map(|(nodes, spec)| {
+            let TopologyKind::RandomMesh { area_m, .. } = spec.topology else {
+                die("scale cells must be random meshes")
+            };
+            let (flows, domains) = (spec.effective_flows().len(), spec.build().component_count());
+            let t0 = std::time::Instant::now();
+            let sparse = spec.run_sharded(0);
+            let sparse_wall_s = t0.elapsed().as_secs_f64();
+            let t0 = std::time::Instant::now();
+            let dense = spec.run_dense_reference();
+            let dense_wall_s = t0.elapsed().as_secs_f64();
+            assert_eq!(sparse, dense, "sparse/sharded diverged from dense reference at {nodes} nodes");
+            let row = ScaleRow {
+                nodes,
+                side_m: area_m,
+                flows,
+                domains,
+                events: sparse.perf.events_processed,
+                sparse_wall_s,
+                dense_wall_s,
+            };
+            eprintln!(
+                "scale {nodes} nodes ({flows} flows, {domains} domain(s)): {} events, sparse {:.0} ms ({:.0} ev/s), dense {:.0} ms ({:.0} ev/s), speedup {:.2}x",
+                row.events,
+                sparse_wall_s * 1e3,
+                row.sparse_events_per_sec(),
+                dense_wall_s * 1e3,
+                row.dense_events_per_sec(),
+                row.speedup(),
+            );
+            row
+        })
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
     let grids = match args.grid.as_str() {
@@ -165,6 +261,7 @@ fn main() {
         sweeps.push(SweepPerf { name, cells: cells.len(), perf });
     }
     let wall_total_s = started.elapsed().as_secs_f64();
+    let scale = if args.scale { run_scale() } else { Vec::new() };
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -188,6 +285,27 @@ fn main() {
         ));
     }
     j.push_str("  ],\n");
+    if !scale.is_empty() {
+        j.push_str("  \"scale\": [\n");
+        for (i, r) in scale.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"nodes\": {}, \"side_m\": {}, \"flows\": {}, \"domains\": {}, \"events_processed\": {}, \"sparse_wall_ms\": {:.1}, \"sparse_events_per_sec\": {:.0}, \"dense_wall_ms\": {:.1}, \"dense_events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+                r.nodes,
+                r.side_m,
+                r.flows,
+                r.domains,
+                r.events,
+                r.sparse_wall_s * 1e3,
+                r.sparse_events_per_sec(),
+                r.dense_wall_s * 1e3,
+                r.dense_events_per_sec(),
+                r.speedup(),
+                if i + 1 < scale.len() { "," } else { "" },
+            ));
+        }
+        j.push_str("  ],\n");
+        j.push_str("  \"scale_note\": \"constant-density random meshes, pure CBR (nodes/4 flows); each cell run on the sparse medium + sharded engine and on the dense O(n^2) reference medium + sequential engine, outcomes asserted identical; wall times include world construction\",\n");
+    }
     j.push_str(&format!(
         "  \"total\": {{\"events_processed\": {}, \"wall_s\": {:.2}, \"events_per_sec\": {:.0}, \"allocations\": {}, \"allocations_per_1k_events\": {:.1}}}",
         total.events_processed,
@@ -219,6 +337,33 @@ fn main() {
     println!("events_processed_total={}", total.events_processed);
     for s in &sweeps {
         println!("events_processed[{}]={}", s.name, s.perf.events_processed);
+    }
+    for r in &scale {
+        println!("events_processed[scale:{}]={}", r.nodes, r.events);
+    }
+    if let Some(floor) = args.assert_events_per_s {
+        for r in &scale {
+            if r.sparse_events_per_sec() < floor {
+                eprintln!(
+                    "PERF FLOOR FAILED: scale {} nodes ran at {:.0} events/s (< {floor} floor)",
+                    r.nodes,
+                    r.sparse_events_per_sec()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(min) = args.assert_scale_speedup {
+        for r in scale.iter().filter(|r| r.nodes >= 300) {
+            if r.speedup() < min {
+                eprintln!(
+                    "SPEEDUP FLOOR FAILED: scale {} nodes sped up {:.2}x over dense (< {min}x floor)",
+                    r.nodes,
+                    r.speedup()
+                );
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!(
         "total: {} events in {wall_total_s:.2} s ({:.0} ev/s) -> {}",

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p hydra-bench --bin scenario -- \
-//!     [tcp|udp] [--hops N | --star | --grid WxH | --cross]
+//!     [tcp|udp] [--hops N | --star | --grid WxH | --cross | --mesh N]
+//!     [--area M] [--mesh-seed S]
 //!     [--policy na|ua|ba|dba|ba-nofwd]
 //!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N] [--threads N]
 //!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--mix T ...]
@@ -43,6 +44,13 @@ use hydra_sim::Duration;
 struct Args {
     tcp: bool,
     topo: TopologyKind,
+    /// `--mesh N`: random-mesh node count (overrides `topo`).
+    mesh: Option<usize>,
+    /// `--area M`: mesh square side, metres (default: sized for ≈6
+    /// delivery neighbours per node).
+    area: Option<u32>,
+    /// `--mesh-seed S`: mesh placement seed.
+    mesh_seed: u64,
     policy: Policy,
     rate: Rate,
     bcast_rate: Option<Rate>,
@@ -110,6 +118,12 @@ topology:
   --star           the paper's 4-node star (two sessions into one client)
   --grid WxH       W x H grid, corner-to-corner session
   --cross          four arms around one relay, two crossing sessions
+  --mesh N         N-node uniform-random mesh, greedy geographic routes,
+                   ~N/4 default flows; implies --spacing 1 (the mesh is
+                   authored in metres)
+  --area M         mesh square side in metres (default: sized so nodes
+                   average ~6 delivery-range neighbours)
+  --mesh-seed S    mesh placement/flow seed (default 1)
 
 traffic & policy:
   tcp | udp        file transfer (default) or CBR goodput
@@ -152,6 +166,9 @@ fn parse() -> Args {
     let mut a = Args {
         tcp: true,
         topo: TopologyKind::Linear(2),
+        mesh: None,
+        area: None,
+        mesh_seed: 1,
         policy: Policy::Ba,
         rate: Rate::R1_30,
         bcast_rate: None,
@@ -185,6 +202,21 @@ fn parse() -> Args {
             "--star" => a.topo = TopologyKind::Star,
             "--grid" => a.topo = parse_grid(&val(&mut i)),
             "--cross" => a.topo = TopologyKind::Cross,
+            "--mesh" => {
+                let n: usize = val(&mut i).parse().unwrap_or_else(|_| die("bad --mesh"));
+                if n < 2 {
+                    die("--mesh needs at least 2 nodes");
+                }
+                a.mesh = Some(n);
+            }
+            "--area" => {
+                let m: u32 = val(&mut i).parse().unwrap_or_else(|_| die("bad --area"));
+                if m == 0 {
+                    die("--area must be at least 1 m");
+                }
+                a.area = Some(m);
+            }
+            "--mesh-seed" => a.mesh_seed = val(&mut i).parse().unwrap_or_else(|_| die("bad --mesh-seed")),
             "--policy" => a.policy = parse_policy(&val(&mut i)),
             "--rate" => a.rate = parse_rate(&val(&mut i)),
             "--bcast-rate" => a.bcast_rate = Some(parse_rate(&val(&mut i))),
@@ -219,6 +251,16 @@ fn parse() -> Args {
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if let Some(nodes) = a.mesh {
+        // Default area: side ∝ √N keeps node density constant — a 7.9 m
+        // delivery disc then averages ~6 neighbours at any scale.
+        let area_m = a.area.unwrap_or_else(|| ((nodes as f64).sqrt() * 5.73).ceil().max(10.0) as u32);
+        a.topo = TopologyKind::RandomMesh { nodes, area_m, seed: a.mesh_seed };
+        // The mesh is authored in metres: unit spacing unless overridden.
+        a.spacing.get_or_insert(1.0);
+    } else if a.area.is_some() {
+        die("--area requires --mesh");
     }
     a
 }

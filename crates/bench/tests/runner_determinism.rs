@@ -106,6 +106,67 @@ fn mixed_tcp_cbr_parallel_equals_sequential() {
     }
 }
 
+/// A mixed TCP/CBR spec on a sparse random mesh that fragments into
+/// several collision domains, with traffic in more than one of them —
+/// the sharded engine's interesting case.
+fn mesh_mixed_spec() -> ScenarioSpec {
+    let kind = TopologyKind::RandomMesh { nodes: 30, area_m: 80, seed: 2 };
+    let mut s = ScenarioSpec::udp(kind, Policy::Ba, Rate::R1_30, Duration::from_millis(40)).spatial(1.0);
+    s.warmup = Duration::from_millis(300);
+    s.duration = Duration::from_secs(1);
+    // Turn every other default CBR flow into a TCP file transfer so the
+    // world mixes completion-driven and window-measured traffic.
+    let mut flows = s.effective_flows();
+    for f in flows.iter_mut().step_by(2) {
+        f.traffic = FlowTraffic::FileTransfer { bytes: 6 * 1024 };
+    }
+    s.with_flow_specs(flows)
+}
+
+#[test]
+fn sharded_equals_sequential_across_collision_domains() {
+    let spec = mesh_mixed_spec();
+    // The test is only meaningful if the medium really fragments and
+    // traffic spans more than one domain.
+    let world = spec.build();
+    assert!(world.component_count() > 1, "mesh must split into domains");
+    let domains: std::collections::HashSet<u32> =
+        spec.effective_flows().iter().map(|f| world.component_of(f.src)).collect();
+    assert!(domains.len() > 1, "flows must span more than one domain");
+
+    let seq = spec.run_sharded(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(spec.run_sharded(threads), seq, "domain workers diverged at {threads} threads");
+    }
+    // Mixed runs share a fixed horizon in every domain, so the sharded
+    // engine must reproduce the one-queue sequential engine exactly —
+    // per-node reports, collisions, and virtual end time included.
+    assert_eq!(seq, spec.run(), "sharded(1) diverged from the sequential engine");
+}
+
+#[test]
+fn sharded_is_the_sequential_engine_on_connected_worlds() {
+    // Grid, cross, and chain worlds are single-domain: run_sharded must
+    // take the sequential path exactly, whatever the thread count.
+    let mut grid = ScenarioSpec::tcp(TopologyKind::Grid { w: 3, h: 2 }, Policy::Ba, Rate::R2_60);
+    grid.traffic = Traffic::FileTransfer { bytes: 10 * 1024 };
+    grid.warmup = Duration::from_millis(500);
+    grid.duration = Duration::from_secs(2);
+    let grid = grid.add_flow(FlowSpec {
+        src: 1,
+        dst: 4,
+        port: 9000,
+        traffic: FlowTraffic::Cbr { interval: Duration::from_millis(25), payload: 160 },
+    });
+    let mut cross = ScenarioSpec::tcp(TopologyKind::Cross, Policy::Dba, Rate::R1_30);
+    cross.traffic = Traffic::FileTransfer { bytes: 10 * 1024 };
+    cross.duration = Duration::from_secs(4);
+    for spec in [grid, cross, mixed_spec()] {
+        assert_eq!(spec.build().component_count(), 1);
+        assert_eq!(spec.run_sharded(4), spec.run());
+    }
+}
+
 #[test]
 fn run_order_does_not_leak_between_cells() {
     // Running a cell alone gives the same outcome as running it inside

@@ -741,7 +741,34 @@ impl Mac {
         out: &mut dyn MacSink,
     ) {
         let parsed = parse_aggregate(phy_hdr, psdu);
+        self.process_aggregate(now, phy_hdr, psdu, &parsed, out);
+    }
 
+    /// Receive path for an aggregate that was already parsed —
+    /// behaviorally identical to feeding [`MacInput::Rx`] with the same
+    /// frame. A broadcast reaches every node in range with the *same*
+    /// bytes unless the channel corrupted that receiver's copy, so the
+    /// event loop parses the PSDU once and fans the parse out to all
+    /// clean receivers (`parsed` must be `parse_aggregate(phy_hdr, psdu)`).
+    pub fn handle_rx_parsed<S: MacSink>(
+        &mut self,
+        now: Instant,
+        phy_hdr: &hydra_wire::PhyHeader,
+        psdu: &Payload,
+        parsed: &[hydra_wire::ParsedSubframe<'_>],
+        out: &mut S,
+    ) {
+        self.process_aggregate(now, phy_hdr, psdu, parsed, out);
+    }
+
+    fn process_aggregate(
+        &mut self,
+        now: Instant,
+        phy_hdr: &hydra_wire::PhyHeader,
+        psdu: &Payload,
+        parsed: &[hydra_wire::ParsedSubframe<'_>],
+        out: &mut dyn MacSink,
+    ) {
         // Broadcast portion: per-subframe CRC, deliver-or-drop by address
         // (paper §3.3 / §4.2.2).
         for sub in parsed.iter().filter(|s| s.portion == Portion::Broadcast) {

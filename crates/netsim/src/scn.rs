@@ -273,6 +273,7 @@ fn topo_to_text(t: TopologyKind) -> String {
         TopologyKind::Star => "star".into(),
         TopologyKind::Grid { w, h } => format!("grid:{w}x{h}"),
         TopologyKind::Cross => "cross".into(),
+        TopologyKind::RandomMesh { nodes, area_m, seed } => format!("mesh:{nodes}:{area_m}:{seed}"),
     }
 }
 
@@ -299,7 +300,23 @@ fn topo_from_text(s: &str) -> Result<TopologyKind, String> {
         }
         return Ok(TopologyKind::Grid { w, h });
     }
-    Err(format!("unknown topology `{s}` (linear:H|star|grid:WxH|cross)"))
+    if let Some(rest) = s.strip_prefix("mesh:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [nodes, area, seed] = parts[..] else {
+            return Err(format!("expected mesh:NODES:AREA:SEED, got `{s}`"));
+        };
+        let nodes: usize = nodes.parse().map_err(|_| format!("bad mesh node count in `{s}`"))?;
+        let area_m: u32 = area.parse().map_err(|_| format!("bad mesh area in `{s}`"))?;
+        let seed: u64 = seed.parse().map_err(|_| format!("bad mesh seed in `{s}`"))?;
+        if nodes < 2 {
+            return Err("mesh topology needs at least 2 nodes".into());
+        }
+        if area_m == 0 {
+            return Err("mesh area must be at least 1 m".into());
+        }
+        return Ok(TopologyKind::RandomMesh { nodes, area_m, seed });
+    }
+    Err(format!("unknown topology `{s}` (linear:H|star|grid:WxH|cross|mesh:NODES:AREA:SEED)"))
 }
 
 /// Shortest-round-trip float text (Rust's `{:?}` guarantees the value
@@ -802,6 +819,30 @@ mod tests {
             ("notakv", "not key=value"),
         ] {
             assert!(ScenarioSpec::from_scn(broken).is_err(), "{why}: `{broken}`");
+        }
+    }
+
+    #[test]
+    fn mesh_topology_round_trips() {
+        let spec = ScenarioSpec::tcp(
+            TopologyKind::RandomMesh { nodes: 100, area_m: 60, seed: 11 },
+            Policy::Ba,
+            Rate::R1_30,
+        )
+        .spatial(1.0);
+        let line = spec.to_scn();
+        assert!(line.starts_with("topo=mesh:100:60:11 "), "{line}");
+        assert!(line.contains("medium=spatial:1.0"), "{line}");
+        roundtrip(&spec);
+        for (bad, why) in [
+            ("mesh:100:60", "missing seed"),
+            ("mesh:1:60:1", "one node"),
+            ("mesh:100:0:1", "zero area"),
+            ("mesh:x:60:1", "bad node count"),
+            ("mesh:100:60:1:9", "extra field"),
+        ] {
+            let line = format!("topo={bad} policy=ba rate=1.3 traffic=file:204800");
+            assert!(ScenarioSpec::from_scn(&line).is_err(), "{why}: `{line}`");
         }
     }
 

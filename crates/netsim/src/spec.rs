@@ -92,6 +92,19 @@ pub enum TopologyKind {
     },
     /// Four arms around one shared relay; two sessions cross at it.
     Cross,
+    /// A uniform-random mesh: `nodes` nodes in an `area_m × area_m`
+    /// square (metres — geometry is authored at 1 m units, so pair it
+    /// with `medium=spatial:1.0`), placed from `seed`'s own RNG stream
+    /// and routed greedily per flow (geographic forwarding).
+    RandomMesh {
+        /// Node count (≥ 2).
+        nodes: usize,
+        /// Square side length, metres.
+        area_m: u32,
+        /// Placement/flow seed — independent of the *run* seed, so all
+        /// replications of one scenario share the same mesh.
+        seed: u64,
+    },
 }
 
 impl TopologyKind {
@@ -102,6 +115,7 @@ impl TopologyKind {
             TopologyKind::Star => Topology::star(),
             TopologyKind::Grid { w, h } => Topology::grid(*w, *h),
             TopologyKind::Cross => Topology::cross(),
+            TopologyKind::RandomMesh { nodes, area_m, seed } => Topology::random_mesh(*nodes, *area_m, *seed),
         }
     }
 
@@ -112,6 +126,7 @@ impl TopologyKind {
             TopologyKind::Star => 4,
             TopologyKind::Grid { w, h } => w * h,
             TopologyKind::Cross => 5,
+            TopologyKind::RandomMesh { nodes, .. } => *nodes,
         }
     }
 
@@ -122,6 +137,7 @@ impl TopologyKind {
             TopologyKind::Star => "star".into(),
             TopologyKind::Grid { w, h } => format!("{w}x{h} grid"),
             TopologyKind::Cross => "cross".into(),
+            TopologyKind::RandomMesh { nodes, .. } => format!("{nodes}-node mesh"),
         }
     }
 
@@ -142,6 +158,14 @@ impl TopologyKind {
             TopologyKind::Cross => {
                 vec![Flow { src: 0, dst: 1, port: 5001 }, Flow { src: 2, dst: 3, port: 5002 }]
             }
+            // ≈ nodes/4 greedily-routable pairs from the mesh seed.
+            TopologyKind::RandomMesh { nodes, area_m, seed } => {
+                Topology::mesh_default_pairs(*nodes, *area_m, *seed)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (src, dst))| Flow { src, dst, port: 5001 + i as u16 })
+                    .collect()
+            }
         }
     }
 
@@ -153,6 +177,13 @@ impl TopologyKind {
             TopologyKind::Grid { w, h } => vec![Flow { src: 0, dst: w * h - 1, port: 9000 }],
             TopologyKind::Cross => {
                 vec![Flow { src: 0, dst: 1, port: 9000 }, Flow { src: 2, dst: 3, port: 9001 }]
+            }
+            TopologyKind::RandomMesh { nodes, area_m, seed } => {
+                Topology::mesh_default_pairs(*nodes, *area_m, *seed)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (src, dst))| Flow { src, dst, port: 9000 + i as u16 })
+                    .collect()
             }
         }
     }
@@ -545,9 +576,27 @@ impl ScenarioSpec {
     /// applications — one installation per flow, TCP stacks and UDP
     /// sources/sinks side by side.
     pub fn build(&self) -> World {
-        let topo = self.topology.build();
+        self.build_component(None)
+    }
+
+    /// [`ScenarioSpec::build`], optionally restricted to one collision
+    /// domain: when `only` is set, the world is constructed identically
+    /// (same topology, routes, MAC RNG streams, per-domain channel RNG
+    /// streams) but traffic is installed only where it belongs — flows
+    /// whose source lives in the domain, flooders on the domain's own
+    /// nodes. Since frames can never cross a domain boundary, the
+    /// restricted world replays exactly the domain's slice of the full
+    /// sequential schedule.
+    fn build_component(&self, only: Option<u32>) -> World {
+        let mut topo = self.topology.build();
         let relays = self.relays();
         let flows = self.effective_flows();
+        if matches!(self.topology, TopologyKind::RandomMesh { .. }) {
+            // Meshes carry no all-pairs route table; install greedy
+            // geographic routes for exactly this run's flows (both
+            // directions — TCP ACKs route too).
+            topo.install_greedy_routes(flows.iter().flat_map(|f| [(f.src, f.dst), (f.dst, f.src)]));
+        }
         let profile = PhyProfile::hydra();
         let mut channel = ChannelStack::hydra(&profile);
         if let Some((drop_chance, corrupt_chance)) = self.fault {
@@ -559,6 +608,12 @@ impl ScenarioSpec {
 
         let stop = Instant::ZERO + self.warmup + self.duration + Duration::from_secs(1);
         for (i, f) in flows.iter().enumerate() {
+            // Flow ports and UDP source ports stay keyed by the flow's
+            // *original* index, so a restricted build installs exactly
+            // the same sources the full build would.
+            if only.is_some_and(|c| world.component_of(f.src) != c) {
+                continue;
+            }
             match f.traffic {
                 FlowTraffic::FileTransfer { bytes } => {
                     install_transfer(&mut world, f.src, f.dst, f.port, bytes, &self.tcp);
@@ -580,9 +635,13 @@ impl ScenarioSpec {
             }
         }
         if let Some(fl) = self.flooding {
-            for (i, node) in world.nodes.iter_mut().enumerate() {
+            for i in 0..world.nodes.len() {
+                if only.is_some_and(|c| world.component_of(i) != c) {
+                    continue;
+                }
                 // Stagger starts so flooders don't align.
                 let start = Instant::ZERO + Duration::from_millis(13 * (i as u64 + 1));
+                let node = &mut world.nodes[i];
                 node.apps.flooder = Some(Flooder::new(fl.interval, fl.payload, start).until(stop));
                 node.apps.flood_sink = FloodSink::new();
             }
@@ -606,13 +665,173 @@ impl ScenarioSpec {
     ///   foreground), so background intensity sweeps stay comparable.
     pub fn run(&self) -> RunOutcome {
         let flows = self.effective_flows();
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
+        let world = self.build();
+        self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
+    }
+
+    /// [`ScenarioSpec::run`] with the medium swapped to its dense O(n²)
+    /// reference backend before the first event fires. Link
+    /// classification is identical, so the outcome must be
+    /// event-for-event identical to `run()` — the equivalence oracle
+    /// the property tests exercise, and the "dense sequential" baseline
+    /// the profiler's scale grid measures speedups against.
+    pub fn run_dense_reference(&self) -> RunOutcome {
+        let flows = self.effective_flows();
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
+        let mut world = self.build();
+        world.densify_medium();
+        self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
+    }
+
+    /// The orchestration mode a flow mix selects: `(has_file, has_window)`.
+    fn run_mode(flows: &[FlowSpec]) -> (bool, bool) {
         let has_file = flows.iter().any(|f| f.traffic.is_file());
         let has_window = flows.iter().any(|f| !f.traffic.is_file());
-        match (has_file, has_window) {
-            (true, false) => self.run_tcp(&flows),
-            (false, true) => self.run_cbr(&flows),
-            (true, true) => self.run_mixed(&flows),
+        (has_file, has_window)
+    }
+
+    /// Runs a pre-built world under `mode` over `flows` (which must be
+    /// exactly the flows installed in `world`, in original order).
+    fn run_in(
+        &self,
+        world: World,
+        flows: &[FlowSpec],
+        mode: (bool, bool),
+        started: std::time::Instant,
+        allocs0: hydra_sim::AllocStats,
+    ) -> RunOutcome {
+        match mode {
+            (true, false) => self.run_tcp(world, flows, started, allocs0),
+            (false, true) => self.run_cbr(world, flows, started, allocs0),
+            (true, true) => self.run_mixed(world, flows, started, allocs0),
             (false, false) => unreachable!("a topology always has at least one default flow"),
+        }
+    }
+
+    /// Runs the scenario with one worker thread per collision domain
+    /// (connected component of the carrier-sense graph), merging the
+    /// per-domain results into the sequential outcome.
+    ///
+    /// Domains are causally independent — no frame, carrier-sense edge,
+    /// or channel draw crosses a component boundary (the per-domain
+    /// channel RNG streams in [`World`] make the last one true by
+    /// construction) — so each domain's slice of the global event
+    /// schedule replays identically in its own restricted world, and:
+    ///
+    /// * per-flow outcomes (bytes, goodput, completion times), the
+    ///   `completed` flag, and the headline throughput are **always**
+    ///   identical to [`ScenarioSpec::run`];
+    /// * per-node reports and collision counts match wherever every
+    ///   domain runs the same virtual span as the sequential engine —
+    ///   window-measured and mixed runs (both run to the fixed
+    ///   horizon), and single-domain worlds (which take the sequential
+    ///   path exactly: `threads` is ignored and `run()` is called).
+    ///   Pure file-transfer runs on a *multi*-domain medium stop each
+    ///   domain at its own completion instant, so post-completion
+    ///   bookkeeping (FIN exchanges after the last payload byte) can
+    ///   differ from the sequential engine's tail.
+    ///
+    /// `threads = 0` uses one thread per available CPU;
+    /// `threads = 1` runs the domains sequentially (the reference
+    /// schedule the determinism tests compare against).
+    pub fn run_sharded(&self, threads: usize) -> RunOutcome {
+        let flows = self.effective_flows();
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
+        // Discover the collision domains from the medium alone (cheap
+        // next to a run; routes are not needed for geometry).
+        let topo = self.topology.build();
+        let profile = PhyProfile::hydra();
+        let medium = self.medium.build_medium(&topo, &profile);
+        let comps = medium.components();
+        if comps.len() <= 1 {
+            return self.run();
+        }
+        let mut comp_of = vec![0u32; topo.n];
+        for (c, members) in comps.iter().enumerate() {
+            for &i in members {
+                comp_of[i] = c as u32;
+            }
+        }
+        let mode = Self::run_mode(&flows);
+
+        // One job per domain, claimed by worker threads off a shared
+        // counter. Job order never matters: every domain world is built
+        // and run in isolation.
+        let k = comps.len();
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        }
+        .min(k);
+        let run_component = |c: u32| {
+            let sub: Vec<FlowSpec> = flows.iter().filter(|f| comp_of[f.src] == c).copied().collect();
+            let world = self.build_component(Some(c));
+            self.run_in(world, &sub, mode, std::time::Instant::now(), hydra_sim::alloc_stats())
+        };
+        let mut by_comp: Vec<Option<RunOutcome>> = (0..k).map(|_| None).collect();
+        if threads <= 1 {
+            for (c, slot) in by_comp.iter_mut().enumerate() {
+                *slot = Some(run_component(c as u32));
+            }
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let done: Vec<(usize, RunOutcome)> = std::thread::scope(|s| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if c >= k {
+                                    return mine;
+                                }
+                                mine.push((c, run_component(c as u32)));
+                            }
+                        })
+                    })
+                    .collect();
+                workers.into_iter().flat_map(|w| w.join().expect("domain worker panicked")).collect()
+            });
+            for (c, out) in done {
+                by_comp[c] = Some(out);
+            }
+        }
+        let by_comp: Vec<RunOutcome> = by_comp.into_iter().map(|o| o.expect("every domain ran")).collect();
+
+        // Merge: each flow and node belongs to exactly one domain.
+        let mut sub_iters: Vec<std::vec::IntoIter<FlowOutcome>> =
+            by_comp.iter().map(|o| o.per_flow.clone().into_iter()).collect();
+        let per_flow: Vec<FlowOutcome> = flows
+            .iter()
+            .map(|f| sub_iters[comp_of[f.src] as usize].next().expect("one outcome per flow"))
+            .collect();
+        let (has_file, _) = mode;
+        let headline: Vec<FlowOutcome> = if has_file {
+            per_flow.iter().filter(|o| o.flow.traffic.is_file()).cloned().collect()
+        } else {
+            per_flow.clone()
+        };
+        let report = RunReport {
+            nodes: (0..topo.n).map(|i| by_comp[comp_of[i] as usize].report.nodes[i].clone()).collect(),
+            at: by_comp.iter().map(|o| o.report.at).max().expect("at least one domain"),
+            collisions: by_comp.iter().map(|o| o.report.collisions).sum(),
+        };
+        let allocs = hydra_sim::alloc_stats().since(allocs0);
+        RunOutcome {
+            completed: by_comp.iter().all(|o| o.completed),
+            throughput_bps: Self::worst_bps(&headline),
+            per_flow,
+            report,
+            perf: RunPerf {
+                events_processed: by_comp.iter().map(|o| o.perf.events_processed).sum(),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                allocations: allocs.allocations,
+                allocated_bytes: allocs.allocated_bytes,
+            },
         }
     }
 
@@ -661,10 +880,13 @@ impl ScenarioSpec {
         }
     }
 
-    fn run_tcp(&self, flows: &[FlowSpec]) -> RunOutcome {
-        let started = std::time::Instant::now();
-        let allocs0 = hydra_sim::alloc_stats();
-        let mut world = self.build();
+    fn run_tcp(
+        &self,
+        mut world: World,
+        flows: &[FlowSpec],
+        started: std::time::Instant,
+        allocs0: hydra_sim::AllocStats,
+    ) -> RunOutcome {
         world.start();
         // The same horizon a mixed run uses (warmup is zero for every
         // legacy file-transfer spec, so this is the paper's `duration`
@@ -683,10 +905,13 @@ impl ScenarioSpec {
         }
     }
 
-    fn run_cbr(&self, flows: &[FlowSpec]) -> RunOutcome {
-        let started = std::time::Instant::now();
-        let allocs0 = hydra_sim::alloc_stats();
-        let mut world = self.build();
+    fn run_cbr(
+        &self,
+        mut world: World,
+        flows: &[FlowSpec],
+        started: std::time::Instant,
+        allocs0: hydra_sim::AllocStats,
+    ) -> RunOutcome {
         world.start();
         // One measurement per flow, keyed by its (sink node, port) pair —
         // flows sharing a sink node stay separate.
@@ -728,10 +953,13 @@ impl ScenarioSpec {
     /// Heterogeneous run: TCP file transfers and window-measured UDP
     /// flows in one world (see [`ScenarioSpec::run`] for the
     /// semantics). Results come back in flow order.
-    fn run_mixed(&self, flows: &[FlowSpec]) -> RunOutcome {
-        let started = std::time::Instant::now();
-        let allocs0 = hydra_sim::alloc_stats();
-        let mut world = self.build();
+    fn run_mixed(
+        &self,
+        mut world: World,
+        flows: &[FlowSpec],
+        started: std::time::Instant,
+        allocs0: hydra_sim::AllocStats,
+    ) -> RunOutcome {
         world.start();
         world.run_until(Instant::ZERO + self.warmup);
         let start: Vec<u64> = flows.iter().map(|f| udp_bytes_at(&world, f)).collect();
@@ -936,6 +1164,7 @@ mod tests {
             TopologyKind::Star,
             TopologyKind::Grid { w: 3, h: 2 },
             TopologyKind::Cross,
+            TopologyKind::RandomMesh { nodes: 40, area_m: 40, seed: 5 },
         ] {
             let spec = ScenarioSpec::tcp(kind, Policy::Ba, Rate::R1_30);
             let n = kind.build().n;
@@ -1023,6 +1252,25 @@ mod tests {
         }]);
         assert_eq!(equal, legacy);
         assert_eq!(equal.stable_hash(), legacy.stable_hash());
+    }
+
+    #[test]
+    fn mesh_specs_build_and_keep_ports_unique() {
+        let kind = TopologyKind::RandomMesh { nodes: 40, area_m: 40, seed: 5 };
+        let spec = ScenarioSpec::tcp(kind, Policy::Ba, Rate::R1_30).spatial(1.0);
+        let flows = spec.effective_flows();
+        assert_eq!(flows.len(), 10, "≈ nodes/4 default flows");
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(f.port, 5001 + i as u16);
+            assert!(flows[..i].iter().all(|p| (p.src, p.dst) != (f.src, f.dst)), "distinct pairs");
+        }
+        // Deterministic across calls (the mesh seed, not the run seed).
+        assert_eq!(flows, spec.clone().with_seed(99).effective_flows());
+        // The world builds: greedy routes installed for every flow.
+        let world = spec.build();
+        assert_eq!(world.nodes.len(), 40);
+        let mesh_udp = ScenarioSpec::udp(kind, Policy::Na, Rate::R1_30, Duration::from_millis(20));
+        assert!(mesh_udp.effective_flows().iter().enumerate().all(|(i, f)| f.port == 9000 + i as u16));
     }
 
     #[test]

@@ -11,7 +11,14 @@
 //! [`hydra_phy::LinkBudget`] to produce range-limited links.
 
 use hydra_net::{ArpTable, NetConfig, NetStack, RouteTable};
+use hydra_phy::{GridIndex, LinkBudget, PhyProfile, Placement};
+use hydra_sim::Rng;
 use hydra_wire::Ipv4Addr;
+
+/// RNG sub-stream of the mesh seed that places nodes.
+const MESH_PLACEMENT_STREAM: u64 = 0x4d45_5348; // "MESH"
+/// RNG sub-stream of the mesh seed that draws default flow endpoints.
+const MESH_FLOW_STREAM: u64 = 0x464c_4f57; // "FLOW"
 
 /// A topology: node count, static routes, and unit geometry.
 #[derive(Debug, Clone)]
@@ -148,6 +155,128 @@ impl Topology {
         Topology { n: 5, routes, positions, name: "cross" }
     }
 
+    /// A uniform-random mesh: `nodes` nodes scattered over an
+    /// `area_m × area_m` square. Unlike the hand-drawn topologies the
+    /// geometry is authored directly in **metres** (one unit = 1 m), so
+    /// it is meant to run under `medium=spatial:1.0`; placement depends
+    /// only on `seed` (via its own RNG sub-stream), never on the run
+    /// seed, so every replication of a scenario shares the same mesh.
+    ///
+    /// The returned topology has **no routes**: random meshes route
+    /// on demand per flow (see [`Topology::install_greedy_routes`]) —
+    /// a full n×n host-route table would dwarf the thousand-node worlds
+    /// this topology exists for.
+    pub fn random_mesh(nodes: usize, area_m: u32, seed: u64) -> Topology {
+        assert!(nodes >= 2, "a mesh needs at least 2 nodes");
+        assert!(area_m >= 1, "mesh area must be at least 1 m");
+        let side = f64::from(area_m);
+        let mut rng = Rng::for_stream(seed, MESH_PLACEMENT_STREAM);
+        let positions = (0..nodes).map(|_| (rng.f64() * side, rng.f64() * side)).collect();
+        Topology { n: nodes, routes: Vec::new(), positions, name: "mesh" }
+    }
+
+    /// Builds the greedy geographic router for this topology's
+    /// geometry, treating positions as metres (the mesh convention).
+    /// Adjacency is the delivery-range graph under the same
+    /// [`LinkBudget`] the spatial medium uses at spacing 1.0.
+    pub fn mesh_router(&self) -> MeshRouter {
+        let placement = Placement::new(self.positions.clone());
+        let budget = LinkBudget::hydra(PhyProfile::hydra().default_snr_db);
+        // Delivery range < cell size, so the 3×3 neighbourhood covers
+        // every candidate (same margin trick as the sparse medium).
+        let index = GridIndex::new(&placement, budget.delivery_range_m() * (1.0 + 1e-6));
+        let mut scratch = Vec::new();
+        let neighbors = (0..self.n)
+            .map(|i| {
+                index.candidates_near(&placement, i, &mut scratch);
+                let mut nbs: Vec<u32> = scratch
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        j as usize != i && budget.classify(placement.distance_m(i, j as usize)).delivers
+                    })
+                    .collect();
+                nbs.sort_unstable();
+                nbs
+            })
+            .collect();
+        MeshRouter { placement, neighbors }
+    }
+
+    /// Installs greedy-geographic host routes for the given directed
+    /// endpoint pairs, deduplicating the path segments shared between
+    /// flows. TCP callers must pass both directions (ACKs route too).
+    ///
+    /// # Panics
+    /// Panics when greedy forwarding gets stuck before reaching `dst` —
+    /// callers that can tolerate unroutable pairs filter them first via
+    /// [`MeshRouter::routable`].
+    pub fn install_greedy_routes<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let router = self.mesh_router();
+        let mut have: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for (src, dst) in pairs {
+            let path = router.path(src, dst).unwrap_or_else(|| {
+                panic!("mesh routing: greedy forwarding cannot reach node {dst} from node {src}")
+            });
+            for w in path.windows(2) {
+                let (at, next) = (w[0], w[1]);
+                if have.insert((at, dst)) {
+                    self.routes.push((
+                        at,
+                        Ipv4Addr::from_node_id(dst as u16),
+                        Ipv4Addr::from_node_id(next as u16),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The default flow endpoints for a random mesh: up to
+    /// `(nodes / 4).clamp(1, 256)` distinct src→dst pairs, drawn from
+    /// the mesh seed's flow sub-stream and kept only when greedy
+    /// routing reaches the destination *in both directions* (TCP needs
+    /// the ACK path). Deterministic in `(nodes, area_m, seed)`.
+    pub fn mesh_default_pairs(nodes: usize, area_m: u32, seed: u64) -> Vec<(usize, usize)> {
+        let pairs = Self::try_mesh_default_pairs(nodes, area_m, seed);
+        assert!(
+            !pairs.is_empty(),
+            "mesh nodes={nodes} area={area_m} seed={seed}: no routable flow pair found"
+        );
+        pairs
+    }
+
+    /// [`Topology::mesh_default_pairs`] without the non-empty assertion:
+    /// returns an empty list when the placement has no bidirectionally
+    /// routable pair at all (callers that generate placements at random
+    /// — e.g. the sparse/dense equivalence property test — skip those
+    /// rather than panic).
+    pub fn try_mesh_default_pairs(nodes: usize, area_m: u32, seed: u64) -> Vec<(usize, usize)> {
+        let topo = Topology::random_mesh(nodes, area_m, seed);
+        let router = topo.mesh_router();
+        let want = (nodes / 4).clamp(1, 256);
+        let mut rng = Rng::for_stream(seed, MESH_FLOW_STREAM);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        // Bounded scan: sparse or disconnected meshes yield fewer flows
+        // rather than spinning forever.
+        for _ in 0..want * 64 {
+            if pairs.len() >= want {
+                break;
+            }
+            let src = rng.index(nodes);
+            let dst = rng.index(nodes);
+            if src == dst || pairs.contains(&(src, dst)) {
+                continue;
+            }
+            if router.routable(src, dst) && router.routable(dst, src) {
+                pairs.push((src, dst));
+            }
+        }
+        pairs
+    }
+
     /// Builds the per-node network stacks.
     pub fn build_net_stacks(&self) -> Vec<NetStack> {
         (0..self.n)
@@ -161,6 +290,65 @@ impl Topology {
                 NetStack::new(NetConfig::for_node(i as u16), table, ArpTable::for_nodes(self.n as u16))
             })
             .collect()
+    }
+}
+
+/// Greedy geographic routing over a mesh topology's delivery graph.
+///
+/// Built once per topology by [`Topology::mesh_router`], then queried
+/// per flow endpoint pair. The forwarding rule is the classic one: hand
+/// the packet to the delivery-range neighbour strictly closer to the
+/// destination (nearest wins, ties break to the smallest node index),
+/// and fail at a local minimum — pairs that greedy routing cannot serve
+/// simply don't get flows, mirroring how a real geographic protocol
+/// would fall back to other traffic.
+pub struct MeshRouter {
+    placement: Placement,
+    /// Delivery-range neighbours per node, ascending by index.
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl MeshRouter {
+    /// The delivery-range neighbours of `node`, ascending.
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        &self.neighbors[node]
+    }
+
+    /// Greedy next hop from `at` toward `dst`: the neighbour strictly
+    /// closer to `dst` (nearest first; the ascending neighbour order
+    /// breaks ties to the smallest index). `None` at a local minimum.
+    fn next_hop(&self, at: usize, dst: usize) -> Option<usize> {
+        let here = self.placement.distance_m(at, dst);
+        let mut best: Option<(f64, usize)> = None;
+        for &nb in &self.neighbors[at] {
+            let nb = nb as usize;
+            if nb == dst {
+                return Some(dst);
+            }
+            let d = self.placement.distance_m(nb, dst);
+            if d < here && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, nb));
+            }
+        }
+        best.map(|(_, nb)| nb)
+    }
+
+    /// The full greedy path `src → … → dst` (inclusive), or `None` if
+    /// forwarding gets stuck. Each hop strictly shrinks the distance to
+    /// `dst`, so the walk always terminates.
+    pub fn path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            at = self.next_hop(at, dst)?;
+            path.push(at);
+        }
+        Some(path)
+    }
+
+    /// True when greedy forwarding reaches `dst` from `src`.
+    pub fn routable(&self, src: usize, dst: usize) -> bool {
+        self.path(src, dst).is_some()
     }
 }
 
@@ -246,6 +434,71 @@ mod tests {
         }
         // Opposite cross arms are two hops apart spatially as well.
         assert!((dist(&cross, 0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_mesh_is_deterministic_and_in_bounds() {
+        let a = Topology::random_mesh(50, 40, 7);
+        let b = Topology::random_mesh(50, 40, 7);
+        assert_eq!(a.positions, b.positions, "placement depends only on the mesh seed");
+        assert_eq!(a.n, 50);
+        assert_eq!(a.name, "mesh");
+        assert!(a.routes.is_empty(), "meshes route per flow, not all-pairs");
+        for &(x, y) in &a.positions {
+            assert!((0.0..40.0).contains(&x) && (0.0..40.0).contains(&y));
+        }
+        let c = Topology::random_mesh(50, 40, 8);
+        assert_ne!(a.positions, c.positions, "different seeds scatter differently");
+    }
+
+    #[test]
+    fn mesh_router_walks_strictly_toward_the_destination() {
+        let t = Topology::random_mesh(60, 50, 3);
+        let router = t.mesh_router();
+        let p = Placement::new(t.positions.clone());
+        let delivery = LinkBudget::hydra(PhyProfile::hydra().default_snr_db).delivery_range_m();
+        let mut routed = 0;
+        for src in 0..t.n {
+            for dst in 0..t.n {
+                if src == dst {
+                    continue;
+                }
+                let Some(path) = router.path(src, dst) else { continue };
+                routed += 1;
+                assert_eq!((path[0], *path.last().unwrap()), (src, dst));
+                for w in path.windows(2) {
+                    assert!(p.distance_m(w[0], w[1]) <= delivery, "hop exceeds delivery range");
+                    assert!(
+                        p.distance_m(w[1], dst) < p.distance_m(w[0], dst),
+                        "greedy hop must shrink the distance to dst"
+                    );
+                }
+            }
+        }
+        assert!(routed > 0, "some pair must be greedily routable");
+    }
+
+    #[test]
+    fn install_greedy_routes_builds_working_next_hops() {
+        let mut t = Topology::random_mesh(60, 50, 3);
+        let pairs = Topology::mesh_default_pairs(60, 50, 3);
+        assert!(!pairs.is_empty() && pairs.len() <= 15, "want ≈ n/4 pairs, got {}", pairs.len());
+        t.install_greedy_routes(pairs.iter().flat_map(|&(s, d)| [(s, d), (d, s)]));
+        let router = t.mesh_router();
+        let stacks = t.build_net_stacks();
+        for &(src, dst) in &pairs {
+            // Every node along the greedy path knows the next hop, in
+            // both directions (the TCP ACK path).
+            for (a, b) in [(src, dst), (dst, src)] {
+                let path = router.path(a, b).expect("default pairs are routable");
+                for w in path.windows(2) {
+                    assert_eq!(
+                        stacks[w[0]].routes.next_hop(Ipv4Addr::from_node_id(b as u16)),
+                        Some(Ipv4Addr::from_node_id(w[1] as u16)),
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -91,7 +91,18 @@ pub struct World {
     /// PHY profile shared by all nodes.
     pub profile: PhyProfile,
     channel: ChannelStack,
-    channel_rng: Rng,
+    /// One channel RNG per collision domain (connected component of the
+    /// sense graph), forked as `master.fork(0xC0DE + c)`. A connected
+    /// medium has exactly one, forked identically to the historical
+    /// single `fork(0xC0DE)` — byte-for-byte the legacy draw stream.
+    /// Splitting by component makes each domain's channel randomness
+    /// independent of event interleaving across domains, which is what
+    /// lets [`ScenarioSpec::run_sharded`](crate::ScenarioSpec::run_sharded)
+    /// run domains on separate worker threads and still match the
+    /// sequential schedule exactly.
+    channel_rng: Vec<Rng>,
+    /// Node → collision-domain index (indexes `channel_rng`).
+    component_of: Vec<u32>,
     /// In-flight frames, slab-indexed by [`TxId::index`] (ids are dense
     /// and reused, so this stays as small as the peak concurrency).
     in_flight: Vec<Option<OnAirFrame>>,
@@ -156,7 +167,14 @@ impl World {
                 }
             })
             .collect();
-        let channel_rng = master.fork(0xC0DE);
+        let components = medium.components();
+        let mut component_of = vec![0u32; topology.n];
+        for (c, members) in components.iter().enumerate() {
+            for &i in members {
+                component_of[i] = c as u32;
+            }
+        }
+        let channel_rng = (0..components.len()).map(|c| master.fork(0xC0DE + c as u64)).collect();
         World {
             events: EventQueue::new(),
             nodes,
@@ -164,6 +182,7 @@ impl World {
             profile,
             channel,
             channel_rng,
+            component_of,
             in_flight: Vec::new(),
             collisions: 0,
             events_processed: 0,
@@ -176,6 +195,28 @@ impl World {
     /// Current virtual time.
     pub fn now(&self) -> Instant {
         self.events.now()
+    }
+
+    /// The collision domain (sense-graph component index) `node` lives in.
+    pub fn component_of(&self, node: usize) -> u32 {
+        self.component_of[node]
+    }
+
+    /// Number of collision domains in this world's medium.
+    pub fn component_count(&self) -> usize {
+        self.channel_rng.len()
+    }
+
+    /// Swaps the medium for its dense O(n²) reference rebuild — same
+    /// link classification, same collision domains, but every query
+    /// scans all n nodes instead of a neighbour list. The executable
+    /// specification the sparse backend is tested against, and the
+    /// profiler's speedup baseline. Call before [`World::start`]: the
+    /// rebuild requires an idle medium, and `component_of` / the
+    /// per-domain channel RNG streams stay valid only because the link
+    /// classification (hence the sense graph) is unchanged.
+    pub fn densify_medium(&mut self) {
+        self.medium = self.medium.dense_reference();
     }
 
     /// True when every installed TCP file transfer has completed — the
@@ -294,6 +335,23 @@ impl World {
         self.mac_out_pool.push(outs);
     }
 
+    /// [`World::mac_input`] for a pre-parsed aggregate reception (the
+    /// shared-parse fast path of `on_tx_end`).
+    fn mac_input_rx_parsed(
+        &mut self,
+        node: usize,
+        phy_hdr: &hydra_wire::PhyHeader,
+        psdu: &Payload,
+        parsed: &[hydra_wire::ParsedSubframe<'_>],
+    ) {
+        let now = self.now();
+        let mut outs = self.mac_out_pool.pop().unwrap_or_default();
+        self.nodes[node].mac.handle_rx_parsed(now, phy_hdr, psdu, parsed, &mut outs);
+        self.process_mac_outputs(node, &mut outs);
+        debug_assert!(outs.is_empty());
+        self.mac_out_pool.push(outs);
+    }
+
     fn process_mac_outputs(&mut self, node: usize, outs: &mut Vec<MacOutput>) {
         for out in outs.drain(..) {
             match out {
@@ -342,14 +400,32 @@ impl World {
         // Tell the transmitter first (it arms its response timeout), then
         // fan out receptions in deterministic node order.
         self.mac_input(node, MacInput::TxDone);
+        // Shared parse: every clean receiver whose channel pass left the
+        // PSDU untouched (same shared-payload backing) sees identical
+        // bytes, so the aggregate is parsed once and the parse reused —
+        // a broadcast to k neighbors costs one parse instead of k.
+        let agg = match &frame {
+            OnAirFrame::Aggregate { phy_hdr, psdu, .. } => Some((phy_hdr, psdu)),
+            _ => None,
+        };
+        let mut shared_parse: Option<Vec<hydra_wire::ParsedSubframe<'_>>> = None;
         for d in deliveries.drain(..) {
             if !d.clean {
                 self.collisions += 1;
                 self.nodes[d.receiver].collisions_seen += 1;
                 continue;
             }
-            let rx = apply_channel(&frame, d.snr_db, &mut self.channel, &mut self.channel_rng, &self.profile);
+            let rng = &mut self.channel_rng[self.component_of[d.receiver] as usize];
+            let rx = apply_channel(&frame, d.snr_db, &mut self.channel, rng, &self.profile);
             match rx {
+                Some(OnAirFrame::Aggregate { psdu: rx_psdu, .. })
+                    if agg
+                        .is_some_and(|(_, p)| rx_psdu.as_ptr() == p.as_ptr() && rx_psdu.len() == p.len()) =>
+                {
+                    let (hdr, psdu) = agg.expect("checked above");
+                    let parsed = shared_parse.get_or_insert_with(|| hydra_wire::parse_aggregate(hdr, psdu));
+                    self.mac_input_rx_parsed(d.receiver, hdr, psdu, parsed);
+                }
                 Some(rx) => self.mac_input(d.receiver, MacInput::Rx(rx)),
                 None => self.nodes[d.receiver].channel_drops += 1,
             }

@@ -37,6 +37,6 @@ pub use channel::{
 };
 pub use frame::{Airtime, OnAirFrame};
 pub use medium::{BusyEdge, Delivery, Medium, TxId};
-pub use placement::{Link, LinkBudget, Placement};
+pub use placement::{GridIndex, Link, LinkBudget, Placement};
 pub use profile::PhyProfile;
 pub use rates::{CodeRate, Modulation, Rate};

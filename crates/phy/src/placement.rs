@@ -142,6 +142,76 @@ impl LinkBudget {
     }
 }
 
+/// A uniform-grid spatial index over a [`Placement`].
+///
+/// Nodes are binned into square cells of side `cell_m`. Any pair of
+/// nodes within `cell_m` of each other is guaranteed to lie in the same
+/// or in adjacent cells, so a cell sized by the carrier-sense range
+/// turns the all-pairs O(n²) link classification into a scan of each
+/// node's 3×3 cell neighbourhood — the constructor behind
+/// [`crate::Medium::from_placement`]'s sparse adjacency at mesh scale.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_m: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// Node ids per cell, ascending (nodes are inserted in id order).
+    cells: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Bins `placement` into cells of side `cell_m`.
+    pub fn new(placement: &Placement, cell_m: f64) -> Self {
+        assert!(cell_m > 0.0 && cell_m.is_finite(), "cell size must be positive");
+        let n = placement.node_count();
+        if n == 0 {
+            return GridIndex { cell_m, min_x: 0.0, min_y: 0.0, cols: 1, rows: 1, cells: vec![Vec::new()] };
+        }
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for i in 0..n {
+            let (x, y) = placement.position_m(i);
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        let cols = (((max_x - min_x) / cell_m).floor() as usize) + 1;
+        let rows = (((max_y - min_y) / cell_m).floor() as usize) + 1;
+        let mut index = GridIndex { cell_m, min_x, min_y, cols, rows, cells: vec![Vec::new(); cols * rows] };
+        for i in 0..n {
+            let (x, y) = placement.position_m(i);
+            let (cx, cy) = index.cell_of(x, y);
+            index.cells[cy * cols + cx].push(i as u32);
+        }
+        index
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let cx = (((x - self.min_x) / self.cell_m).floor() as usize).min(self.cols - 1);
+        let cy = (((y - self.min_y) / self.cell_m).floor() as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+
+    /// Appends to `out` (cleared first) every node in the 3×3 cell
+    /// neighbourhood of `node` — a superset of all nodes within `cell_m`
+    /// of it, including `node` itself. Order is unspecified.
+    pub fn candidates_near(&self, placement: &Placement, node: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let (x, y) = placement.position_m(node);
+        let (cx, cy) = self.cell_of(x, y);
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(self.rows - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(self.cols - 1) {
+                out.extend_from_slice(&self.cells[dy * self.cols + dx]);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +266,43 @@ mod tests {
         let b = budget();
         assert_eq!(b.snr_at(0.0), b.snr_at(0.25));
         assert!(b.snr_at(0.0).is_finite());
+    }
+
+    #[test]
+    fn grid_index_candidates_cover_all_in_range_pairs() {
+        // Pseudo-random scatter: every pair within the cell size must be
+        // found via the 3×3 neighbourhood, matching an O(n²) scan.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let points: Vec<(f64, f64)> = (0..80).map(|_| (next() * 50.0, next() * 50.0)).collect();
+        let p = Placement::new(points);
+        let range = 9.0;
+        let index = GridIndex::new(&p, range);
+        let mut scratch = Vec::new();
+        for a in 0..p.node_count() {
+            index.candidates_near(&p, a, &mut scratch);
+            for b in 0..p.node_count() {
+                if a != b && p.distance_m(a, b) <= range {
+                    assert!(scratch.contains(&(b as u32)), "pair ({a},{b}) missed by grid index");
+                }
+            }
+            assert!(scratch.contains(&(a as u32)), "candidates include the node itself");
+        }
+    }
+
+    #[test]
+    fn grid_index_handles_degenerate_placements() {
+        let empty = GridIndex::new(&Placement::new(vec![]), 5.0);
+        let mut scratch = vec![7u32];
+        // Co-located points land in one cell.
+        let p = Placement::new(vec![(3.0, 3.0); 4]);
+        let g = GridIndex::new(&p, 5.0);
+        g.candidates_near(&p, 0, &mut scratch);
+        assert_eq!(scratch, vec![0, 1, 2, 3]);
+        drop(empty);
     }
 
     #[test]
