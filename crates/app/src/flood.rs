@@ -44,10 +44,17 @@ impl Flooder {
     /// Emits all beacons due by `now`; returns payloads + next wake.
     pub fn poll(&mut self, now: Instant) -> (Vec<Vec<u8>>, Option<Instant>) {
         let mut out = Vec::new();
+        let wake = self.poll_into(now, &mut out);
+        (out, wake)
+    }
+
+    /// [`Flooder::poll`] appending into a caller-recycled buffer (the
+    /// event loop's allocation-light variant); returns the next wake.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) -> Option<Instant> {
         while self.next_send <= now {
             if let Some(stop) = self.stop {
                 if self.next_send >= stop {
-                    return (out, None);
+                    return None;
                 }
             }
             let mut payload = vec![0x5A; self.payload_len];
@@ -57,7 +64,7 @@ impl Flooder {
             out.push(payload);
             self.next_send += self.interval;
         }
-        (out, Some(self.next_send))
+        Some(self.next_send)
     }
 }
 

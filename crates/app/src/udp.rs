@@ -89,10 +89,17 @@ impl UdpCbr {
     /// wake-up time (None when finished).
     pub fn poll(&mut self, now: Instant) -> (Vec<Vec<u8>>, Option<Instant>) {
         let mut out = Vec::new();
+        let wake = self.poll_into(now, &mut out);
+        (out, wake)
+    }
+
+    /// [`UdpCbr::poll`] appending into a caller-recycled buffer (the event
+    /// loop's allocation-light variant); returns the next wake-up time.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) -> Option<Instant> {
         while self.next_send <= now {
             if let Some(stop) = self.stop {
                 if self.next_send >= stop {
-                    return (out, None);
+                    return None;
                 }
             }
             let mut payload = vec![0u8; self.payload_len];
@@ -118,7 +125,7 @@ impl UdpCbr {
                 None => self.interval,
             };
         }
-        (out, Some(self.next_send))
+        Some(self.next_send)
     }
 }
 

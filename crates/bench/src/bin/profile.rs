@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p hydra-bench --bin profile -- \
-//!     [--grid full|smoke] [--seeds N] [--out PATH] \
+//!     [--grid full|smoke] [--seeds N] [--out PATH] [--queue wheel|heap|check] \
 //!     [--baseline-wall-s S] [--note TEXT]
 //! ```
 //!
@@ -40,6 +40,14 @@ options:
                        or the 4-cell smoke grid for CI
   --seeds N            replications per scenario (default 1)
   --out PATH           report path (default results/BENCH_profile.json)
+  --queue wheel|heap|check
+                       event-queue backend for the grid: the calendar
+                       queue (default), the BinaryHeap reference oracle,
+                       or both per run with outcomes asserted identical
+                       and the wall-time ratio recorded in a
+                       `queue_comparison` block — the CI equivalence
+                       smoke and the fair same-machine measure of the
+                       scheduler swap
   --baseline-wall-s S  wall seconds previously measured for this same
                        workload; adds a before/after comparison block
   --scale              also run the mesh scale grid: constant-density
@@ -65,11 +73,23 @@ struct Args {
     grid: String,
     seeds: u64,
     out: String,
+    queue: QueueMode,
     baseline_wall_s: Option<f64>,
     scale: bool,
     assert_events_per_s: Option<f64>,
     assert_scale_speedup: Option<f64>,
     note: Option<String>,
+}
+
+/// Which event-queue backend the grid runs on.
+#[derive(Clone, Copy, PartialEq)]
+enum QueueMode {
+    /// The calendar queue — the engine's real backend (default).
+    Wheel,
+    /// The `BinaryHeap` reference oracle (`run_heap_reference`).
+    Heap,
+    /// Both per run, outcomes asserted identical, both walls recorded.
+    Check,
 }
 
 fn die(msg: &str) -> ! {
@@ -82,6 +102,7 @@ fn parse_args() -> Args {
         grid: "full".into(),
         seeds: 1,
         out: "results/BENCH_profile.json".into(),
+        queue: QueueMode::Wheel,
         baseline_wall_s: None,
         scale: false,
         assert_events_per_s: None,
@@ -99,6 +120,14 @@ fn parse_args() -> Args {
             "--grid" => a.grid = val(&mut i),
             "--seeds" => a.seeds = val(&mut i).parse().unwrap_or_else(|_| die("bad --seeds")),
             "--out" => a.out = val(&mut i),
+            "--queue" => {
+                a.queue = match val(&mut i).as_str() {
+                    "wheel" => QueueMode::Wheel,
+                    "heap" => QueueMode::Heap,
+                    "check" => QueueMode::Check,
+                    other => die(&format!("unknown queue `{other}` (wheel|heap|check)")),
+                }
+            }
             "--baseline-wall-s" => {
                 a.baseline_wall_s = Some(val(&mut i).parse().unwrap_or_else(|_| die("bad wall seconds")))
             }
@@ -234,31 +263,62 @@ fn main() {
     let runner = ExperimentRunner::sequential();
     let mut sweeps: Vec<SweepPerf> = Vec::new();
     let mut total = RunPerf::default();
+    // `--queue check` accumulator: both walls over the same runs, on the
+    // same machine, interleaved — the fair scheduler A/B.
+    let mut check_wheel_wall_ms = 0.0;
+    let mut check_heap_wall_ms = 0.0;
+    let mut check_runs = 0u64;
     let started = std::time::Instant::now();
     for (name, specs) in grids {
-        let cells = runner.run_sweep(&specs, args.seeds);
-        let mut perf = RunPerf::default();
-        for cell in &cells {
-            for run in &cell.runs {
-                perf.events_processed += run.perf.events_processed;
-                perf.wall_ms += run.perf.wall_ms;
-                perf.allocations += run.perf.allocations;
-                perf.allocated_bytes += run.perf.allocated_bytes;
+        // Replication seeds derive exactly as in the runner, so every
+        // queue mode simulates the identical workload.
+        let jobs = || {
+            specs.iter().flat_map(|spec| {
+                (1..=args.seeds).map(|rep| spec.clone().with_seed(ExperimentRunner::run_seed(spec, rep)))
+            })
+        };
+        let runs: Vec<_> = match args.queue {
+            QueueMode::Wheel => {
+                runner.run_sweep(&specs, args.seeds).into_iter().flat_map(|c| c.runs).collect()
             }
+            QueueMode::Heap => jobs().map(|spec| spec.run_heap_reference()).collect(),
+            QueueMode::Check => jobs()
+                .map(|spec| {
+                    let wheel = spec.run();
+                    let heap = spec.run_heap_reference();
+                    assert_eq!(wheel, heap, "heap reference diverged from calendar queue in {name}");
+                    check_wheel_wall_ms += wheel.perf.wall_ms;
+                    check_heap_wall_ms += heap.perf.wall_ms;
+                    check_runs += 1;
+                    wheel
+                })
+                .collect(),
+        };
+        let mut perf = RunPerf::default();
+        for run in &runs {
+            perf.events_processed += run.perf.events_processed;
+            perf.events_stale += run.perf.events_stale;
+            perf.timer_rearms += run.perf.timer_rearms;
+            perf.wall_ms += run.perf.wall_ms;
+            perf.allocations += run.perf.allocations;
+            perf.allocated_bytes += run.perf.allocated_bytes;
         }
         eprintln!(
-            "{name}: {} runs, {} events, {:.1} ms, {:.0} ev/s, {:.1} allocs/1k events",
-            specs.len() as u64 * args.seeds,
+            "{name}: {} runs, {} events ({:.1}% stale timers), {:.1} ms, {:.0} ev/s, {:.1} allocs/1k events",
+            runs.len(),
             perf.events_processed,
+            perf.stale_ratio() * 100.0,
             perf.wall_ms,
             perf.events_per_sec(),
             perf.allocations as f64 / (perf.events_processed.max(1) as f64 / 1e3),
         );
         total.events_processed += perf.events_processed;
+        total.events_stale += perf.events_stale;
+        total.timer_rearms += perf.timer_rearms;
         total.wall_ms += perf.wall_ms;
         total.allocations += perf.allocations;
         total.allocated_bytes += perf.allocated_bytes;
-        sweeps.push(SweepPerf { name, cells: cells.len(), perf });
+        sweeps.push(SweepPerf { name, cells: specs.len(), perf });
     }
     let wall_total_s = started.elapsed().as_secs_f64();
     let scale = if args.scale { run_scale() } else { Vec::new() };
@@ -268,16 +328,27 @@ fn main() {
     j.push_str("  \"schema\": \"hydra-agg.bench-profile.v1\",\n");
     j.push_str(&format!("  \"grid\": {},\n", quote(&args.grid)));
     j.push_str(&format!("  \"seeds\": {},\n", args.seeds));
+    j.push_str(&format!(
+        "  \"queue\": {},\n",
+        quote(match args.queue {
+            QueueMode::Wheel => "wheel",
+            QueueMode::Heap => "heap",
+            QueueMode::Check => "check",
+        })
+    ));
     if let Some(note) = &args.note {
         j.push_str(&format!("  \"note\": {},\n", quote(note)));
     }
     j.push_str("  \"sweeps\": [\n");
     for (i, s) in sweeps.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"name\": {}, \"cells\": {}, \"events_processed\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"allocations\": {}}}{}\n",
+            "    {{\"name\": {}, \"cells\": {}, \"events_processed\": {}, \"events_stale\": {}, \"timer_rearms\": {}, \"stale_ratio\": {:.4}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"allocations\": {}}}{}\n",
             quote(&s.name),
             s.cells,
             s.perf.events_processed,
+            s.perf.events_stale,
+            s.perf.timer_rearms,
+            s.perf.stale_ratio(),
             s.perf.wall_ms,
             s.perf.events_per_sec(),
             s.perf.allocations,
@@ -307,13 +378,28 @@ fn main() {
         j.push_str("  \"scale_note\": \"constant-density random meshes, pure CBR (nodes/4 flows); each cell run on the sparse medium + sharded engine and on the dense O(n^2) reference medium + sequential engine, outcomes asserted identical; wall times include world construction\",\n");
     }
     j.push_str(&format!(
-        "  \"total\": {{\"events_processed\": {}, \"wall_s\": {:.2}, \"events_per_sec\": {:.0}, \"allocations\": {}, \"allocations_per_1k_events\": {:.1}}}",
+        "  \"total\": {{\"events_processed\": {}, \"events_stale\": {}, \"timer_rearms\": {}, \"stale_ratio\": {:.4}, \"wall_s\": {:.2}, \"events_per_sec\": {:.0}, \"allocations\": {}, \"allocations_per_1k_events\": {:.1}}}",
         total.events_processed,
+        total.events_stale,
+        total.timer_rearms,
+        total.stale_ratio(),
         wall_total_s,
         total.events_processed as f64 / wall_total_s,
         total.allocations,
         total.allocations as f64 / (total.events_processed.max(1) as f64 / 1e3),
     ));
+    if args.queue == QueueMode::Check {
+        let (wheel_s, heap_s) = (check_wheel_wall_ms / 1e3, check_heap_wall_ms / 1e3);
+        j.push_str(&format!(
+            ",\n  \"queue_comparison\": {{\"runs\": {}, \"outcomes_identical\": true, \"wheel_wall_s\": {:.2}, \"heap_wall_s\": {:.2}, \"wheel_events_per_sec\": {:.0}, \"heap_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"note\": \"every run simulated on both queue backends back to back on the same machine; outcome equality asserted per run\"}}",
+            check_runs,
+            wheel_s,
+            heap_s,
+            total.events_processed as f64 / wheel_s.max(1e-9),
+            total.events_processed as f64 / heap_s.max(1e-9),
+            heap_s / wheel_s.max(1e-9),
+        ));
+    }
     if let Some(before_s) = args.baseline_wall_s {
         j.push_str(&format!(
             ",\n  \"baseline_comparison\": {{\"workload\": {}, \"before_wall_s\": {:.2}, \"after_wall_s\": {:.2}, \"before_events_per_sec\": {:.0}, \"after_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"note\": \"events normalized to the post-refactor batched event count for both sides\"}}",
@@ -333,8 +419,15 @@ fn main() {
     let mut f =
         std::fs::File::create(&args.out).unwrap_or_else(|e| die(&format!("create {}: {e}", args.out)));
     f.write_all(j.as_bytes()).expect("write report");
-    // Machine-comparable determinism line for CI (no wall times).
+    // Machine-comparable determinism lines for CI (no wall times; the
+    // stale/rearm tallies are deterministic too — lazy cancellation is
+    // part of the simulated schedule, not of measurement).
     println!("events_processed_total={}", total.events_processed);
+    println!("events_stale_total={}", total.events_stale);
+    println!("timer_rearms_total={}", total.timer_rearms);
+    if args.queue == QueueMode::Check {
+        println!("queue_equivalence=ok runs={check_runs}");
+    }
     for s in &sweeps {
         println!("events_processed[{}]={}", s.name, s.perf.events_processed);
     }
@@ -365,9 +458,18 @@ fn main() {
             }
         }
     }
+    if args.queue == QueueMode::Check {
+        eprintln!(
+            "queue check: {check_runs} runs identical on both backends; wheel {:.2} s vs heap {:.2} s ({:.2}x)",
+            check_wheel_wall_ms / 1e3,
+            check_heap_wall_ms / 1e3,
+            check_heap_wall_ms / check_wheel_wall_ms.max(1e-9),
+        );
+    }
     eprintln!(
-        "total: {} events in {wall_total_s:.2} s ({:.0} ev/s) -> {}",
+        "total: {} events ({:.1}% stale timers) in {wall_total_s:.2} s ({:.0} ev/s) -> {}",
         total.events_processed,
+        total.stale_ratio() * 100.0,
         total.events_processed as f64 / wall_total_s,
         args.out
     );

@@ -89,7 +89,12 @@ impl<'a> Budget<'a> {
 
     fn consume(&mut self, on_air_bytes: usize, rate: Rate) {
         self.used_bytes += on_air_bytes;
-        self.used_samples += self.profile.samples_for(on_air_bytes, rate);
+        // Sample accounting is only consulted by the coherence-budget
+        // sizing; skip the per-subframe division under the (common)
+        // fixed-byte cap.
+        if matches!(self.sizing, AggSizing::CoherenceBudget(_)) {
+            self.used_samples += self.profile.samples_for(on_air_bytes, rate);
+        }
     }
 }
 
@@ -121,9 +126,18 @@ pub fn assemble(
 ) -> Option<AssembledFrame> {
     let is_retry = retry_burst.is_some();
     let mut budget = Budget::new(cfg, profile);
-    let mut builder = AggregateBuilder::new();
     let bcast_rate = cfg.effective_broadcast_rate();
     let ucast_rate = cfg.data_rate;
+    // Size the PSDU buffer to the aggregate cap up front (inverting
+    // `samples_for` at the data rate for the coherence budget) — one
+    // reservation instead of doubling through reallocations per frame.
+    let psdu_hint = match cfg.agg.sizing {
+        AggSizing::Fixed(max) => max,
+        AggSizing::CoherenceBudget(samples) => {
+            (samples.saturating_mul(ucast_rate.bits_per_sec()) / (profile.sample_rate.max(1) * 8)) as usize
+        }
+    };
+    let mut builder = AggregateBuilder::with_capacity(psdu_hint);
     let mut payload_bytes = 0usize;
     let mut overhead_bytes = 0usize;
     let mut bcast_count = 0usize;

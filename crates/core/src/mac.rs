@@ -225,6 +225,22 @@ impl Mac {
         self.addr
     }
 
+    /// True if `token` is still the live occurrence of its timer slot.
+    ///
+    /// The event loop's stale-timer fast path: a superseded token would be
+    /// dropped by [`Mac::handle`] anyway (`TimerSet::fire` refuses it with
+    /// no side effects), so the caller can skip the dispatch entirely and
+    /// count it instead.
+    pub fn timer_is_current(&self, token: TimerToken) -> bool {
+        self.timers.is_current(token)
+    }
+
+    /// How many times a live timer slot was re-armed (each re-arm strands
+    /// one stale event in the queue; see `RunPerf::timer_rearms`).
+    pub fn timer_rearms(&self) -> u64 {
+        self.timers.rearms()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &MacConfig {
         &self.cfg
@@ -262,6 +278,39 @@ impl Mac {
         let mut out = Vec::new();
         self.handle(now, input, &mut out);
         out
+    }
+
+    /// Carrier-sense fast path: [`Mac::handle`] specialised for
+    /// `ChannelBusy` / `ChannelIdle`.
+    ///
+    /// A busy edge never produces output, and an idle edge can produce
+    /// at most one `SetTimer` (resuming a frozen backoff or waking at
+    /// NAV expiry) — so the event loop's edge fan-out, by far the
+    /// hottest MAC entry point (several sensed edges per transmission
+    /// boundary), can skip the scratch-buffer sink entirely and get the
+    /// one possible timer back by value.
+    pub fn on_channel_edge(&mut self, now: Instant, busy: bool) -> Option<(TimerToken, Instant)> {
+        if busy {
+            self.on_busy(now);
+            return None;
+        }
+        // Single-`SetTimer` sink: anything else coming out of `on_idle`
+        // would be a logic error, caught here rather than dropped.
+        struct OneTimer(Option<(TimerToken, Instant)>);
+        impl MacSink for OneTimer {
+            fn push(&mut self, out: MacOutput) {
+                match out {
+                    MacOutput::SetTimer { token, at } => {
+                        debug_assert!(self.0.is_none(), "idle edge armed two timers");
+                        self.0 = Some((token, at));
+                    }
+                    _ => panic!("idle edge produced a non-timer output"),
+                }
+            }
+        }
+        let mut sink = OneTimer(None);
+        self.on_idle(now, &mut sink);
+        sink.0
     }
 
     // ------------------------------------------------------------------
@@ -792,11 +841,13 @@ impl Mac {
         }
 
         // Unicast portion: all-or-nothing + link ACK (paper §4.2.2).
-        let ucast: Vec<_> = parsed.iter().filter(|s| s.portion == Portion::Unicast).collect();
-        if ucast.is_empty() {
+        // Iterated as filters over the (small, cache-hot) parse slice —
+        // collecting into a `Vec` here allocated once per receiver per
+        // aggregate on the rx fan-out path.
+        let ucast = || parsed.iter().filter(|s| s.portion == Portion::Unicast);
+        let Some(first) = ucast().next() else {
             return;
-        }
-        let first = &ucast[0];
+        };
         if !first.fcs_ok {
             // Can't even trust the addressing; the sender will retry.
             self.counters.rx_unicast_crc_drop += 1;
@@ -809,16 +860,16 @@ impl Mac {
             return;
         }
 
-        let covered: usize = ucast.iter().map(|s| s.range.len()).sum();
+        let covered: usize = ucast().map(|s| s.range.len()).sum();
         let complete = covered == phy_hdr.ucast_len as usize;
         let transmitter = first_view.addr2();
 
         match self.cfg.ack_policy {
             AckPolicy::Normal => {
-                let all_ok = complete && ucast.iter().all(|s| s.fcs_ok);
+                let all_ok = complete && ucast().all(|s| s.fcs_ok);
                 if all_ok {
                     self.counters.rx_unicast_ok += 1;
-                    for sub in &ucast {
+                    for sub in ucast() {
                         self.deliver_unicast(psdu, sub, out);
                     }
                     let ack = ControlFrame::Ack { duration_us: 0, ra: transmitter };
@@ -829,7 +880,7 @@ impl Mac {
             }
             AckPolicy::Block => {
                 let mut bitmap = 0u64;
-                for (i, sub) in ucast.iter().enumerate() {
+                for (i, sub) in ucast().enumerate() {
                     if sub.fcs_ok && i < 64 {
                         bitmap |= 1 << i;
                         self.counters.rx_block_subframes_ok += 1;

@@ -43,9 +43,19 @@ impl RouteTable {
 /// Static IP ↔ MAC resolution (the simulation convention ties both to the
 /// node id, so no ARP traffic is needed — matching the testbed's static
 /// configuration).
+///
+/// The id-convention block (`10.0.x.y` ↔ `02:00:00:00:..`) is resolved
+/// *by computation*, not by table: [`ArpTable::for_nodes`] is O(1) and
+/// carries no per-node storage. The old map-backed form cost O(n) inserts
+/// per node — O(n²) per world — which dominated world construction in the
+/// thousand-node scaling sweeps. Explicit [`ArpTable::add`] bindings
+/// override the convention.
 #[derive(Debug, Clone, Default)]
 pub struct ArpTable {
-    map: HashMap<Ipv4Addr, MacAddr>,
+    /// Nodes `0..conventional` resolve by the id convention.
+    conventional: u16,
+    /// Explicit bindings (checked before the convention), sorted by IP.
+    overrides: Vec<(Ipv4Addr, MacAddr)>,
 }
 
 impl ArpTable {
@@ -56,16 +66,15 @@ impl ArpTable {
 
     /// The standard table for nodes `0..n` using the id conventions.
     pub fn for_nodes(n: u16) -> Self {
-        let mut t = Self::new();
-        for id in 0..n {
-            t.add(Ipv4Addr::from_node_id(id), MacAddr::from_node_id(id));
-        }
-        t
+        ArpTable { conventional: n, overrides: Vec::new() }
     }
 
     /// Adds a binding.
     pub fn add(&mut self, ip: Ipv4Addr, mac: MacAddr) {
-        self.map.insert(ip, mac);
+        match self.overrides.binary_search_by_key(&ip, |(i, _)| *i) {
+            Ok(i) => self.overrides[i].1 = mac,
+            Err(i) => self.overrides.insert(i, (ip, mac)),
+        }
     }
 
     /// Resolves an IP to a MAC address.
@@ -73,7 +82,20 @@ impl ArpTable {
         if ip.is_broadcast() {
             return Some(MacAddr::BROADCAST);
         }
-        self.map.get(&ip).copied()
+        if !self.overrides.is_empty() {
+            if let Ok(i) = self.overrides.binary_search_by_key(&ip, |(o, _)| *o) {
+                return Some(self.overrides[i].1);
+            }
+        }
+        // Invert the convention: `10.0.hi.lo` → id `hi << 8 | (lo - 1)`.
+        // The round-trip comparison rejects every address the forward
+        // mapping cannot produce (wrong prefix, `lo == 0` wraparound).
+        let o = ip.octets();
+        let id = ((o[2] as u16) << 8) | o[3].wrapping_sub(1) as u16;
+        if id < self.conventional && Ipv4Addr::from_node_id(id) == ip {
+            return Some(MacAddr::from_node_id(id));
+        }
+        None
     }
 }
 
@@ -97,6 +119,19 @@ mod tests {
         r.add(Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(1));
         r.add(Ipv4Addr::from_node_id(2), Ipv4Addr::from_node_id(3));
         assert_eq!(r.next_hop(Ipv4Addr::from_node_id(2)), Some(Ipv4Addr::from_node_id(3)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn route_many_unordered_inserts() {
+        let mut r = RouteTable::new();
+        for id in [9u16, 3, 7, 1, 5, 300, 258] {
+            r.add(Ipv4Addr::from_node_id(id), Ipv4Addr::from_node_id(id + 1));
+        }
+        for id in [9u16, 3, 7, 1, 5, 300, 258] {
+            assert_eq!(r.next_hop(Ipv4Addr::from_node_id(id)), Some(Ipv4Addr::from_node_id(id + 1)));
+        }
+        assert_eq!(r.next_hop(Ipv4Addr::from_node_id(2)), None);
     }
 
     #[test]
@@ -105,6 +140,30 @@ mod tests {
         assert_eq!(t.resolve(Ipv4Addr::from_node_id(0)), Some(MacAddr::from_node_id(0)));
         assert_eq!(t.resolve(Ipv4Addr::from_node_id(2)), Some(MacAddr::from_node_id(2)));
         assert_eq!(t.resolve(Ipv4Addr::from_node_id(9)), None);
+    }
+
+    #[test]
+    fn arp_for_nodes_matches_convention_exhaustively() {
+        // The computed inverse must agree with the forward mapping for
+        // every id, including the octet-boundary wraparound (id 255 maps
+        // to 10.0.0.0, id 256 to 10.0.1.1).
+        let n = 1500u16;
+        let t = ArpTable::for_nodes(n);
+        for id in 0..n {
+            assert_eq!(t.resolve(Ipv4Addr::from_node_id(id)), Some(MacAddr::from_node_id(id)), "id {id}");
+        }
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(n)), None);
+        assert_eq!(t.resolve(Ipv4Addr::new(192, 168, 0, 1)), None);
+        assert_eq!(t.resolve(Ipv4Addr::new(10, 1, 0, 1)), None);
+    }
+
+    #[test]
+    fn arp_override_beats_convention() {
+        let mut t = ArpTable::for_nodes(4);
+        let other = MacAddr([0x02, 0, 0, 0, 0xAA, 0xBB]);
+        t.add(Ipv4Addr::from_node_id(2), other);
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(2)), Some(other));
+        assert_eq!(t.resolve(Ipv4Addr::from_node_id(1)), Some(MacAddr::from_node_id(1)));
     }
 
     #[test]

@@ -686,6 +686,21 @@ impl ScenarioSpec {
         self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
     }
 
+    /// [`ScenarioSpec::run`] with the event queue swapped to its
+    /// `BinaryHeap` reference backend before the first event fires. Pop
+    /// order is identical by construction, so the outcome must be
+    /// event-for-event identical to `run()` — the scheduler analogue of
+    /// [`ScenarioSpec::run_dense_reference`], asserted and timed by the
+    /// profiler's `--queue` grid.
+    pub fn run_heap_reference(&self) -> RunOutcome {
+        let flows = self.effective_flows();
+        let started = std::time::Instant::now();
+        let allocs0 = hydra_sim::alloc_stats();
+        let mut world = self.build();
+        world.use_heap_reference_queue();
+        self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
+    }
+
     /// The orchestration mode a flow mix selects: `(has_file, has_window)`.
     fn run_mode(flows: &[FlowSpec]) -> (bool, bool) {
         let has_file = flows.iter().any(|f| f.traffic.is_file());
@@ -828,6 +843,16 @@ impl ScenarioSpec {
             report,
             perf: RunPerf {
                 events_processed: by_comp.iter().map(|o| o.perf.events_processed).sum(),
+                events_stale: by_comp.iter().map(|o| o.perf.events_stale).sum(),
+                timer_rearms: by_comp.iter().map(|o| o.perf.timer_rearms).sum(),
+                queue: by_comp.iter().fold(hydra_sim::QueueStats::default(), |acc, o| {
+                    hydra_sim::QueueStats {
+                        scheduled: acc.scheduled + o.perf.queue.scheduled,
+                        popped: acc.popped + o.perf.queue.popped,
+                        overflow_scheduled: acc.overflow_scheduled + o.perf.queue.overflow_scheduled,
+                        promoted: acc.promoted + o.perf.queue.promoted,
+                    }
+                }),
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 allocations: allocs.allocations,
                 allocated_bytes: allocs.allocated_bytes,
@@ -841,6 +866,9 @@ impl ScenarioSpec {
         let allocs = hydra_sim::alloc_stats().since(allocs0);
         RunPerf {
             events_processed: world.events_processed,
+            events_stale: world.events_stale,
+            timer_rearms: world.timer_rearms(),
+            queue: world.queue_stats(),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             allocations: allocs.allocations,
             allocated_bytes: allocs.allocated_bytes,
@@ -893,7 +921,7 @@ impl ScenarioSpec {
         // deadline there) — keeping the two run modes comparable when a
         // sweep varies only the background flows.
         let deadline = Instant::ZERO + self.warmup + self.duration;
-        let done = world.run_until_condition(deadline, World::transfers_complete);
+        let done = world.run_until_transfers_complete(deadline);
         let now = world.now();
         let per_flow = Self::file_outcomes(&world, flows);
         RunOutcome {
@@ -967,7 +995,7 @@ impl ScenarioSpec {
         // the UDP window is always exactly `duration` wide (cells of a
         // background-intensity sweep stay comparable).
         let horizon = Instant::ZERO + self.warmup + self.duration;
-        world.run_until_condition(horizon, World::transfers_complete);
+        world.run_until_transfers_complete(horizon);
         world.run_until(horizon);
         let completed = world.transfers_complete();
         let file = Self::file_outcomes(&world, flows);
@@ -1050,6 +1078,15 @@ pub(crate) fn install_transfer(
 pub struct RunPerf {
     /// Events dispatched by the world's run loop.
     pub events_processed: u64,
+    /// Dispatched MAC timer events whose token was already superseded —
+    /// lazy cancellation's dead weight, skipped by the world's
+    /// stale-token fast path (a subset of `events_processed`).
+    pub events_stale: u64,
+    /// MAC timer slots re-armed while live; each re-arm stranded one of
+    /// the stale events above in the queue.
+    pub timer_rearms: u64,
+    /// Event-queue operation tallies (schedules, pops, overflow traffic).
+    pub queue: hydra_sim::QueueStats,
     /// Wall-clock duration of build + run, in milliseconds.
     pub wall_ms: f64,
     /// Allocation calls during the run (0 without the counting allocator).
@@ -1063,6 +1100,15 @@ impl RunPerf {
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_ms > 0.0 {
             self.events_processed as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of dispatched events that were stale timers.
+    pub fn stale_ratio(&self) -> f64 {
+        if self.events_processed > 0 {
+            self.events_stale as f64 / self.events_processed as f64
         } else {
             0.0
         }

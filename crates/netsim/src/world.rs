@@ -12,8 +12,8 @@
 use hydra_core::{Mac, MacConfig, MacInput, MacOutput};
 use hydra_phy::medium::{BusyEdge, Delivery, TxId};
 use hydra_phy::{apply_channel, ChannelStack, LinkBudget, Medium, OnAirFrame, PhyProfile, Placement};
-use hydra_sim::{Duration, EventQueue, Instant, Rng, TimerToken};
-use hydra_tcp::TcpStack;
+use hydra_sim::{Duration, EventQueue, Instant, QueueStats, Rng, TimerToken};
+use hydra_tcp::{OutboundSegment, TcpStack};
 use hydra_wire::ipv4::IpProtocol;
 use hydra_wire::{MacAddr, Payload};
 
@@ -110,12 +110,24 @@ pub struct World {
     pub collisions: u64,
     /// Events dispatched so far (all [`World::run_until`]-family calls).
     pub events_processed: u64,
+    /// MAC timer events that popped already superseded (lazy
+    /// cancellation's queue dead weight, skipped by the fast path).
+    pub events_stale: u64,
     /// Recycled MAC output scratch buffers; one per re-entrancy level.
     mac_out_pool: Vec<Vec<MacOutput>>,
     /// Recycled carrier-sense edge buffers (cycle through the queue).
     edge_pool: Vec<Vec<BusyEdge>>,
     /// Recycled delivery buffer for `TxEnd` processing.
     delivery_pool: Vec<Vec<Delivery>>,
+    /// Recycled TCP segment buffers for `pump_tcp`.
+    tcp_seg_pool: Vec<Vec<OutboundSegment>>,
+    /// Recycled application payload buffers for `poll_apps`.
+    app_out_pool: Vec<Vec<Vec<u8>>>,
+    /// Set by `pump_tcp`: a TCP socket may have made progress since the
+    /// last `transfers_complete` check (the dirty flag that lets
+    /// [`World::run_until_transfers_complete`] skip the O(nodes × flows)
+    /// predicate scan after non-TCP events).
+    tcp_activity: bool,
 }
 
 impl World {
@@ -186,9 +198,13 @@ impl World {
             in_flight: Vec::new(),
             collisions: 0,
             events_processed: 0,
+            events_stale: 0,
             mac_out_pool: Vec::new(),
             edge_pool: Vec::new(),
             delivery_pool: Vec::new(),
+            tcp_seg_pool: Vec::new(),
+            app_out_pool: Vec::new(),
+            tcp_activity: false,
         }
     }
 
@@ -217,6 +233,27 @@ impl World {
     /// classification (hence the sense graph) is unchanged.
     pub fn densify_medium(&mut self) {
         self.medium = self.medium.dense_reference();
+    }
+
+    /// Swaps the event queue for its `BinaryHeap` reference backend —
+    /// same pop order, O(log n) operations. The executable specification
+    /// the calendar wheel is tested against (the scheduler analogue of
+    /// [`World::densify_medium`]), and the profiler's `--queue` baseline.
+    /// Pending events, ids, and virtual time carry over, so it can be
+    /// called on a fully built world.
+    pub fn use_heap_reference_queue(&mut self) {
+        self.events.convert_to_heap_reference();
+    }
+
+    /// Queue-operation counters (schedules, pops, overflow traffic).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.events.stats()
+    }
+
+    /// Total MAC timer re-arms across all nodes (each stranded one stale
+    /// event in the queue).
+    pub fn timer_rearms(&self) -> u64 {
+        self.nodes.iter().map(|n| n.mac.timer_rearms()).sum()
     }
 
     /// True when every installed TCP file transfer has completed — the
@@ -264,11 +301,9 @@ impl World {
     /// number of events processed.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
         let mut processed = 0;
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (_, _, ev) = self.events.pop().expect("peeked");
+        // `pop_before` locates-and-pops in one queue pass (the former
+        // peek + pop walked the calendar buckets twice per event).
+        while let Some((_, _, ev)) = self.events.pop_before(deadline) {
             self.dispatch(ev);
             processed += 1;
         }
@@ -279,11 +314,7 @@ impl World {
     /// Runs until `pred(world)` or the deadline; checks after each event.
     /// Returns true if the predicate fired.
     pub fn run_until_condition(&mut self, deadline: Instant, mut pred: impl FnMut(&World) -> bool) -> bool {
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                return false;
-            }
-            let (_, _, ev) = self.events.pop().expect("peeked");
+        while let Some((_, _, ev)) = self.events.pop_before(deadline) {
             self.dispatch(ev);
             self.events_processed += 1;
             if pred(self) {
@@ -293,16 +324,53 @@ impl World {
         false
     }
 
+    /// [`World::run_until_condition`] specialised to
+    /// [`World::transfers_complete`], gated by the TCP-activity dirty
+    /// flag: completion is latched and can only flip during a `pump_tcp`,
+    /// so the O(nodes × flows) scan runs once per TCP-active event
+    /// instead of after every CS edge and MAC timer. Same result, same
+    /// event counts.
+    pub fn run_until_transfers_complete(&mut self, deadline: Instant) -> bool {
+        // Mirror `run_until_condition`'s semantics, which checks the
+        // predicate after the first event regardless of its kind.
+        self.tcp_activity = true;
+        while let Some((_, _, ev)) = self.events.pop_before(deadline) {
+            self.dispatch(ev);
+            self.events_processed += 1;
+            if self.tcp_activity {
+                self.tcp_activity = false;
+                if self.transfers_complete() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     fn dispatch(&mut self, ev: Event) {
         let now = self.now();
         match ev {
-            Event::MacTimer { node, token } => self.mac_input(node, MacInput::Timer(token)),
+            Event::MacTimer { node, token } => {
+                // Stale-token fast path: a superseded timer would be
+                // refused by the MAC anyway (`TimerSet::fire` is
+                // side-effect-free on stale tokens), so skip the whole
+                // dispatch and count it instead.
+                if !self.nodes[node].mac.timer_is_current(token) {
+                    self.events_stale += 1;
+                    return;
+                }
+                self.mac_input(node, MacInput::Timer(token));
+            }
             Event::CsEdges { mut edges } => {
+                // Edge fast path: busy/idle inputs touch only the MAC's
+                // carrier-sense state and emit at most one timer, so the
+                // general `mac_input` scratch-buffer round trip is skipped
+                // for every sensed edge (several per tx boundary — the
+                // single hottest MAC call site in dense worlds).
                 for e in edges.drain(..) {
-                    self.mac_input(
-                        e.node,
-                        if e.busy { MacInput::ChannelBusy } else { MacInput::ChannelIdle },
-                    );
+                    if let Some((token, at)) = self.nodes[e.node].mac.on_channel_edge(now, e.busy) {
+                        self.events.schedule_at(at.max(now), Event::MacTimer { node: e.node, token });
+                    }
                 }
                 self.edge_pool.push(edges);
             }
@@ -423,7 +491,11 @@ impl World {
                         .is_some_and(|(_, p)| rx_psdu.as_ptr() == p.as_ptr() && rx_psdu.len() == p.len()) =>
                 {
                     let (hdr, psdu) = agg.expect("checked above");
-                    let parsed = shared_parse.get_or_insert_with(|| hydra_wire::parse_aggregate(hdr, psdu));
+                    // Trusted parse: the PSDU pointer-matches the buffer
+                    // the assembler built, so every FCS is known-good by
+                    // construction — no CRC pass at all on the clean path.
+                    let parsed =
+                        shared_parse.get_or_insert_with(|| hydra_wire::parse_aggregate_trusted(hdr, psdu));
                     self.mac_input_rx_parsed(d.receiver, hdr, psdu, parsed);
                 }
                 Some(rx) => self.mac_input(d.receiver, MacInput::Rx(rx)),
@@ -469,6 +541,7 @@ impl World {
     /// wrap, MAC enqueue.
     pub fn pump_tcp(&mut self, node: usize) {
         let now = self.now();
+        self.tcp_activity = true;
         // Applications first (fill send buffers / drain receive buffers).
         {
             let n = &mut self.nodes[node];
@@ -479,15 +552,18 @@ impl World {
                 recv.pump(now, n.tcp.socket(*sock));
             }
         }
-        // Emit segments.
-        let segs = self.nodes[node].tcp.poll_transmit(now);
-        for seg in segs {
+        // Emit segments into a recycled buffer (one pump per delivered
+        // segment makes the per-call `Vec` measurable).
+        let mut segs = self.tcp_seg_pool.pop().unwrap_or_default();
+        self.nodes[node].tcp.poll_transmit_into(now, &mut segs);
+        for seg in segs.drain(..) {
             let send = self.nodes[node].net.send_l4(IpProtocol::Tcp, seg.dst, &seg.bytes);
             if let Some((next_hop, mpdu)) = send {
                 let src = self.nodes[node].mac.addr();
                 self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
             }
         }
+        self.tcp_seg_pool.push(segs);
         // Post-send app pass: sending may have freed buffer space and the
         // receiver may have drained (window update already rode the ACK).
         {
@@ -500,43 +576,45 @@ impl World {
     }
 
     /// Polls CBR sources and flooders; enqueues due packets.
+    ///
+    /// Payloads ride a recycled buffer and each source's packets are sent
+    /// as soon as it is polled — sources only mutate themselves on poll,
+    /// so the enqueue order (source order, then beacons) is byte-identical
+    /// to the former collect-then-send shape without its per-call `Vec`s.
     fn poll_apps(&mut self, node: usize) {
         let now = self.now();
         let mut next_wake: Option<Instant> = None;
-        let mut udp_out: Vec<(hydra_wire::Endpoint, u16, Vec<u8>)> = Vec::new();
-        let mut flood_out: Vec<Vec<u8>> = Vec::new();
-        {
-            let n = &mut self.nodes[node];
-            for src in &mut n.apps.udp_sources {
-                let (pkts, wake) = src.poll(now);
-                for p in pkts {
-                    udp_out.push((src.dst, src.src_port, p));
-                }
-                if let Some(w) = wake {
-                    next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
-                }
+        let mut out = self.app_out_pool.pop().unwrap_or_default();
+        for si in 0..self.nodes[node].apps.udp_sources.len() {
+            let (dst, src_port, wake) = {
+                let src = &mut self.nodes[node].apps.udp_sources[si];
+                let wake = src.poll_into(now, &mut out);
+                (src.dst, src.src_port, wake)
+            };
+            if let Some(w) = wake {
+                next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
             }
-            if let Some(f) = &mut n.apps.flooder {
-                let (beacons, wake) = f.poll(now);
-                flood_out = beacons;
-                if let Some(w) = wake {
-                    next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
+            for payload in out.drain(..) {
+                let seg = self.nodes[node].make_udp_segment(dst, src_port, &payload);
+                let send = self.nodes[node].net.send_l4(IpProtocol::Udp, dst.addr, &seg);
+                if let Some((next_hop, mpdu)) = send {
+                    let src = self.nodes[node].mac.addr();
+                    self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
                 }
             }
         }
-        for (dst, src_port, payload) in udp_out {
-            let seg = self.nodes[node].make_udp_segment(dst, src_port, &payload);
-            let send = self.nodes[node].net.send_l4(IpProtocol::Udp, dst.addr, &seg);
-            if let Some((next_hop, mpdu)) = send {
+        if self.nodes[node].apps.flooder.is_some() {
+            let f = self.nodes[node].apps.flooder.as_mut().expect("checked above");
+            if let Some(w) = f.poll_into(now, &mut out) {
+                next_wake = Some(next_wake.map_or(w, |c| c.min(w)));
+            }
+            for beacon in out.drain(..) {
+                let (next_hop, mpdu) = self.nodes[node].net.send_raw_broadcast(&beacon);
                 let src = self.nodes[node].mac.addr();
                 self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
             }
         }
-        for beacon in flood_out {
-            let (next_hop, mpdu) = self.nodes[node].net.send_raw_broadcast(&beacon);
-            let src = self.nodes[node].mac.addr();
-            self.mac_input(node, MacInput::Enqueue { next_hop, src, payload: mpdu.into() });
-        }
+        self.app_out_pool.push(out);
         if let Some(w) = next_wake {
             self.schedule_app_wake(node, w);
         }

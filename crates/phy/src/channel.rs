@@ -57,14 +57,82 @@ impl ChannelModel for IdealChannel {
 }
 
 /// AWGN channel: per-subframe error probability from the BER model.
+///
+/// The error probability is a pure function of `(rate, bytes, snr_db)`,
+/// and in any one world those inputs repeat endlessly (link SNRs are
+/// fixed by the geometry, subframe sizes by the traffic mix), while the
+/// BER math costs several `exp`/`ln`/`pow` calls. A small memo table
+/// caches the computed probability per distinct input; the cached value
+/// is the bit-identical `f64`, so corruption draws — and therefore run
+/// results — are unchanged.
 #[derive(Debug, Clone, Default)]
-pub struct AwgnChannel;
+pub struct AwgnChannel {
+    /// Last `(key, probability)` served — consecutive subframes almost
+    /// always share rate, size, and link SNR, so this answers most
+    /// lookups without touching the map.
+    last: Option<((u8, u32, u64), f64)>,
+    /// `(rate code, bytes, snr_db bits) → block error probability`.
+    memo: std::collections::HashMap<(u8, u32, u64), f64, BuildSubframeKeyHasher>,
+}
 
 impl ChannelModel for AwgnChannel {
     fn subframe_corrupt(&mut self, ctx: &SubframeCtx, rng: &mut Rng) -> bool {
-        let ber = coded_ber(ctx.rate, ctx.snr_db);
-        let p = block_error_prob(ber, ctx.bytes as u64 * 8);
+        let key = (ctx.rate.code().0, ctx.bytes as u32, ctx.snr_db.to_bits());
+        let p = match self.last {
+            Some((k, p)) if k == key => p,
+            _ => {
+                let p = match self.memo.get(&key) {
+                    Some(&p) => p,
+                    None => {
+                        let ber = coded_ber(ctx.rate, ctx.snr_db);
+                        let p = block_error_prob(ber, ctx.bytes as u64 * 8);
+                        self.memo.insert(key, p);
+                        p
+                    }
+                };
+                self.last = Some((key, p));
+                p
+            }
+        };
         rng.chance(p)
+    }
+}
+
+/// Multiply-xor hasher for the AWGN memo key — the default SipHash costs
+/// more than the table lookup it guards. Collisions only cost a probe
+/// (the map still compares full keys), never correctness.
+#[derive(Debug, Clone, Default)]
+struct SubframeKeyHasher(u64);
+
+type BuildSubframeKeyHasher = std::hash::BuildHasherDefault<SubframeKeyHasher>;
+
+impl std::hash::Hasher for SubframeKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3); // FNV-1a
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Finalizing xor-shift spreads the entropy into the low bits
+        // hashbrown uses for bucket selection.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
     }
 }
 
@@ -138,7 +206,7 @@ impl ChannelStack {
 
     /// The standard Hydra channel: AWGN + coherence staleness.
     pub fn hydra(profile: &PhyProfile) -> Self {
-        ChannelStack::new().with(AwgnChannel).with(CoherenceChannel::from_profile(profile))
+        ChannelStack::new().with(AwgnChannel::default()).with(CoherenceChannel::from_profile(profile))
     }
 
     /// Adds a layer.
@@ -316,7 +384,7 @@ mod tests {
     fn awgn_at_operating_point_is_quasi_lossless() {
         let p = PhyProfile::hydra();
         let mut rng = Rng::seed_from_u64(2);
-        let mut model = AwgnChannel;
+        let mut model = AwgnChannel::default();
         let eff_snr = p.default_snr_db - p.implementation_loss_db;
         let mut corrupted = 0;
         for _ in 0..200 {
@@ -337,7 +405,7 @@ mod tests {
     fn awgn_kills_64qam_at_operating_point() {
         let p = PhyProfile::hydra();
         let mut rng = Rng::seed_from_u64(3);
-        let mut model = AwgnChannel;
+        let mut model = AwgnChannel::default();
         let eff_snr = p.default_snr_db - p.implementation_loss_db;
         let mut corrupted = 0;
         for _ in 0..50 {

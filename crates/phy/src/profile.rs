@@ -59,10 +59,16 @@ impl PhyProfile {
     /// stream, so bytes occupy `bits × sample_rate / r` samples. Rounds
     /// up (a partial sample still occupies the air).
     pub fn samples_for(&self, bytes: usize, rate: Rate) -> u64 {
-        let bits = bytes as u128 * 8;
-        let num = bits * self.sample_rate as u128;
-        let den = rate.bits_per_sec() as u128;
-        num.div_ceil(den) as u64
+        // Hot path: called once per subframe per delivery. `bits ×
+        // sample_rate` fits u64 for every real profile (a 64 KB PSDU at
+        // a 20 MHz sample clock is ~10^13), so take the hardware-division
+        // path and fall back to u128 only on overflow.
+        let bits = bytes as u64 * 8;
+        let den = rate.bits_per_sec();
+        match bits.checked_mul(self.sample_rate) {
+            Some(num) => num.div_ceil(den),
+            None => ((bits as u128) * self.sample_rate as u128).div_ceil(den as u128) as u64,
+        }
     }
 
     /// Airtime of `bytes` at `rate`.

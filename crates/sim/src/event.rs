@@ -3,7 +3,36 @@
 //! Events are `(Instant, payload)` pairs popped in time order. Ties are
 //! broken by insertion order (FIFO), which makes runs fully deterministic:
 //! two events scheduled for the same instant always execute in the order
-//! they were scheduled, regardless of heap internals.
+//! they were scheduled, regardless of queue internals.
+//!
+//! # Backends
+//!
+//! The default backend is a **calendar queue** (hierarchical timer wheel):
+//! near-horizon events land in one of [`WHEEL_BUCKETS`] buckets of
+//! [`BUCKET_GRANULARITY_NS`] ns each — sized to the MAC's natural tick
+//! (slot-time / SIFS are 9–16 µs) — giving O(1) `schedule_at` and
+//! amortised-O(1) `pop`. Events beyond the wheel horizon (warmup deadlines,
+//! OnOff periods, run horizons) go to a small overflow heap and are
+//! *promoted* into the wheel as time advances.
+//!
+//! The previous `BinaryHeap` implementation survives as
+//! [`EventQueue::heap_reference`] — a test oracle mirroring
+//! `Medium::dense_reference()` — and both backends produce byte-identical
+//! pop sequences (proven by property tests and the profiler's `--queue`
+//! grid).
+//!
+//! # Determinism argument
+//!
+//! Pop order is exactly ascending `(time, seq)` in both backends:
+//!
+//! * bucket time ranges are disjoint and scanned in ascending order, so
+//!   cross-bucket order is automatic;
+//! * within a bucket, entries are sorted by `(time, seq)` when the cursor
+//!   reaches the bucket (a total order — `seq` is unique), so promotion
+//!   and insertion order inside a bucket are irrelevant;
+//! * overflow entries are promoted *before* any wheel entry of an equal or
+//!   later bucket is popped, and promotion re-enters the normal bucket
+//!   sort, so an early `seq` scheduled far ahead still wins its FIFO tie.
 
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,6 +45,36 @@ use crate::time::Instant;
 /// and when the event pops, ignore it if it has been superseded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u64);
+
+/// log2 of the wheel bucket width in nanoseconds: 2^13 = 8.192 µs, on the
+/// order of the MAC slot time (9 µs) and SIFS (16 µs), so consecutive MAC
+/// events usually land in the current or next bucket.
+pub const BUCKET_SHIFT: u32 = 13;
+/// Width of one wheel bucket in nanoseconds (8.192 µs).
+pub const BUCKET_GRANULARITY_NS: u64 = 1 << BUCKET_SHIFT;
+/// Number of near-horizon buckets. 4096 × 8.192 µs ≈ 33.6 ms of horizon —
+/// comfortably past every MAC/TCP timeout in the workload; only warmup and
+/// run-horizon sentinels overflow.
+pub const WHEEL_BUCKETS: usize = 4096;
+
+const WHEEL_MASK: u64 = WHEEL_BUCKETS as u64 - 1;
+const WORDS: usize = WHEEL_BUCKETS / 64;
+/// Sentinel for "no bucket is currently sorted".
+const NO_ACTIVE: u64 = u64::MAX;
+
+/// Counters for queue operations, surfaced through `RunPerf` so the cost
+/// of the scheduler (and of lazy cancellation upstream) is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events ever popped.
+    pub popped: u64,
+    /// Events that went to the far-future overflow level on schedule.
+    pub overflow_scheduled: u64,
+    /// Overflow events later promoted into the wheel.
+    pub promoted: u64,
+}
 
 struct Entry<E> {
     at: Instant,
@@ -42,12 +101,219 @@ impl<E> PartialEq for Entry<E> {
 }
 impl<E> Eq for Entry<E> {}
 
+#[inline]
+fn bucket_of(at: Instant) -> u64 {
+    at.as_nanos() >> BUCKET_SHIFT
+}
+
+/// The calendar-queue level structure.
+///
+/// Invariants (restored at every schedule/pop):
+/// * every wheel entry has `bucket_of(at)` in `[base, base + WHEEL_BUCKETS)`,
+///   so masked bucket indices are unambiguous;
+/// * after a pop's promotion step, every overflow entry has
+///   `bucket_of(at) >= base + WHEEL_BUCKETS`, i.e. is strictly later than
+///   every wheel entry;
+/// * `base <= bucket_of(now)` except transiently inside `pop` right after
+///   an empty-wheel promotion jump (which always pops immediately after).
+struct Wheel<E> {
+    /// Ring of buckets, indexed by `bucket & WHEEL_MASK`. Bucket vecs keep
+    /// their capacity when drained, so steady state schedules allocate
+    /// nothing.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupancy: [u64; WORDS],
+    /// Absolute bucket index the cursor has reached (monotone).
+    base: u64,
+    /// Absolute index of the bucket currently sorted descending by
+    /// `(at, seq)` (popped from the back), or `NO_ACTIVE`.
+    active: u64,
+    /// Entries currently in wheel buckets (excludes overflow).
+    len: usize,
+    /// Far-future events, beyond `base + WHEEL_BUCKETS`.
+    overflow: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        let mut buckets = Vec::with_capacity(WHEEL_BUCKETS);
+        buckets.resize_with(WHEEL_BUCKETS, Vec::new);
+        Wheel {
+            buckets,
+            occupancy: [0; WORDS],
+            base: 0,
+            active: NO_ACTIVE,
+            len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    /// Places `e` into its bucket (or the overflow heap). Returns `true`
+    /// if it overflowed.
+    fn insert(&mut self, e: Entry<E>) -> bool {
+        let b = bucket_of(e.at);
+        if b >= self.base + WHEEL_BUCKETS as u64 {
+            self.overflow.push(e);
+            return true;
+        }
+        debug_assert!(b >= self.base, "wheel insert below base: bucket={b} base={}", self.base);
+        let idx = (b & WHEEL_MASK) as usize;
+        let bucket = &mut self.buckets[idx];
+        if b == self.active {
+            // The cursor bucket stays sorted descending so pops stay O(1);
+            // a binary insert keeps same-instant FIFO intact.
+            let key = (e.at, e.seq);
+            let pos = bucket.partition_point(|x| (x.at, x.seq) > key);
+            bucket.insert(pos, e);
+        } else {
+            bucket.push(e);
+        }
+        self.occupancy[idx >> 6] |= 1 << (idx & 63);
+        self.len += 1;
+        false
+    }
+
+    /// Masked index of the earliest occupied bucket, scanning circularly
+    /// from `base`, or `None` if all buckets are empty.
+    fn first_occupied(&self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let i0 = (self.base & WHEEL_MASK) as usize;
+        let (w0, b0) = (i0 >> 6, i0 & 63);
+        // Bits at or after the cursor in the cursor's word...
+        let masked = self.occupancy[w0] & (!0u64 << b0);
+        if masked != 0 {
+            return Some((w0 << 6) + masked.trailing_zeros() as usize);
+        }
+        // ...then whole words circularly...
+        for step in 1..WORDS {
+            let w = (w0 + step) % WORDS;
+            if self.occupancy[w] != 0 {
+                return Some((w << 6) + self.occupancy[w].trailing_zeros() as usize);
+            }
+        }
+        // ...then the cursor word's bits strictly below the cursor (the
+        // wrapped remainder — excluded above so the scan can't loop).
+        let wrapped = self.occupancy[w0] & !(!0u64 << b0);
+        if wrapped != 0 {
+            return Some((w0 << 6) + wrapped.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Absolute bucket index for a masked index found by `first_occupied`.
+    fn abs_of(&self, idx: usize) -> u64 {
+        let i0 = self.base & WHEEL_MASK;
+        let delta = (idx as u64).wrapping_sub(i0) & WHEEL_MASK;
+        self.base + delta
+    }
+
+    /// Moves every overflow entry that now fits the horizon into its
+    /// bucket. Returns how many were promoted.
+    fn promote_eligible(&mut self) -> u64 {
+        let horizon = self.base + WHEEL_BUCKETS as u64;
+        let mut promoted = 0;
+        while let Some(head) = self.overflow.peek() {
+            if bucket_of(head.at) >= horizon {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            let overflowed = self.insert(e);
+            debug_assert!(!overflowed);
+            promoted += 1;
+        }
+        promoted
+    }
+
+    /// Ensures the earliest pending event sits in a sorted bucket and
+    /// returns its masked index, or `None` if the queue is empty — or, when
+    /// `deadline` is given, if the earliest event is after it.
+    ///
+    /// `base` is only advanced when `Some` is returned (i.e. when the
+    /// caller will pop): a not-due probe must leave the horizon anchored,
+    /// since the caller may still schedule times before the next event.
+    fn locate_next(&mut self, stats: &mut QueueStats, deadline: Option<Instant>) -> Option<usize> {
+        if self.len == 0 {
+            // Wheel drained: jump the cursor to the first overflow bucket
+            // (unless it isn't due — then leave everything untouched).
+            let head_at = self.overflow.peek()?.at;
+            if let Some(d) = deadline {
+                if head_at > d {
+                    return None;
+                }
+            }
+            self.base = bucket_of(head_at);
+        }
+        if !self.overflow.is_empty() {
+            // Cheap peek each pop keeps the invariant "overflow is strictly
+            // later than the wheel" as `base` advances.
+            stats.promoted += self.promote_eligible();
+        }
+        let idx = self.first_occupied().expect("non-empty wheel after promotion");
+        let abs = self.abs_of(idx);
+        if abs != self.active {
+            // First visit since the bucket last filled: one sort makes
+            // every subsequent pop from it O(1).
+            self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+            self.active = abs;
+        }
+        if let Some(d) = deadline {
+            if self.buckets[idx].last().expect("located bucket is non-empty").at > d {
+                return None;
+            }
+        }
+        self.base = abs;
+        Some(idx)
+    }
+
+    /// Removes the minimum entry of the (sorted) bucket at `idx`.
+    fn pop_from(&mut self, idx: usize) -> Entry<E> {
+        let e = self.buckets[idx].pop().expect("pop from empty bucket");
+        self.len -= 1;
+        if self.buckets[idx].is_empty() {
+            self.occupancy[idx >> 6] &= !(1 << (idx & 63));
+            self.active = NO_ACTIVE;
+        }
+        e
+    }
+
+    /// The earliest pending event time without mutating the wheel.
+    fn peek_time(&self) -> Option<Instant> {
+        match self.first_occupied() {
+            // Wheel entries are always earlier than overflow entries.
+            Some(idx) => {
+                let bucket = &self.buckets[idx];
+                if self.abs_of(idx) == self.active {
+                    bucket.last().map(|e| e.at)
+                } else {
+                    bucket.iter().map(|e| e.at).min()
+                }
+            }
+            None => self.overflow.peek().map(|e| e.at),
+        }
+    }
+}
+
+// One queue lives per world and the wheel is the only variant on the
+// hot path, so the size skew (the inline occupancy bitmap) is fine —
+// boxing it would buy nothing but a pointer chase per operation.
+#[allow(clippy::large_enum_variant)]
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: Instant,
-    scheduled_total: u64,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,9 +323,48 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at t = 0.
+    /// Creates an empty queue at t = 0 using the calendar-wheel backend.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO, scheduled_total: 0 }
+        EventQueue {
+            backend: Backend::Wheel(Wheel::new()),
+            next_seq: 0,
+            now: Instant::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Creates an empty queue using the original `BinaryHeap` backend.
+    ///
+    /// Kept as a reference oracle (mirroring `Medium::dense_reference()`):
+    /// property tests and the profiler's `--queue` grid assert that both
+    /// backends produce identical pop sequences, then time them.
+    pub fn heap_reference() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
+            next_seq: 0,
+            now: Instant::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Converts this queue to the heap-reference backend in place,
+    /// preserving every pending entry, `now`, ids, and counters.
+    ///
+    /// Lets a fully-built world be re-based onto the oracle backend (the
+    /// same pattern as `World::densify_medium`).
+    pub fn convert_to_heap_reference(&mut self) {
+        if let Backend::Wheel(wheel) = &mut self.backend {
+            let mut heap = std::mem::take(&mut wheel.overflow);
+            for bucket in &mut wheel.buckets {
+                heap.extend(bucket.drain(..));
+            }
+            self.backend = Backend::Heap(heap);
+        }
+    }
+
+    /// True if this queue uses the heap-reference backend.
+    pub fn is_heap_reference(&self) -> bool {
+        matches!(self.backend, Backend::Heap(_))
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -70,15 +375,26 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` to fire at absolute time `at`.
     ///
-    /// # Panics
-    /// Panics if `at` is before the current time — scheduling into the past
-    /// is always a logic error in a DES.
+    /// Scheduling into the past is a logic error in a DES — a
+    /// time-travelling event would corrupt calendar bucket ordering
+    /// invisibly — so debug builds assert `at >= now`; release builds
+    /// clamp `at` to `now` (the event fires immediately, in FIFO order
+    /// after everything already due).
     pub fn schedule_at(&mut self, at: Instant, payload: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: at={at} now={}", self.now);
+        debug_assert!(at >= self.now, "scheduling into the past: at={at} now={}", self.now);
+        let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.stats.scheduled += 1;
+        let entry = Entry { at, seq, payload };
+        match &mut self.backend {
+            Backend::Wheel(wheel) => {
+                if wheel.insert(entry) {
+                    self.stats.overflow_scheduled += 1;
+                }
+            }
+            Backend::Heap(heap) => heap.push(entry),
+        }
         EventId(seq)
     }
 
@@ -89,31 +405,72 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(Instant, EventId, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now, "heap returned an out-of-order event");
-            self.now = e.at;
-            (e.at, EventId(e.seq), e.payload)
-        })
+        let e = match &mut self.backend {
+            Backend::Wheel(wheel) => {
+                let idx = wheel.locate_next(&mut self.stats, None)?;
+                wheel.pop_from(idx)
+            }
+            Backend::Heap(heap) => heap.pop()?,
+        };
+        debug_assert!(e.at >= self.now, "queue returned an out-of-order event");
+        self.now = e.at;
+        self.stats.popped += 1;
+        Some((e.at, EventId(e.seq), e.payload))
+    }
+
+    /// Pops the earliest event only if it is due at or before `deadline`.
+    ///
+    /// The hot-loop replacement for `peek_time()` + `pop()`: one bucket
+    /// scan instead of two. Returns `None` (leaving the queue untouched)
+    /// when the queue is empty or the next event is after `deadline`.
+    pub fn pop_before(&mut self, deadline: Instant) -> Option<(Instant, EventId, E)> {
+        let e = match &mut self.backend {
+            Backend::Wheel(wheel) => {
+                let idx = wheel.locate_next(&mut self.stats, Some(deadline))?;
+                wheel.pop_from(idx)
+            }
+            Backend::Heap(heap) => {
+                if heap.peek()?.at > deadline {
+                    return None;
+                }
+                heap.pop()?
+            }
+        };
+        debug_assert!(e.at >= self.now, "queue returned an out-of-order event");
+        self.now = e.at;
+        self.stats.popped += 1;
+        Some((e.at, EventId(e.seq), e.payload))
     }
 
     /// The time of the next event without popping it.
     pub fn peek_time(&self) -> Option<Instant> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Wheel(wheel) => wheel.peek_time(),
+            Backend::Heap(heap) => heap.peek().map(|e| e.at),
+        }
     }
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Wheel(wheel) => wheel.len(),
+            Backend::Heap(heap) => heap.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (for run statistics).
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.stats.scheduled
+    }
+
+    /// Queue-operation counters (schedules, pops, overflow traffic).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -144,6 +501,20 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_fifo_across_pops() {
+        // Scheduling *at the current instant* while draining that instant
+        // must still pop FIFO (binary insert into the active bucket).
+        let mut q = EventQueue::new();
+        let t = Instant::from_micros(5);
+        q.schedule_at(t, 0);
+        q.schedule_at(t, 1);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(0));
+        q.schedule_at(t, 2);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(1));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(2));
+    }
+
+    #[test]
     fn now_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule_at(Instant::from_micros(10), ());
@@ -165,13 +536,28 @@ mod tests {
         assert_eq!(t, Instant::from_micros(15));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "scheduling into the past")]
-    fn past_scheduling_panics() {
+    fn past_scheduling_panics_in_debug() {
         let mut q = EventQueue::new();
         q.schedule_at(Instant::from_micros(10), ());
         q.pop();
         q.schedule_at(Instant::from_micros(5), ());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_scheduling_clamps_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), "on-time");
+        q.pop();
+        q.schedule_at(Instant::from_micros(5), "late");
+        let (t, _, p) = q.pop().unwrap();
+        // Clamped to `now`, fires immediately, time never goes backwards.
+        assert_eq!(t, Instant::from_micros(10));
+        assert_eq!(p, "late");
+        assert_eq!(q.now(), Instant::from_micros(10));
     }
 
     #[test]
@@ -200,5 +586,137 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.stats().popped, 1);
+    }
+
+    #[test]
+    fn far_future_overflow_and_promotion() {
+        let mut q = EventQueue::new();
+        // Beyond the 33.6 ms horizon from t = 0.
+        q.schedule_at(Instant::from_secs(2), "far");
+        q.schedule_at(Instant::from_micros(10), "near");
+        assert_eq!(q.stats().overflow_scheduled, 1);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("near"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("far"));
+        assert_eq!(q.now(), Instant::from_secs(2));
+        assert_eq!(q.stats().promoted, 1);
+    }
+
+    #[test]
+    fn far_future_sentinel_does_not_overflow_arithmetic() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::FAR_FUTURE, "sentinel");
+        q.schedule_at(Instant::from_micros(1), "near");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("near"));
+        assert_eq!(q.peek_time(), Some(Instant::FAR_FUTURE));
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((Instant::FAR_FUTURE, "sentinel")));
+    }
+
+    #[test]
+    fn overflow_preserves_fifo_ties() {
+        // An event scheduled far ahead (overflow) must still win its FIFO
+        // tie against one scheduled later, directly into the wheel.
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(100);
+        q.schedule_at(t, "first-scheduled"); // overflow from t=0
+        q.schedule_at(Instant::from_millis(90), "stepping-stone");
+        q.pop(); // now = 90 ms; t=100 ms is inside the horizon now
+        q.schedule_at(t, "second-scheduled"); // lands in the wheel
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("first-scheduled"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("second-scheduled"));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), "early");
+        q.schedule_at(Instant::from_micros(30), "late");
+        let deadline = Instant::from_micros(20);
+        assert_eq!(q.pop_before(deadline).map(|(_, _, p)| p), Some("early"));
+        assert_eq!(q.pop_before(deadline).map(|(_, _, p)| p), None);
+        assert_eq!(q.len(), 1, "undue event stays queued");
+        // Inclusive deadline.
+        assert_eq!(q.pop_before(Instant::from_micros(30)).map(|(_, _, p)| p), Some("late"));
+    }
+
+    #[test]
+    fn pop_before_does_not_jump_past_schedulable_times() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_secs(1), "far");
+        // Deadline long before the only (overflowed) event.
+        assert!(q.pop_before(Instant::from_millis(1)).is_none());
+        // The caller may still schedule times between now and the far
+        // event; the failed pop must not have corrupted the wheel.
+        q.schedule_at(Instant::from_millis(2), "near");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("near"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("far"));
+    }
+
+    #[test]
+    fn failed_pop_before_leaves_wheel_schedulable() {
+        // A not-due probe against a *wheel* event (not just overflow) must
+        // not advance the cursor past buckets the caller can still fill.
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(30), "later");
+        assert!(q.pop_before(Instant::from_micros(10)).is_none());
+        q.schedule_at(Instant::from_micros(12), "sooner");
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((Instant::from_micros(12), "sooner")));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("later"));
+    }
+
+    #[test]
+    fn wheel_wraparound_many_cycles() {
+        // March time through many full wheel revolutions with a sparse
+        // always-ahead event stream.
+        let mut q = EventQueue::new();
+        let step = Duration::from_micros(7_919); // prime-ish, ~1 bucket/revolution drift
+        let mut expect = Instant::ZERO;
+        q.schedule_at(expect + step, 0u64);
+        for i in 0..20_000u64 {
+            let (t, _, p) = q.pop().unwrap();
+            expect += step;
+            assert_eq!(t, expect);
+            assert_eq!(p, i);
+            q.schedule_at(t + step, i + 1);
+        }
+    }
+
+    #[test]
+    fn heap_reference_matches_wheel_smoke() {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::heap_reference();
+        assert!(heap.is_heap_reference());
+        assert!(!wheel.is_heap_reference());
+        let times = [5u64, 5, 3, 1_000_000_000, 8, 5, 40_000_000, 8, 1_000_000_000, 0, 77, 34_000_000];
+        for (i, t) in times.iter().enumerate() {
+            wheel.schedule_at(Instant::from_nanos(*t), i);
+            heap.schedule_at(Instant::from_nanos(*t), i);
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn convert_to_heap_reference_preserves_pending() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(10), "a");
+        q.schedule_at(Instant::from_secs(10), "far");
+        q.schedule_at(Instant::from_micros(10), "b");
+        q.pop(); // "a"; now = 10 µs
+        q.convert_to_heap_reference();
+        assert!(q.is_heap_reference());
+        assert_eq!(q.now(), Instant::from_micros(10));
+        assert_eq!(q.len(), 2);
+        let c = q.schedule_at(Instant::from_micros(10), "c");
+        assert_eq!(c, EventId(3), "seq continues across conversion");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("c"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("far"));
     }
 }

@@ -37,7 +37,7 @@ pub mod timer;
 pub mod trace;
 
 pub use alloc_count::{alloc_stats, AllocStats, CountingAlloc};
-pub use event::{EventId, EventQueue};
+pub use event::{EventId, EventQueue, QueueStats};
 pub use rng::{stream_seed, Rng};
 pub use stats::{Running, TimeLedger};
 pub use time::{Duration, Instant};

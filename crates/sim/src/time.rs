@@ -236,9 +236,16 @@ impl Duration {
     /// "before" the transmitter, breaking event ordering).
     pub fn for_bits(bits: u64, bits_per_sec: u64) -> Duration {
         assert!(bits_per_sec > 0, "zero rate");
-        // nanos = ceil(bits * 1e9 / rate); use u128 to avoid overflow.
-        let nanos = ((bits as u128) * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
-        Duration::from_nanos(nanos as u64)
+        // nanos = ceil(bits * 1e9 / rate). Stay in u64 when the product
+        // fits — hardware division instead of the `__udivti3` software
+        // path, and every realistic frame does fit (the airtime math
+        // runs once per subframe per delivery on the hot path). The
+        // u128 fallback keeps the extreme inputs exact.
+        let nanos = match bits.checked_mul(1_000_000_000) {
+            Some(num) => num.div_ceil(bits_per_sec),
+            None => ((bits as u128) * 1_000_000_000u128).div_ceil(bits_per_sec as u128) as u64,
+        };
+        Duration::from_nanos(nanos)
     }
 }
 

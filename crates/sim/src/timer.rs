@@ -30,16 +30,23 @@ impl TimerToken {
 pub struct TimerSet {
     generations: Vec<u64>,
     armed: Vec<bool>,
+    rearms: u64,
 }
 
 impl TimerSet {
     /// Creates a set with `slots` independent timer slots, all disarmed.
     pub fn new(slots: usize) -> Self {
-        TimerSet { generations: vec![0; slots], armed: vec![false; slots] }
+        TimerSet { generations: vec![0; slots], armed: vec![false; slots], rearms: 0 }
     }
 
     /// Arms (or re-arms) a slot, invalidating any previously issued token.
     pub fn arm(&mut self, slot: usize) -> TimerToken {
+        if self.armed[slot] {
+            // Re-arming a live slot orphans its scheduled event: the stale
+            // token will pop and be dropped. Counted so lazy cancellation's
+            // queue cost is observable (`RunPerf::timer_rearms`).
+            self.rearms += 1;
+        }
         self.generations[slot] += 1;
         self.armed[slot] = true;
         TimerToken { slot, generation: self.generations[slot] }
@@ -74,6 +81,12 @@ impl TimerSet {
     /// True if the slot currently has a live (armed, unfired) timer.
     pub fn is_armed(&self, slot: usize) -> bool {
         self.armed[slot]
+    }
+
+    /// How many times a live slot was re-armed (each one strands a stale
+    /// event in the queue).
+    pub fn rearms(&self) -> u64 {
+        self.rearms
     }
 }
 
@@ -127,5 +140,23 @@ mod tests {
     fn token_reports_slot() {
         let mut t = TimerSet::new(5);
         assert_eq!(t.arm(3).slot(), 3);
+    }
+
+    #[test]
+    fn rearms_counts_only_live_slots() {
+        let mut t = TimerSet::new(2);
+        assert_eq!(t.rearms(), 0);
+        let a = t.arm(0); // fresh arm: not a re-arm
+        assert_eq!(t.rearms(), 0);
+        t.arm(0); // live slot re-armed: strands token `a`
+        assert_eq!(t.rearms(), 1);
+        assert!(!t.is_current(a));
+        t.cancel(0);
+        t.arm(0); // fresh after cancel: not a re-arm
+        assert_eq!(t.rearms(), 1);
+        let b = t.arm(1);
+        t.fire(b);
+        t.arm(1); // fresh after fire: not a re-arm
+        assert_eq!(t.rearms(), 1);
     }
 }

@@ -42,6 +42,87 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_wheel_matches_heap_reference(ops in proptest::collection::vec((0u8..4, 0usize..6), 1..400)) {
+        // The calendar wheel and the heap oracle must produce *identical*
+        // pop sequences for arbitrary schedule/pop/pop_before
+        // interleavings. The delay menu spans same-instant ties (0),
+        // sub-bucket (1), bucket-scale (8_192 = one bucket), mid-horizon,
+        // and far-future overflow (60 s >> the 33.6 ms wheel horizon).
+        const DELAYS: [u64; 6] = [0, 1, 5_000, 8_192, 1_000_000, 60_000_000_000];
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::heap_reference();
+        let mut payload = 0u64;
+        for (op, pick) in ops {
+            match op {
+                0 | 1 => {
+                    payload += 1;
+                    let d = Duration::from_nanos(DELAYS[pick]);
+                    let a = wheel.schedule_after(d, payload);
+                    let b = heap.schedule_after(d, payload);
+                    prop_assert_eq!(a, b, "EventIds diverged");
+                }
+                2 => prop_assert_eq!(wheel.pop(), heap.pop()),
+                _ => {
+                    let deadline = wheel.now() + Duration::from_nanos(DELAYS[pick] / 2);
+                    prop_assert_eq!(wheel.pop_before(deadline), heap.pop_before(deadline));
+                }
+            }
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both: far-future events promote out of the overflow level
+        // here, and the full remaining sequences must still match.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn event_queue_rearm_ties_match_heap_reference(ops in proptest::collection::vec((0u8..3, 0usize..4), 1..300)) {
+        // Timer-style re-arms: the same logical slots get re-scheduled at a
+        // handful of *absolute* instants over and over (many same-instant
+        // FIFO ties, some in the overflow level), interleaved with pops.
+        // Both backends must agree on every pop, including tie order.
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::heap_reference();
+        let mut arm = 0u64;
+        for (op, pick) in ops {
+            match op {
+                0 | 1 => {
+                    // Re-arm slot `pick`: a fixed target instant per slot,
+                    // bumped past `now` in whole 50 ms periods (slots 2–3
+                    // start beyond the wheel horizon).
+                    const PERIOD: u64 = 50_000_000;
+                    let slot_offset = (pick as u64 + 1) * 12_500_000;
+                    let mut at = Instant::from_nanos(slot_offset);
+                    while at < wheel.now() {
+                        at += Duration::from_nanos(PERIOD);
+                    }
+                    arm += 1;
+                    let a = wheel.schedule_at(at, (pick, arm));
+                    let b = heap.schedule_at(at, (pick, arm));
+                    prop_assert_eq!(a, b);
+                }
+                _ => prop_assert_eq!(wheel.pop(), heap.pop()),
+            }
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+    }
+
+    #[test]
     fn rng_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000, n in 1usize..100) {
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..n {

@@ -104,6 +104,14 @@ impl TcpStack {
     /// Collects every segment any socket wants to send.
     pub fn poll_transmit(&mut self, now: Instant) -> Vec<OutboundSegment> {
         let mut out = Vec::new();
+        self.poll_transmit_into(now, &mut out);
+        out
+    }
+
+    /// [`TcpStack::poll_transmit`] appending into a caller-recycled buffer
+    /// (the event loop's allocation-light variant — `pump_tcp` runs once
+    /// per delivered segment, so the per-call `Vec` was measurable).
+    pub fn poll_transmit_into(&mut self, now: Instant, out: &mut Vec<OutboundSegment>) {
         let my_addr = self.addr;
         for c in &mut self.sockets {
             while let Some((repr, payload)) = c.poll_transmit(now) {
@@ -120,6 +128,5 @@ impl TcpStack {
                 out.push(OutboundSegment { dst, bytes });
             }
         }
-        out
     }
 }

@@ -39,12 +39,23 @@ pub struct SubframeSlot {
 }
 
 /// Builds an aggregated PSDU: broadcast subframes first, then unicast.
+///
+/// Single-buffer: subframes are emitted straight into the final PSDU
+/// `Vec` ([`SubframeRepr::emit`] into a zero-filled tail), so assembly
+/// copies each payload byte exactly once. The old two-staging-`Vec`
+/// shape (`to_bytes` temporary → portion buffer → concatenated PSDU)
+/// cost an allocation per subframe plus two extra passes over every
+/// byte — measurable, since assembly runs once per transmit opportunity
+/// *including retries*. The broadcast-before-unicast order the wire
+/// format requires is asserted, not rearranged.
 #[derive(Debug, Default)]
 pub struct AggregateBuilder {
-    bcast: Vec<u8>,
-    ucast: Vec<u8>,
-    slots_bcast: Vec<(usize, usize, usize)>, // (start, len, payload_len) within bcast
-    slots_ucast: Vec<(usize, usize, usize)>,
+    psdu: Vec<u8>,
+    /// End of the broadcast portion (== PSDU length until the first
+    /// unicast push).
+    boundary: usize,
+    slots: Vec<SubframeSlot>,
+    n_bcast: usize,
 }
 
 impl AggregateBuilder {
@@ -53,53 +64,78 @@ impl AggregateBuilder {
         Self::default()
     }
 
+    /// Creates an empty builder with `psdu_bytes` pre-reserved.
+    ///
+    /// Assembly runs once per transmit opportunity; callers that know
+    /// the aggregate size cap pass it here so the PSDU buffer is sized
+    /// once instead of doubling through a dozen reallocations.
+    pub fn with_capacity(psdu_bytes: usize) -> Self {
+        AggregateBuilder { psdu: Vec::with_capacity(psdu_bytes), ..Self::default() }
+    }
+
+    /// Emits one subframe into the PSDU tail, returning its range.
+    fn emit(&mut self, repr: &SubframeRepr, payload: &[u8]) -> core::ops::Range<usize> {
+        let start = self.psdu.len();
+        let len = SubframeRepr::on_air_len(payload.len());
+        self.psdu.resize(start + len, 0);
+        repr.emit(payload, &mut self.psdu[start..]);
+        start..start + len
+    }
+
     /// Appends a subframe to the broadcast portion.
+    ///
+    /// # Panics
+    /// Panics if a unicast subframe was already pushed (the wire format
+    /// puts the whole broadcast portion first).
     pub fn push_broadcast(&mut self, repr: &SubframeRepr, payload: &[u8]) {
-        let start = self.bcast.len();
-        let bytes = repr.to_bytes(payload);
-        self.slots_bcast.push((start, bytes.len(), payload.len()));
-        self.bcast.extend_from_slice(&bytes);
+        assert_eq!(self.boundary, self.psdu.len(), "broadcast subframe after unicast");
+        let range = self.emit(repr, payload);
+        self.boundary = range.end;
+        self.slots.push(SubframeSlot { portion: Portion::Broadcast, range, payload_len: payload.len() });
+        self.n_bcast += 1;
     }
 
     /// Appends a subframe to the unicast portion.
     pub fn push_unicast(&mut self, repr: &SubframeRepr, payload: &[u8]) {
-        let start = self.ucast.len();
-        let bytes = repr.to_bytes(payload);
-        self.slots_ucast.push((start, bytes.len(), payload.len()));
-        self.ucast.extend_from_slice(&bytes);
+        let range = self.emit(repr, payload);
+        self.slots.push(SubframeSlot { portion: Portion::Unicast, range, payload_len: payload.len() });
     }
 
     /// Appends an already-emitted subframe (used when retrying a stored
     /// unicast burst without re-serialising).
     pub fn push_unicast_raw(&mut self, bytes: &[u8], payload_len: usize) {
-        let start = self.ucast.len();
-        self.slots_ucast.push((start, bytes.len(), payload_len));
-        self.ucast.extend_from_slice(bytes);
+        let start = self.psdu.len();
+        self.psdu.extend_from_slice(bytes);
+        self.slots.push(SubframeSlot {
+            portion: Portion::Unicast,
+            range: start..start + bytes.len(),
+            payload_len,
+        });
     }
 
     /// Current broadcast portion size in bytes.
     pub fn bcast_len(&self) -> usize {
-        self.bcast.len()
+        self.boundary
     }
 
     /// Current unicast portion size in bytes.
     pub fn ucast_len(&self) -> usize {
-        self.ucast.len()
+        self.psdu.len() - self.boundary
     }
 
     /// Total PSDU size so far.
     pub fn total_len(&self) -> usize {
-        self.bcast.len() + self.ucast.len()
+        self.psdu.len()
     }
 
     /// Number of subframes pushed (broadcast, unicast).
     pub fn counts(&self) -> (usize, usize) {
-        (self.slots_bcast.len(), self.slots_ucast.len())
+        (self.n_bcast, self.slots.len() - self.n_bcast)
     }
 
     /// True if nothing has been pushed.
     pub fn is_empty(&self) -> bool {
-        self.slots_bcast.is_empty() && self.slots_ucast.is_empty()
+        self.slots.is_empty()
     }
 
     /// Finalizes into (PHY header, PSDU bytes, per-subframe slots).
@@ -111,24 +147,10 @@ impl AggregateBuilder {
         let hdr = PhyHeader {
             bcast_rate,
             ucast_rate,
-            bcast_len: self.bcast.len() as u16,
-            ucast_len: self.ucast.len() as u16,
+            bcast_len: self.boundary as u16,
+            ucast_len: (self.psdu.len() - self.boundary) as u16,
         };
-        let mut psdu = self.bcast;
-        let boundary = psdu.len();
-        psdu.extend_from_slice(&self.ucast);
-        let mut slots = Vec::with_capacity(self.slots_bcast.len() + self.slots_ucast.len());
-        for (start, len, payload_len) in self.slots_bcast {
-            slots.push(SubframeSlot { portion: Portion::Broadcast, range: start..start + len, payload_len });
-        }
-        for (start, len, payload_len) in self.slots_ucast {
-            slots.push(SubframeSlot {
-                portion: Portion::Unicast,
-                range: boundary + start..boundary + start + len,
-                payload_len,
-            });
-        }
-        (hdr, psdu, slots)
+        (hdr, self.psdu, self.slots)
     }
 }
 
@@ -158,15 +180,38 @@ impl<'a> ParsedSubframe<'a> {
 /// Returns the recovered subframes. Structural corruption (a length field
 /// escaping the portion) truncates that portion's results.
 pub fn parse_aggregate<'a>(hdr: &PhyHeader, psdu: &'a [u8]) -> Vec<ParsedSubframe<'a>> {
+    parse_aggregate_inner(hdr, psdu, true)
+}
+
+/// [`parse_aggregate`] for a PSDU *known to be bit-identical* to what the
+/// transmitter emitted (e.g. the simulator delivered the very buffer the
+/// assembler built). Every FCS in such a PSDU was computed over exactly
+/// these bytes, so verification is skipped — `fcs_ok` is the structural
+/// length check alone, and the result is identical to the verifying
+/// parse. This is the event loop's fast path: one transmission fanning
+/// out to N clean receivers costs zero CRC passes instead of N.
+///
+/// Never use this on bytes that may have been damaged in flight.
+pub fn parse_aggregate_trusted<'a>(hdr: &PhyHeader, psdu: &'a [u8]) -> Vec<ParsedSubframe<'a>> {
+    parse_aggregate_inner(hdr, psdu, false)
+}
+
+fn parse_aggregate_inner<'a>(hdr: &PhyHeader, psdu: &'a [u8], verify: bool) -> Vec<ParsedSubframe<'a>> {
     let mut out = Vec::new();
     let bl = (hdr.bcast_len as usize).min(psdu.len());
     let ul_end = (bl + hdr.ucast_len as usize).min(psdu.len());
-    parse_portion(&psdu[..bl], 0, Portion::Broadcast, &mut out);
-    parse_portion(&psdu[bl..ul_end], bl, Portion::Unicast, &mut out);
+    parse_portion(&psdu[..bl], 0, Portion::Broadcast, verify, &mut out);
+    parse_portion(&psdu[bl..ul_end], bl, Portion::Unicast, verify, &mut out);
     out
 }
 
-fn parse_portion<'a>(portion: &'a [u8], base: usize, which: Portion, out: &mut Vec<ParsedSubframe<'a>>) {
+fn parse_portion<'a>(
+    portion: &'a [u8],
+    base: usize,
+    which: Portion,
+    verify: bool,
+    out: &mut Vec<ParsedSubframe<'a>>,
+) {
     let mut at = 0;
     while at + HEADER_LEN + FCS_LEN <= portion.len() {
         let rest = &portion[at..];
@@ -180,7 +225,7 @@ fn parse_portion<'a>(portion: &'a [u8], base: usize, which: Portion, out: &mut V
         }
         let bytes = &portion[at..at + on_air];
         let sub = Subframe::new_unchecked(bytes);
-        let fcs_ok = sub.check_len().is_ok() && sub.verify_fcs();
+        let fcs_ok = sub.check_len().is_ok() && (!verify || sub.verify_fcs());
         out.push(ParsedSubframe { portion: which, bytes, range: base + at..base + at + on_air, fcs_ok });
         at += on_air;
     }

@@ -45,7 +45,9 @@ pub mod tcp;
 pub mod udp;
 
 pub use addr::{Endpoint, Ipv4Addr, MacAddr};
-pub use aggregate::{parse_aggregate, AggregateBuilder, ParsedSubframe, Portion, SubframeSlot};
+pub use aggregate::{
+    parse_aggregate, parse_aggregate_trusted, AggregateBuilder, ParsedSubframe, Portion, SubframeSlot,
+};
 pub use builder::{
     build_raw_packet, build_tcp_packet, build_udp_packet, is_pure_tcp_ack, parse_mpdu_payload, ParsedMpdu, L4,
 };

@@ -19,9 +19,17 @@ use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer with O(1) clone and
 /// zero-copy sub-slicing.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>`: `Arc<[u8]>::from`
+/// must re-allocate and copy the bytes (the refcounts live inline ahead
+/// of the data), which charged every assembled PSDU a second full-buffer
+/// memcpy on its way to the air. Wrapping the `Vec` itself makes
+/// [`Payload::from(Vec<u8>)`](From) O(1) at the price of one extra
+/// pointer hop on access — and accessors hand out a plain `&[u8]` once,
+/// so parsers never pay the hop in their inner loops.
 #[derive(Clone)]
 pub struct Payload {
-    bytes: Arc<[u8]>,
+    bytes: Arc<Vec<u8>>,
     start: usize,
     len: usize,
 }
@@ -30,7 +38,7 @@ impl Payload {
     /// An empty payload. (Still allocates the `Arc` control block —
     /// fine off the hot path, which never constructs empties.)
     pub fn empty() -> Self {
-        Payload { bytes: Arc::from([]), start: 0, len: 0 }
+        Payload { bytes: Arc::new(Vec::new()), start: 0, len: 0 }
     }
 
     /// Length in bytes.
@@ -79,15 +87,16 @@ impl AsRef<[u8]> for Payload {
 }
 
 impl From<Vec<u8>> for Payload {
+    /// Zero-copy: adopts the `Vec`'s buffer as-is.
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Payload { bytes: Arc::from(v), start: 0, len }
+        Payload { bytes: Arc::new(v), start: 0, len }
     }
 }
 
 impl From<&[u8]> for Payload {
     fn from(v: &[u8]) -> Self {
-        Payload { bytes: Arc::from(v), start: 0, len: v.len() }
+        Payload::from(v.to_vec())
     }
 }
 
