@@ -1,0 +1,5 @@
+//! Extension: bursty channels — 2-hop TCP under independent vs
+//! matched-mean Gilbert–Elliott residual loss, across NA/UA/BA.
+fn main() {
+    hydra_bench::experiments::ext_burst(&hydra_bench::experiments::Opts::cli()).print();
+}

@@ -11,6 +11,7 @@
 //!     [--rate 0.65|1.3|1.95|2.6] [--bcast-rate R] [--seeds N] [--threads N]
 //!     [--file-kb N] [--interval-ms N] [--flood-ms N] [--mix T ...]
 //!     [--max-agg-kb N] [--block-ack] [--no-rts] [--drop P] [--corrupt P]
+//!     [--ber P] [--burst GB:BG] [--dup P] [--reorder P]
 //!     [--spatial] [--spacing M] [--dump-links]
 //! ```
 //!
@@ -35,9 +36,9 @@
 use hydra_bench::{ExperimentRunner, Table};
 use hydra_core::AckPolicy;
 use hydra_netsim::{
-    Flooding, FlowSpec, FlowTraffic, MediumKind, Policy, ScenarioSpec, TopologyKind, Traffic,
+    Flooding, FlowSpec, FlowTraffic, LinkErrorSpec, MediumKind, Policy, ScenarioSpec, TopologyKind, Traffic,
 };
-use hydra_phy::{PhyProfile, Rate};
+use hydra_phy::{LinkErrorModel, PhyProfile, Rate};
 use hydra_sim::Duration;
 
 #[derive(Debug)]
@@ -64,6 +65,14 @@ struct Args {
     rts: bool,
     drop: f64,
     corrupt: f64,
+    /// `--ber P`: mean residual per-subframe loss on every link.
+    ber: Option<f64>,
+    /// `--burst P_GB:P_BG`: Gilbert–Elliott burst shape (with `--ber`).
+    burst: Option<(f64, f64)>,
+    /// `--dup P`: per-transmission duplication probability.
+    dup: f64,
+    /// `--reorder P`: intra-aggregate reorder probability.
+    reorder: f64,
     spacing: Option<f64>,
     dump_links: bool,
     /// Background flow traffic tokens (`--mix`, repeatable).
@@ -145,6 +154,14 @@ MAC & channel:
   --no-rts         disable the RTS/CTS handshake
   --drop P         frame drop probability (fault injection)
   --corrupt P      subframe corruption probability
+  --ber P          mean residual per-subframe loss on every link
+                   (independent unless --burst reshapes it)
+  --burst GB:BG    make --ber bursty: Gilbert–Elliott good→bad and
+                   bad→good transition probabilities (e.g. 0.05:0.45 =
+                   10% bad-state occupancy, mean burst ~2.2 frames),
+                   bad-state loss scaled to keep the --ber mean
+  --dup P          per-transmission frame duplication probability
+  --reorder P      intra-aggregate subframe reorder probability
 
 medium (PR 2 spatial extension):
   --spatial        range-limited medium from topology geometry (2.5 m)
@@ -160,6 +177,14 @@ harness:
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
     std::process::exit(2);
+}
+
+fn parse_prob(s: &str, flag: &str) -> f64 {
+    let p: f64 = s.parse().unwrap_or_else(|_| die(&format!("bad {flag} value `{s}`")));
+    if !(0.0..=1.0).contains(&p) {
+        die(&format!("{flag} probability `{s}` is outside 0..=1"));
+    }
+    p
 }
 
 fn parse() -> Args {
@@ -182,6 +207,10 @@ fn parse() -> Args {
         rts: true,
         drop: 0.0,
         corrupt: 0.0,
+        ber: None,
+        burst: None,
+        dup: 0.0,
+        reorder: 0.0,
         spacing: None,
         dump_links: false,
         mix: Vec::new(),
@@ -233,6 +262,19 @@ fn parse() -> Args {
             "--no-rts" => a.rts = false,
             "--drop" => a.drop = val(&mut i).parse().unwrap_or_else(|_| die("bad --drop")),
             "--corrupt" => a.corrupt = val(&mut i).parse().unwrap_or_else(|_| die("bad --corrupt")),
+            "--ber" => a.ber = Some(parse_prob(&val(&mut i), "--ber")),
+            "--burst" => {
+                let v = val(&mut i);
+                let (gb, bg) = v.split_once(':').unwrap_or_else(|| die("expected --burst P_GB:P_BG"));
+                let p_gb = parse_prob(gb, "--burst");
+                let p_bg = parse_prob(bg, "--burst");
+                if p_gb <= 0.0 || p_bg <= 0.0 {
+                    die("--burst transition probabilities must be positive");
+                }
+                a.burst = Some((p_gb, p_bg));
+            }
+            "--dup" => a.dup = parse_prob(&val(&mut i), "--dup"),
+            "--reorder" => a.reorder = parse_prob(&val(&mut i), "--reorder"),
             "--spatial" => {
                 a.spacing.get_or_insert(2.5);
             }
@@ -280,6 +322,15 @@ fn spec_from(a: &Args) -> ScenarioSpec {
     }
     if a.drop > 0.0 || a.corrupt > 0.0 {
         spec.fault = Some((a.drop, a.corrupt));
+    }
+    let model = match (a.ber, a.burst) {
+        (None, None) => None,
+        (Some(ber), None) => Some(LinkErrorModel::Independent { ber }),
+        (Some(mean), Some((p_gb, p_bg))) => Some(LinkErrorModel::bursty_with_mean(mean, p_gb, p_bg)),
+        (None, Some(_)) => die("--burst needs --ber (the mean loss the burst shape preserves)"),
+    };
+    if model.is_some() || a.dup > 0.0 || a.reorder > 0.0 {
+        spec.link_error = Some(LinkErrorSpec { model, dup: a.dup, reorder: a.reorder });
     }
     if let Some(f) = a.flood_ms {
         spec.flooding = Some(Flooding { interval: Duration::from_millis(f), payload: 120 });

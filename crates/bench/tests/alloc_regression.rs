@@ -13,8 +13,8 @@
 //! This file holds exactly one test: the counters are process-wide, so
 //! it must not share its process with concurrently allocating tests.
 
-use hydra_netsim::{Policy, ScenarioSpec, TopologyKind};
-use hydra_phy::Rate;
+use hydra_netsim::{LinkErrorSpec, Policy, ScenarioSpec, TopologyKind};
+use hydra_phy::{LinkErrorModel, Rate};
 use hydra_sim::{alloc_stats, Duration, Instant};
 
 #[global_allocator]
@@ -54,6 +54,42 @@ fn steady_state_allocations_per_event_are_bounded() {
     assert!(
         per_1k < 2_500.0,
         "steady-state allocation churn regressed: {per_1k:.0} allocations per 1k events \
+         ({} allocations over {events} events)",
+        allocs.allocations
+    );
+
+    // Same chain with the per-link channel-error model switched on
+    // (bursty loss + duplication + reorder). The per-link RNG states
+    // allocate once at first use; steady-state extra cost is the
+    // copy-on-corrupt materialisation and the occasional checked
+    // re-parse, both per-*corruption*, not per-event — the bound gets
+    // modest extra headroom for them.
+    let mut spec =
+        ScenarioSpec::udp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30, Duration::from_millis(17));
+    spec.link_error = Some(LinkErrorSpec {
+        model: Some(LinkErrorModel::GilbertElliott { p_gb: 0.05, p_bg: 0.45, ber_good: 0.0, ber_bad: 0.3 }),
+        dup: 0.05,
+        reorder: 0.05,
+    });
+    let mut world = spec.build();
+    world.start();
+    world.run_until(Instant::ZERO + Duration::from_secs(2));
+    let events0 = world.events_processed;
+    let allocs0 = alloc_stats();
+    world.run_until(Instant::ZERO + Duration::from_secs(12));
+    let events = world.events_processed - events0;
+    let allocs = alloc_stats().since(allocs0);
+    // Loss + backoff thin the event stream relative to the clean chain;
+    // the window is still thousands of transmissions.
+    assert!(events > 5_000, "link-error window too small to be meaningful: {events} events");
+    let per_1k = allocs.allocations as f64 / (events as f64 / 1e3);
+    eprintln!(
+        "link-error steady-state: {per_1k:.0} allocations per 1k events ({} over {events})",
+        allocs.allocations
+    );
+    assert!(
+        per_1k < 3_000.0,
+        "link-error allocation churn regressed: {per_1k:.0} allocations per 1k events \
          ({} allocations over {events} events)",
         allocs.allocations
     );

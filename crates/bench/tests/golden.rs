@@ -48,6 +48,8 @@ const GOLDEN_SWEEP_HASHES: &[(&str, u64)] = &[
     ("ext_mixed", 0xbc5c5321887b7b51),
     // New with the mesh-scale extension (captured at introduction).
     ("ext_scale", 0x5f894a40d86f0830),
+    // New with the bursty-channel extension (captured at introduction).
+    ("ext_burst", 0x387d4757a4e8ce73),
     ("ablation_block_ack", 0x1e5465f8ff8155a3),
     ("ablation_rate_adaptive_sizing", 0x3c72c8e2a0726b63),
     ("ablation_dba_flush", 0x7b8dbb68b66cf66c),

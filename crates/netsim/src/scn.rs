@@ -19,11 +19,13 @@
 //! documented in `docs/SCENARIO_FORMAT.md`.
 
 use hydra_core::{AckPolicy, AggPolicy, AggSizing};
-use hydra_phy::Rate;
+use hydra_phy::{LinkErrorModel, Rate};
 use hydra_sim::Duration;
 use hydra_tcp::TcpConfig;
 
-use crate::spec::{Flooding, Flow, FlowSpec, FlowTraffic, Policy, ScenarioSpec, TopologyKind, Traffic};
+use crate::spec::{
+    Flooding, Flow, FlowSpec, FlowTraffic, LinkErrorSpec, Policy, ScenarioSpec, TopologyKind, Traffic,
+};
 use crate::world::MediumKind;
 
 /// A parse error with the 1-based line number it occurred on.
@@ -496,6 +498,35 @@ impl ScenarioSpec {
         if let Some((drop, corrupt)) = self.fault {
             f.push(format!("fault={}:{}", f64_to_text(drop), f64_to_text(corrupt)));
         }
+        if let Some(le) = self.link_error {
+            let mut clauses = Vec::new();
+            match le.model {
+                None => {}
+                Some(LinkErrorModel::Independent { ber }) => {
+                    clauses.push(format!("ber:{}", f64_to_text(ber)));
+                }
+                Some(LinkErrorModel::GilbertElliott { p_gb, p_bg, ber_good, ber_bad }) => {
+                    clauses.push(format!(
+                        "ge:{}:{}:{}:{}",
+                        f64_to_text(p_gb),
+                        f64_to_text(p_bg),
+                        f64_to_text(ber_good),
+                        f64_to_text(ber_bad)
+                    ));
+                }
+            }
+            if le.dup > 0.0 {
+                clauses.push(format!("dup:{}", f64_to_text(le.dup)));
+            }
+            if le.reorder > 0.0 {
+                clauses.push(format!("reorder:{}", f64_to_text(le.reorder)));
+            }
+            // A fully-default LinkErrorSpec (no model, no dup/reorder) is
+            // behaviourally inert and has no canonical spelling; omit it.
+            if !clauses.is_empty() {
+                f.push(format!("link_error={}", clauses.join(",")));
+            }
+        }
         if let Some(fl) = self.flooding {
             f.push(format!("flood={}:{}", dur_to_text(fl.interval), fl.payload));
         }
@@ -618,6 +649,7 @@ impl ScenarioSpec {
                         .ok_or_else(|| format!("expected fault=DROP:CORRUPT, got `{value}`"))?;
                     spec.fault = Some((prob_from_text(d)?, prob_from_text(c)?));
                 }
+                "link_error" => spec.link_error = Some(parse_link_error(value)?),
                 "flood" => {
                     let (i, p) = value
                         .split_once(':')
@@ -689,6 +721,52 @@ fn parse_medium(s: &str) -> Result<MediumKind, String> {
         return Ok(MediumKind::Spatial { spacing_m });
     }
     Err(format!("unknown medium `{s}` (shared|spatial:METRES)"))
+}
+
+/// Parses one `link_error=` value: comma-separated clauses in canonical
+/// order `ber:B` *or* `ge:P_GB:P_BG:BER_GOOD:BER_BAD` (at most one error
+/// model), then optional `dup:P` and `reorder:P`. All values are
+/// probabilities in `0..=1`.
+fn parse_link_error(s: &str) -> Result<LinkErrorSpec, String> {
+    let mut le = LinkErrorSpec { model: None, dup: 0.0, reorder: 0.0 };
+    let (mut seen_dup, mut seen_reorder) = (false, false);
+    for clause in s.split(',') {
+        if let Some(b) = clause.strip_prefix("ber:") {
+            if le.model.is_some() {
+                return Err("link_error allows at most one error model clause (ber:|ge:)".into());
+            }
+            le.model = Some(LinkErrorModel::Independent { ber: prob_from_text(b)? });
+        } else if let Some(rest) = clause.strip_prefix("ge:") {
+            if le.model.is_some() {
+                return Err("link_error allows at most one error model clause (ber:|ge:)".into());
+            }
+            let parts: Vec<&str> = rest.split(':').collect();
+            let [p_gb, p_bg, ber_good, ber_bad] = parts[..] else {
+                return Err(format!("expected ge:P_GB:P_BG:BER_GOOD:BER_BAD, got `{clause}`"));
+            };
+            le.model = Some(LinkErrorModel::GilbertElliott {
+                p_gb: prob_from_text(p_gb)?,
+                p_bg: prob_from_text(p_bg)?,
+                ber_good: prob_from_text(ber_good)?,
+                ber_bad: prob_from_text(ber_bad)?,
+            });
+        } else if let Some(p) = clause.strip_prefix("dup:") {
+            if seen_dup {
+                return Err("duplicate link_error clause `dup:`".into());
+            }
+            seen_dup = true;
+            le.dup = prob_from_text(p)?;
+        } else if let Some(p) = clause.strip_prefix("reorder:") {
+            if seen_reorder {
+                return Err("duplicate link_error clause `reorder:`".into());
+            }
+            seen_reorder = true;
+            le.reorder = prob_from_text(p)?;
+        } else {
+            return Err(format!("unknown link_error clause `{clause}` (ber:|ge:|dup:|reorder:)"));
+        }
+    }
+    Ok(le)
 }
 
 fn parse_sizing(s: &str) -> Result<AggSizing, String> {
@@ -775,6 +853,16 @@ mod tests {
         spec.tcp.delayed_ack = true;
         spec.tcp.send_buffer = 32 * 1024;
         spec.fault = Some((0.01, 0.125));
+        spec.link_error = Some(LinkErrorSpec {
+            model: Some(LinkErrorModel::GilbertElliott {
+                p_gb: 0.05,
+                p_bg: 0.45,
+                ber_good: 0.001,
+                ber_bad: 0.3,
+            }),
+            dup: 0.02,
+            reorder: 0.01,
+        });
         spec.flooding = Some(Flooding { interval: Duration::from_millis(250), payload: 120 });
         spec.warmup = Duration::from_millis(500);
         spec.duration = Duration::from_secs(5);
@@ -819,6 +907,51 @@ mod tests {
             ("notakv", "not key=value"),
         ] {
             assert!(ScenarioSpec::from_scn(broken).is_err(), "{why}: `{broken}`");
+        }
+    }
+
+    #[test]
+    fn link_error_round_trips() {
+        let base = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        // Independent BER only.
+        let mut spec = base.clone();
+        spec.link_error = Some(LinkErrorSpec::model(LinkErrorModel::Independent { ber: 0.02 }));
+        assert!(spec.to_scn().ends_with("link_error=ber:0.02"), "{}", spec.to_scn());
+        roundtrip(&spec);
+        // Bursty Gilbert–Elliott with dup and reorder knobs.
+        spec.link_error = Some(LinkErrorSpec {
+            model: Some(LinkErrorModel::GilbertElliott {
+                p_gb: 0.05,
+                p_bg: 0.45,
+                ber_good: 0.0,
+                ber_bad: 0.2,
+            }),
+            dup: 0.1,
+            reorder: 0.05,
+        });
+        assert!(
+            spec.to_scn().ends_with("link_error=ge:0.05:0.45:0.0:0.2,dup:0.1,reorder:0.05"),
+            "{}",
+            spec.to_scn()
+        );
+        roundtrip(&spec);
+        // Knobs without an error model.
+        spec.link_error = Some(LinkErrorSpec { model: None, dup: 0.25, reorder: 0.0 });
+        assert!(spec.to_scn().ends_with("link_error=dup:0.25"), "{}", spec.to_scn());
+        roundtrip(&spec);
+        // Absent key stays absent: the base line has no link_error.
+        assert!(!base.to_scn().contains("link_error"), "{}", base.to_scn());
+        for (value, why) in [
+            ("ber:1.5", "probability > 1"),
+            ("ber:0.1,ge:0.1:0.1:0.0:0.5", "two model clauses"),
+            ("ge:0.1:0.1:0.0", "ge with too few fields"),
+            ("dup:0.1,dup:0.2", "duplicate dup clause"),
+            ("reorder:0.1,reorder:0.2", "duplicate reorder clause"),
+            ("burst:0.1", "unknown clause"),
+            ("ge:0.1:-0.1:0.0:0.5", "negative probability"),
+        ] {
+            let line = format!("topo=linear:2 policy=ba rate=1.3 traffic=file:1 link_error={value}");
+            assert!(ScenarioSpec::from_scn(&line).is_err(), "{why}: `{line}`");
         }
     }
 

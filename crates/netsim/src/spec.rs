@@ -18,7 +18,7 @@
 
 use hydra_app::{FileReceiver, FileSender, FloodSink, Flooder, UdpCbr, UdpSink, PAPER_UDP_PAYLOAD};
 use hydra_core::{AckPolicy, AggPolicy, AggSizing, MacConfig};
-use hydra_phy::{ChannelStack, PhyProfile, Rate};
+use hydra_phy::{ChannelStack, LinkErrorModel, PhyProfile, Rate};
 use hydra_sim::{Duration, Instant};
 use hydra_tcp::TcpConfig;
 use hydra_wire::{Endpoint, Ipv4Addr};
@@ -321,6 +321,32 @@ pub struct Flooding {
     pub payload: usize,
 }
 
+/// Per-link channel perturbations: a residual error model plus
+/// delivery duplication/reorder knobs, all driven by deterministic
+/// per-link RNG streams (see [`hydra_phy::link_error`]).
+///
+/// `None` on [`ScenarioSpec::link_error`] (the default) is byte-for-byte
+/// the pre-link-error behaviour: no extra RNG draws, no hash change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkErrorSpec {
+    /// The per-link residual error model (`None` = clean links, with
+    /// only the dup/reorder knobs active).
+    pub model: Option<LinkErrorModel>,
+    /// Probability a delivered frame arrives twice back-to-back (the
+    /// duplicate takes its own corruption draws).
+    pub dup: f64,
+    /// Probability a delivered aggregate's subframes arrive rotated by
+    /// one position (intra-aggregate reorder).
+    pub reorder: f64,
+}
+
+impl LinkErrorSpec {
+    /// A spec carrying only an error model (no dup/reorder).
+    pub fn model(model: LinkErrorModel) -> Self {
+        LinkErrorSpec { model: Some(model), dup: 0.0, reorder: 0.0 }
+    }
+}
+
 /// A complete, declarative description of one simulation run.
 ///
 /// `build()` turns it into a ready [`World`]; `run()` executes it and
@@ -363,6 +389,9 @@ pub struct ScenarioSpec {
     /// Optional fault injection: (frame drop chance, subframe corrupt
     /// chance), smoltcp style.
     pub fault: Option<(f64, f64)>,
+    /// Optional per-link channel perturbations: residual error model
+    /// (independent or Gilbert–Elliott bursty) plus dup/reorder knobs.
+    pub link_error: Option<LinkErrorSpec>,
     /// Optional per-node broadcast flooding.
     pub flooding: Option<Flooding>,
     /// Warm-up before CBR measurement starts (ignored by pure file
@@ -431,6 +460,7 @@ impl std::fmt::Debug for ScenarioSpec {
             .field("flush_timeout", &self.flush_timeout)
             .field("tcp", &self.tcp)
             .field("fault", &self.fault)
+            .field("link_error", &self.link_error)
             .field("flooding", &self.flooding)
             .field("warmup", &self.warmup)
             .field("duration", &self.duration)
@@ -457,6 +487,7 @@ impl ScenarioSpec {
             flush_timeout: None,
             tcp: TcpConfig::hydra_paper(),
             fault: None,
+            link_error: None,
             flooding: None,
             warmup: Duration::ZERO,
             duration: Duration::from_secs(300),
@@ -551,6 +582,12 @@ impl ScenarioSpec {
         if self.medium == MediumKind::SharedDomain {
             repr = repr.replacen("medium: SharedDomain, ", "", 1);
         }
+        // Same rule for the per-link error model: the `None` default is
+        // exactly the pre-link-error channel, so it must not perturb a
+        // single legacy hash. Configured specs hash the field as usual.
+        if self.link_error.is_none() {
+            repr = repr.replacen("link_error: None, ", "", 1);
+        }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
             h ^= u64::from(b);
@@ -605,6 +642,12 @@ impl ScenarioSpec {
         let mut world = World::with_medium(&topo, profile, channel, self.seed, self.medium, |i| {
             self.mac_config(i, &relays)
         });
+        if let Some(le) = self.link_error {
+            // Per-link streams are derived statelessly from the seed and
+            // the link id, so a restricted (sharded) build reproduces
+            // each of its links' draws bit-for-bit.
+            world.set_link_error(le);
+        }
 
         let stop = Instant::ZERO + self.warmup + self.duration + Duration::from_secs(1);
         for (i, f) in flows.iter().enumerate() {
@@ -1187,7 +1230,11 @@ mod tests {
         let spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
         assert!(format!("{spec:?}").contains("medium: SharedDomain"));
         let strip = |s: &ScenarioSpec| {
-            let repr = format!("{s:?}").replacen("medium: SharedDomain, ", "", 1);
+            let repr = format!("{s:?}").replacen("medium: SharedDomain, ", "", 1).replacen(
+                "link_error: None, ",
+                "",
+                1,
+            );
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in repr.bytes() {
                 h ^= u64::from(b);
@@ -1240,8 +1287,9 @@ mod tests {
              rto_initial: Duration { nanos: 1000000000 }, rto_min: Duration { nanos: 200000000 }, \
              rto_max: Duration { nanos: 60000000000 }, delayed_ack: false, \
              delayed_ack_timeout: Duration { nanos: 40000000 }, max_retransmits: 12, \
-             time_wait: Duration { nanos: 500000000 } }, fault: None, flooding: None, \
-             warmup: Duration { nanos: 0 }, duration: Duration { nanos: 300000000000 }, seed: 1 }"
+             time_wait: Duration { nanos: 500000000 } }, fault: None, link_error: None, \
+             flooding: None, warmup: Duration { nanos: 0 }, \
+             duration: Duration { nanos: 300000000000 }, seed: 1 }"
         );
         assert_eq!(plain.stable_hash(), 0xf4a8_be67_a0cd_9e2b);
 

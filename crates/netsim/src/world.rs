@@ -11,13 +11,17 @@
 
 use hydra_core::{Mac, MacConfig, MacInput, MacOutput};
 use hydra_phy::medium::{BusyEdge, Delivery, TxId};
-use hydra_phy::{apply_channel, ChannelStack, LinkBudget, Medium, OnAirFrame, PhyProfile, Placement};
-use hydra_sim::{Duration, EventQueue, Instant, QueueStats, Rng, TimerToken};
+use hydra_phy::{
+    apply_channel, ChannelStack, LinkBudget, LinkErrorModel, LinkErrorPass, LinkErrorState, Medium,
+    OnAirFrame, PhyProfile, Placement, LINK_ERROR_STREAM,
+};
+use hydra_sim::{stream_seed, Duration, EventQueue, Instant, QueueStats, Rng, TimerToken};
 use hydra_tcp::{OutboundSegment, TcpStack};
 use hydra_wire::ipv4::IpProtocol;
 use hydra_wire::{MacAddr, Payload};
 
 use crate::node::{Apps, Node};
+use crate::spec::LinkErrorSpec;
 use crate::topology::Topology;
 
 /// Carrier-sense detection latency: a node whose backoff expires in the
@@ -103,6 +107,18 @@ pub struct World {
     channel_rng: Vec<Rng>,
     /// Node → collision-domain index (indexes `channel_rng`).
     component_of: Vec<u32>,
+    /// Per-link error/dup/reorder configuration (`None` = clean links:
+    /// the pre-link-error delivery path, zero extra RNG draws).
+    link_error: Option<LinkErrorSpec>,
+    /// Root of the per-link error streams: `stream_seed(seed,
+    /// LINK_ERROR_STREAM)`, derived statelessly so it neither perturbs
+    /// nor depends on the master fork order.
+    link_error_root: u64,
+    /// Lazily created per-link error states, keyed by the packed
+    /// directed link id `(tx << 32) | rx`. Lazy creation is safe because
+    /// each stream is derived from `link_error_root` and the link id
+    /// alone — first-use order cannot change any link's draws.
+    link_states: std::collections::HashMap<u64, LinkErrorState>,
     /// In-flight frames, slab-indexed by [`TxId::index`] (ids are dense
     /// and reused, so this stays as small as the peak concurrency).
     in_flight: Vec<Option<OnAirFrame>>,
@@ -195,6 +211,9 @@ impl World {
             channel,
             channel_rng,
             component_of,
+            link_error: None,
+            link_error_root: stream_seed(seed, LINK_ERROR_STREAM),
+            link_states: std::collections::HashMap::new(),
             in_flight: Vec::new(),
             collisions: 0,
             events_processed: 0,
@@ -206,6 +225,14 @@ impl World {
             app_out_pool: Vec::new(),
             tcp_activity: false,
         }
+    }
+
+    /// Enables per-link channel perturbations (residual error model,
+    /// duplication, reorder). Call before [`World::start`]; with the
+    /// default (`None`) the delivery path is byte-identical to the
+    /// pre-link-error world and consumes zero extra RNG draws.
+    pub fn set_link_error(&mut self, spec: LinkErrorSpec) {
+        self.link_error = Some(spec);
     }
 
     /// Current virtual time.
@@ -485,24 +512,108 @@ impl World {
             }
             let rng = &mut self.channel_rng[self.component_of[d.receiver] as usize];
             let rx = apply_channel(&frame, d.snr_db, &mut self.channel, rng, &self.profile);
-            match rx {
-                Some(OnAirFrame::Aggregate { psdu: rx_psdu, .. })
-                    if agg
-                        .is_some_and(|(_, p)| rx_psdu.as_ptr() == p.as_ptr() && rx_psdu.len() == p.len()) =>
-                {
-                    let (hdr, psdu) = agg.expect("checked above");
+            let Some(rx) = rx else {
+                self.nodes[d.receiver].channel_drops += 1;
+                continue;
+            };
+            match self.link_error {
+                None => self.deliver_rx(d.receiver, rx, false, agg, &mut shared_parse),
+                Some(le) => {
+                    // Per-link pass: one GE state advance per transmission,
+                    // then an independent corruption pass (and reorder draw)
+                    // per arriving copy — all on the link's own RNG stream,
+                    // so the shared `channel_rng` draws above are untouched.
+                    let copies = self.link_error_copies(le, node, d.receiver, d.snr_db, rx);
+                    for c in copies {
+                        let Some((out, reorder)) = c else { continue };
+                        self.deliver_rx(d.receiver, out, reorder, agg, &mut shared_parse);
+                    }
+                }
+            }
+        }
+        self.delivery_pool.push(deliveries);
+    }
+
+    /// Applies the per-link error model to one delivery, returning the
+    /// one or (duplication) two copies that actually arrive, each with
+    /// its reorder flag. Draw order per transmission is fixed — state
+    /// advance, dup decision, then per copy the corruption pass and the
+    /// reorder draw — and every draw comes from the link's own stream.
+    /// The duplicate takes its *own* corruption draws: the two copies
+    /// share backing bytes only while both remain undamaged.
+    fn link_error_copies(
+        &mut self,
+        le: LinkErrorSpec,
+        tx_node: usize,
+        rx_node: usize,
+        snr_db: f64,
+        rx: OnAirFrame,
+    ) -> [Option<(OnAirFrame, bool)>; 2] {
+        let root = self.link_error_root;
+        let st = self.link_states.entry(((tx_node as u64) << 32) | rx_node as u64).or_insert_with(|| {
+            let model = le.model.unwrap_or(LinkErrorModel::Independent { ber: 0.0 });
+            LinkErrorState::new(model, root, tx_node, rx_node)
+        });
+        let p = st.begin_frame();
+        let dup = le.dup > 0.0 && st.rng.chance(le.dup);
+        let profile = &self.profile;
+        let copy = |st: &mut LinkErrorState| {
+            let out = if p > 0.0 {
+                apply_channel(&rx, snr_db, &mut LinkErrorPass { p }, &mut st.rng, profile)
+                    .expect("LinkErrorPass never drops frames")
+            } else {
+                rx.clone()
+            };
+            let reorder = le.reorder > 0.0 && st.rng.chance(le.reorder);
+            (out, reorder)
+        };
+        let first = copy(st);
+        let second = if dup { Some(copy(st)) } else { None };
+        [Some(first), second]
+    }
+
+    /// Feeds one received copy to the receiver's MAC, choosing between
+    /// the shared trusted parse (bytes still alias the transmitted
+    /// buffer — every FCS known-good), a fresh *checked* parse for
+    /// reordered aggregates, and the MAC's own parse for everything
+    /// else. The alias test runs on the **final** post-all-passes PSDU
+    /// of *this* copy, so a duplicated frame whose own corruption draws
+    /// landed (different bytes, private buffer) can never ride its clean
+    /// twin's trusted parse.
+    fn deliver_rx<'f>(
+        &mut self,
+        receiver: usize,
+        rx: OnAirFrame,
+        reorder: bool,
+        agg: Option<(&'f hydra_wire::PhyHeader, &'f Payload)>,
+        shared_parse: &mut Option<Vec<hydra_wire::ParsedSubframe<'f>>>,
+    ) {
+        match rx {
+            OnAirFrame::Aggregate { phy_hdr, psdu, slots } => {
+                let aliases = agg.is_some_and(|(_, p)| psdu.as_ptr() == p.as_ptr() && psdu.len() == p.len());
+                if aliases && !reorder {
+                    let (hdr, tx_psdu) = agg.expect("aliases implies agg");
                     // Trusted parse: the PSDU pointer-matches the buffer
                     // the assembler built, so every FCS is known-good by
                     // construction — no CRC pass at all on the clean path.
                     let parsed =
-                        shared_parse.get_or_insert_with(|| hydra_wire::parse_aggregate_trusted(hdr, psdu));
-                    self.mac_input_rx_parsed(d.receiver, hdr, psdu, parsed);
+                        shared_parse.get_or_insert_with(|| hydra_wire::parse_aggregate_trusted(hdr, tx_psdu));
+                    self.mac_input_rx_parsed(receiver, hdr, tx_psdu, parsed);
+                } else if reorder {
+                    // Reordered copies need their own *checked* parse (the
+                    // bytes may carry this copy's corruption), rotated so
+                    // the MAC sees the subframes out of order.
+                    let mut parsed = hydra_wire::parse_aggregate(&phy_hdr, &psdu);
+                    if parsed.len() > 1 {
+                        parsed.rotate_left(1);
+                    }
+                    self.mac_input_rx_parsed(receiver, &phy_hdr, &psdu, &parsed);
+                } else {
+                    self.mac_input(receiver, MacInput::Rx(OnAirFrame::Aggregate { phy_hdr, psdu, slots }));
                 }
-                Some(rx) => self.mac_input(d.receiver, MacInput::Rx(rx)),
-                None => self.nodes[d.receiver].channel_drops += 1,
             }
+            other => self.mac_input(receiver, MacInput::Rx(other)),
         }
-        self.delivery_pool.push(deliveries);
     }
 
     // ------------------------------------------------------------------

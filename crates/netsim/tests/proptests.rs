@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 
-use hydra_netsim::{FlowTraffic, MediumKind, Policy, ScenarioSpec, Topology, TopologyKind};
-use hydra_phy::Rate;
+use hydra_netsim::{FlowTraffic, LinkErrorSpec, MediumKind, Policy, ScenarioSpec, Topology, TopologyKind};
+use hydra_phy::{LinkErrorModel, Rate};
 use hydra_sim::Duration;
 
 /// A short mixed-traffic scenario on a random ≤12-node placement.
@@ -66,6 +66,33 @@ proptest! {
             let sparse = spec.run();
             let dense = spec.run_dense_reference();
             prop_assert_eq!(sparse, dense, "sparse diverged from dense reference (shared domain)");
+        }
+    }
+
+    /// Per-link channel errors (bursty loss + dup + reorder) on random
+    /// placements: the link-error RNG streams are stateless per-link
+    /// derivations, so sparse, dense, and sharded engines must all see
+    /// the same per-link draw sequences whatever their event order.
+    #[test]
+    fn link_error_worlds_are_engine_independent(
+        nodes in 3usize..10,
+        area_m in 8u32..30,
+        seed in 0u64..1_000_000,
+        p_gb in 0.01f64..0.5,
+        p_bg in 0.05f64..0.9,
+        ber_bad in 0.05f64..0.5,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+    ) {
+        if let Some(mut spec) = mesh_spec(nodes, area_m, seed, true) {
+            spec.link_error = Some(LinkErrorSpec {
+                model: Some(LinkErrorModel::GilbertElliott { p_gb, p_bg, ber_good: 0.0, ber_bad }),
+                dup,
+                reorder,
+            });
+            let sparse = spec.run();
+            prop_assert_eq!(&spec.run_dense_reference(), &sparse, "dense diverged under link errors");
+            prop_assert_eq!(&spec.run_sharded(4), &sparse, "sharded diverged under link errors");
         }
     }
 }

@@ -10,6 +10,8 @@
 //! * [`channel`] — composable channel models: AWGN, channel-estimate
 //!   coherence staleness (the 120 Ksample cliff of paper §6.1), fault
 //!   injection;
+//! * [`link_error`] — per-link residual error: independent or bursty
+//!   (two-state Gilbert–Elliott), on deterministic per-link RNG streams;
 //! * [`medium`] — the broadcast medium with carrier-sense edges,
 //!   half-duplex constraints, and collision tracking; fully connected
 //!   (the paper's bench) or range-limited per directed link;
@@ -26,6 +28,7 @@
 pub mod ber;
 pub mod channel;
 pub mod frame;
+pub mod link_error;
 pub mod medium;
 pub mod placement;
 pub mod profile;
@@ -36,6 +39,7 @@ pub use channel::{
     SubframeCtx,
 };
 pub use frame::{Airtime, OnAirFrame};
+pub use link_error::{link_stream, LinkErrorModel, LinkErrorPass, LinkErrorState, LINK_ERROR_STREAM};
 pub use medium::{BusyEdge, Delivery, Medium, TxId};
 pub use placement::{GridIndex, Link, LinkBudget, Placement};
 pub use profile::PhyProfile;
