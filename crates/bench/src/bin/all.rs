@@ -14,6 +14,11 @@ use std::io::Write;
 
 use hydra_bench::ResultCache;
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut opts = hydra_bench::experiments::Opts::default();
     let mut use_cache = true;
@@ -23,32 +28,52 @@ fn main() {
         match argv[i].as_str() {
             "--seeds" => {
                 i += 1;
-                opts.seeds = argv.get(i).and_then(|v| v.parse().ok()).expect("bad --seeds");
+                opts.seeds = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --seeds"));
             }
             "--threads" => {
                 i += 1;
-                opts.threads = argv.get(i).and_then(|v| v.parse().ok()).expect("bad --threads");
+                opts.threads =
+                    argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --threads"));
             }
             "--no-cache" => use_cache = false,
-            other => panic!("unknown argument {other}"),
+            other => die(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     if use_cache {
-        let cache = ResultCache::open_default().expect("open results/cache");
-        eprintln!("result cache: {} runs on disk", cache.len());
-        opts.cache = Some(cache.shared());
+        // A damaged or unopenable cache degrades to cache-less — it
+        // must never keep the grid from running.
+        match ResultCache::open_default() {
+            Ok(cache) => {
+                eprintln!("result cache: {} runs on disk", cache.len());
+                opts.cache = Some(cache.shared());
+            }
+            Err(e) => eprintln!("warning: result cache unavailable ({e}); simulating everything"),
+        }
     }
     let text = hydra_bench::experiments::run_all(&opts);
     std::fs::create_dir_all("results").ok();
-    let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");
-    f.write_all(text.as_bytes()).expect("write results");
+    let mut f = std::fs::File::create("results/experiments.txt")
+        .unwrap_or_else(|e| die(&format!("create results/experiments.txt: {e}")));
+    f.write_all(text.as_bytes()).unwrap_or_else(|e| die(&format!("write results/experiments.txt: {e}")));
     eprintln!("wrote results/experiments.txt");
     if let Some(cache) = &opts.cache {
-        let stats = cache.lock().expect("cache poisoned").stats();
+        let stats = hydra_bench::lock_cache(cache).stats();
         eprintln!(
-            "result cache: {} hits, {} misses ({} runs simulated)",
-            stats.hits, stats.misses, stats.misses
+            "result cache: {} hits, {} misses ({} runs simulated){}",
+            stats.hits,
+            stats.misses,
+            stats.misses,
+            if stats.quarantined > 0 {
+                format!(", {} corrupt record(s) quarantined", stats.quarantined)
+            } else {
+                String::new()
+            }
         );
+    }
+    let failures = opts.failure_count();
+    if failures > 0 {
+        eprintln!("{failures} replication(s) FAILED — the affected cells are labeled in the tables");
+        std::process::exit(1);
     }
 }

@@ -22,7 +22,7 @@
 use std::io::Write as _;
 
 use hydra_bench::experiments::{scale_profile_specs, shipped_sweeps};
-use hydra_bench::ExperimentRunner;
+use hydra_bench::{CellResult, ExperimentRunner};
 use hydra_netsim::RunPerf;
 use hydra_netsim::{parse_scn, ScenarioSpec, TopologyKind};
 
@@ -65,6 +65,15 @@ options:
                        speeds up less than X times over the dense
                        reference (wall-clock; for record-generating
                        runs on quiet machines, not shared CI runners)
+  --chaos              fault-injection proof instead of profiling: run
+                       the smoke grid fault-free, re-run it with a
+                       deterministic failpoint schedule (a mid-run
+                       panic, a budget stall, a hard IO fault, plus a
+                       transient IO fault the bounded retry absorbs),
+                       assert failed cells carry FAILED(reason) labels
+                       and surviving cells are byte-identical to the
+                       fault-free pass, print `chaos=ok`, exit
+  --chaos-seed N       seed for the chaos fault schedule (default 7)
   --note TEXT          free-form provenance note embedded in the report
   --help               this text
 ";
@@ -79,6 +88,8 @@ struct Args {
     assert_events_per_s: Option<f64>,
     assert_scale_speedup: Option<f64>,
     note: Option<String>,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 /// Which event-queue backend the grid runs on.
@@ -108,6 +119,8 @@ fn parse_args() -> Args {
         assert_events_per_s: None,
         assert_scale_speedup: None,
         note: None,
+        chaos: false,
+        chaos_seed: 7,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -140,6 +153,8 @@ fn parse_args() -> Args {
                 a.assert_scale_speedup =
                     Some(val(&mut i).parse().unwrap_or_else(|_| die("bad speedup floor")))
             }
+            "--chaos" => a.chaos = true,
+            "--chaos-seed" => a.chaos_seed = val(&mut i).parse().unwrap_or_else(|_| die("bad --chaos-seed")),
             "--note" => a.note = Some(val(&mut i)),
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -250,8 +265,122 @@ fn run_scale() -> Vec<ScaleRow> {
         .collect()
 }
 
+/// One scheduled fault of the `--chaos` proof.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Fault {
+    /// `run.mid_event` panics mid-simulation; the cell must be
+    /// isolated and render `FAILED(panic)`.
+    Panic,
+    /// `run.mid_event` latches budget exhaustion; `FAILED(budget)`.
+    BudgetStall,
+    /// `run.io` fails every attempt, exhausting the bounded retry;
+    /// `FAILED(io)`.
+    HardIo,
+    /// `run.io` fails exactly once; the retry must absorb it and the
+    /// cell must match the fault-free pass byte for byte.
+    TransientIo,
+}
+
+/// The `--chaos` proof: the smoke grid fault-free, then again under a
+/// deterministic `stream_seed`-derived fault schedule. At least three
+/// cells take killing faults (panic / budget stall / hard IO) and one
+/// more takes a transient IO fault; the sweep must complete anyway,
+/// failed cells must label themselves, and every surviving cell —
+/// transient-IO victim included — must be byte-identical to its
+/// fault-free twin.
+fn run_chaos(chaos_seed: u64, seeds: u64) -> ! {
+    use hydra_sim::failpoint::{self, FailAction};
+    let specs = smoke_grid().remove(0).1;
+    let ncells = specs.len();
+    assert!(ncells >= 4, "chaos proof needs the 4-cell smoke grid");
+
+    // Victim selection: draw seed-derived cell indices until four
+    // distinct cells are picked, then pair them with the fault kinds
+    // in order. Same seed → same schedule, on any machine.
+    let mut victims: Vec<usize> = Vec::new();
+    let mut draw = 0u64;
+    while victims.len() < 4 {
+        let idx = (hydra_sim::stream_seed(chaos_seed, draw) % ncells as u64) as usize;
+        if !victims.contains(&idx) {
+            victims.push(idx);
+        }
+        draw += 1;
+    }
+    let faults = [Fault::Panic, Fault::BudgetStall, Fault::HardIo, Fault::TransientIo];
+    let plan: Vec<(usize, Fault)> = victims.into_iter().zip(faults).collect();
+    let planned = |i: usize| plan.iter().find(|(v, _)| *v == i).map(|&(_, f)| f);
+
+    let runner = ExperimentRunner::sequential();
+    failpoint::disarm_all();
+    let baseline: Vec<CellResult> =
+        specs.iter().map(|s| runner.run_sweep(std::slice::from_ref(s), seeds).remove(0)).collect();
+    if let Some(bad) = baseline.iter().find(|c| c.failed()) {
+        die(&format!("fault-free baseline already fails: {}", bad.failed_label()));
+    }
+
+    // The injected panics are expected; keep them off stderr so the CI
+    // log shows only the verdict lines.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos: Vec<CellResult> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            failpoint::disarm_all();
+            match planned(i) {
+                Some(Fault::Panic) => failpoint::arm("run.mid_event", FailAction::Panic, 50, u64::MAX),
+                Some(Fault::BudgetStall) => failpoint::arm("run.mid_event", FailAction::Stall, 50, u64::MAX),
+                Some(Fault::HardIo) => failpoint::arm("run.io", FailAction::Io, 0, u64::MAX),
+                Some(Fault::TransientIo) => failpoint::arm("run.io", FailAction::Io, 0, 1),
+                None => {}
+            }
+            let cell = runner.run_sweep(std::slice::from_ref(s), seeds).remove(0);
+            failpoint::disarm_all();
+            cell
+        })
+        .collect();
+    std::panic::set_hook(prev_hook);
+
+    let mut failed = 0usize;
+    for (i, (b, c)) in baseline.iter().zip(&chaos).enumerate() {
+        match planned(i) {
+            Some(fault @ (Fault::Panic | Fault::BudgetStall | Fault::HardIo)) => {
+                let expect = match fault {
+                    Fault::Panic => "FAILED(panic)",
+                    Fault::BudgetStall => "FAILED(budget)",
+                    _ => "FAILED(io)",
+                };
+                if !c.failed() || c.failed_label() != expect {
+                    die(&format!(
+                        "chaos cell {i}: expected {expect}, got failed={} label={}",
+                        c.failed(),
+                        c.failed_label()
+                    ));
+                }
+                eprintln!("chaos cell {i}: {} (injected {fault:?}, isolated)", c.failed_label());
+                failed += 1;
+            }
+            Some(Fault::TransientIo) | None => {
+                if c.runs != b.runs {
+                    die(&format!("chaos cell {i}: surviving cell diverged from the fault-free run"));
+                }
+                let note = match planned(i) {
+                    Some(_) => "transient IO absorbed by retry, ",
+                    None => "",
+                };
+                eprintln!("chaos cell {i}: ok ({note}byte-identical to fault-free)");
+            }
+        }
+    }
+    println!("chaos=ok cells={ncells} failed={failed} survivors={}", ncells - failed);
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos(args.chaos_seed, args.seeds.max(2));
+    }
     let grids = match args.grid.as_str() {
         "full" => shipped_sweeps().into_iter().map(|(n, s)| (n.to_string(), s)).collect(),
         "smoke" => smoke_grid(),
@@ -278,9 +407,12 @@ fn main() {
             })
         };
         let runs: Vec<_> = match args.queue {
-            QueueMode::Wheel => {
-                runner.run_sweep(&specs, args.seeds).into_iter().flat_map(|c| c.runs).collect()
-            }
+            QueueMode::Wheel => runner
+                .run_sweep(&specs, args.seeds)
+                .into_iter()
+                .flat_map(|c| c.runs)
+                .map(|r| r.unwrap_or_else(|e| die(&format!("profiling run failed in {name}: {e}"))))
+                .collect(),
             QueueMode::Heap => jobs().map(|spec| spec.run_heap_reference()).collect(),
             QueueMode::Check => jobs()
                 .map(|spec| {
@@ -418,7 +550,7 @@ fn main() {
     }
     let mut f =
         std::fs::File::create(&args.out).unwrap_or_else(|e| die(&format!("create {}: {e}", args.out)));
-    f.write_all(j.as_bytes()).expect("write report");
+    f.write_all(j.as_bytes()).unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
     // Machine-comparable determinism lines for CI (no wall times; the
     // stale/rearm tallies are deterministic too — lazy cancellation is
     // part of the simulated schedule, not of measurement).

@@ -444,36 +444,54 @@ fn main() {
     for (i, r) in cell.runs.iter().enumerate() {
         // Print the derived world seed so any run can be replayed
         // exactly via ScenarioSpec::with_seed(world_seed).run().
-        println!(
-            "run {} (world seed {:#018x}): {} {:.3} Mbps (flows: {:?})",
-            i + 1,
-            ExperimentRunner::run_seed(&spec, i as u64 + 1),
-            if r.completed { "ok  " } else { "STUCK" },
-            r.throughput_bps / 1e6,
-            r.per_flow_bps().iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
-        );
+        let seed = ExperimentRunner::run_seed(&spec, i as u64 + 1);
+        match r {
+            Ok(run) => println!(
+                "run {} (world seed {seed:#018x}): {} {:.3} Mbps (flows: {:?})",
+                i + 1,
+                if run.completed { "ok  " } else { "STUCK" },
+                run.throughput_bps / 1e6,
+                run.per_flow_bps().iter().map(|x| (x / 1e3).round() / 1e3).collect::<Vec<_>>()
+            ),
+            Err(e) => println!("run {} (world seed {seed:#018x}): FAILED({}) — {e}", i + 1, e.reason()),
+        }
     }
     // The labeled per-flow breakdown: one row per flow, means across
-    // seeds, plus run 1's delivered bytes and completion time.
+    // the surviving seeds, plus the first surviving run's delivered
+    // bytes and completion time.
     let flows = spec.effective_flows();
     let mut t = Table::new(
         format!("per-flow results ({} seed(s))", a.seeds),
         &["flow", "kind", "mean Mbps", "bytes (run 1)", "done at (run 1)"],
     );
     for (j, f) in flows.iter().enumerate() {
-        let mean = cell.runs.iter().map(|r| r.per_flow[j].bps).sum::<f64>() / cell.runs.len() as f64;
-        let first = &cell.runs[0].per_flow[j];
+        let (mut sum, mut n) = (0.0, 0u32);
+        for r in cell.ok_runs() {
+            sum += r.per_flow[j].bps;
+            n += 1;
+        }
+        let (mean_cell, bytes_cell, done_cell) = match cell.first() {
+            Some(first) => {
+                let flow = &first.per_flow[j];
+                (
+                    format!("{:.3}", sum / f64::from(n.max(1)) / 1e6),
+                    flow.bytes.to_string(),
+                    flow.completed_at.map_or("-".into(), |at| format!("{:.3}s", at.as_nanos() as f64 / 1e9)),
+                )
+            }
+            None => (cell.failed_label(), "-".into(), "-".into()),
+        };
         t.row(vec![
             format!("{}>{}:{}", f.src, f.dst, f.port),
             f.traffic.kind().label().into(),
-            format!("{:.3}", mean / 1e6),
-            first.bytes.to_string(),
-            first.completed_at.map_or("-".into(), |at| format!("{:.3}s", at.as_nanos() as f64 / 1e9)),
+            mean_cell,
+            bytes_cell,
+            done_cell,
         ]);
     }
     println!();
     t.print();
-    if let (Some(&relay), Some(first)) = (spec.relays().first(), cell.runs.first()) {
+    if let (Some(&relay), Some(first)) = (spec.relays().first(), cell.first()) {
         let rel = &first.report.nodes[relay];
         println!(
             "\nrelay (node {relay}, run 1): {} TXs, avg {:.0} B, {:.2} subframes, time-ovh {:.1}%, {} retries",
@@ -485,4 +503,8 @@ fn main() {
         );
     }
     println!("\nmean {metric}: {:.3} Mbps over {} seeds", cell.mean_throughput_bps() / 1e6, a.seeds);
+    if cell.failed() {
+        eprintln!("{} replication(s) FAILED", cell.runs.iter().filter(|r| r.is_err()).count());
+        std::process::exit(1);
+    }
 }

@@ -123,15 +123,21 @@ fn run_file(runner: &ExperimentRunner, path: &str, cli_seeds: Option<u64>) {
     };
     let mut t = Table::new(title, &["#", "scenario", "mean Mbps", "per-seed Mbps"]);
     for (i, cell) in cells.iter().enumerate() {
-        let per_seed: Vec<String> =
-            cell.runs.iter().map(|r| format!("{:.3}", r.throughput_bps / 1e6)).collect();
-        let stuck = cell.runs.iter().any(|r| !r.completed);
-        t.row(vec![
-            format!("{i}"),
-            cell.spec.to_scn(),
-            format!("{:.3}{}", cell.mean_throughput_bps() / 1e6, if stuck { " (STUCK)" } else { "" }),
-            per_seed.join(" "),
-        ]);
+        let per_seed: Vec<String> = cell
+            .runs
+            .iter()
+            .map(|r| match r {
+                Ok(run) => format!("{:.3}", run.throughput_bps / 1e6),
+                Err(e) => format!("FAILED({})", e.reason()),
+            })
+            .collect();
+        let stuck = cell.ok_runs().any(|r| !r.completed);
+        let mean = if cell.first().is_some() {
+            format!("{:.3}{}", cell.mean_throughput_bps() / 1e6, if stuck { " (STUCK)" } else { "" })
+        } else {
+            cell.failed_label()
+        };
+        t.row(vec![format!("{i}"), cell.spec.to_scn(), mean, per_seed.join(" ")]);
     }
     for note in &file.meta.notes {
         t.note(note.clone());
@@ -163,10 +169,22 @@ fn main() {
         run_file(&runner, file, a.seeds);
     }
     if let Some(cache) = cache {
-        let stats = cache.lock().expect("cache poisoned").stats();
+        let stats = hydra_bench::lock_cache(&cache).stats();
         eprintln!(
-            "result cache: {} hits, {} misses ({} runs simulated)",
-            stats.hits, stats.misses, stats.misses
+            "result cache: {} hits, {} misses ({} runs simulated){}",
+            stats.hits,
+            stats.misses,
+            stats.misses,
+            if stats.quarantined > 0 {
+                format!(", {} corrupt record(s) quarantined", stats.quarantined)
+            } else {
+                String::new()
+            }
         );
+    }
+    let failures = runner.failure_count();
+    if failures > 0 {
+        eprintln!("{failures} replication(s) FAILED — see the per-seed columns above");
+        std::process::exit(1);
     }
 }

@@ -30,11 +30,15 @@ pub struct Opts {
     /// Persistent result cache shared by every experiment; `None` =
     /// always simulate (hermetic, e.g. under test).
     pub cache: Option<crate::sweeps::SharedCache>,
+    /// Failed-replication tally shared by every runner these options
+    /// build; the driving binary reads it to pick its exit code after
+    /// the whole grid — failures degrade cells, they never abort runs.
+    pub failures: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { seeds: 3, threads: 0, cache: None }
+        Opts { seeds: 3, threads: 0, cache: None, failures: Default::default() }
     }
 }
 
@@ -54,11 +58,17 @@ impl Opts {
     }
 
     fn runner(&self) -> ExperimentRunner {
-        let runner = ExperimentRunner::new(self.threads);
+        let runner = ExperimentRunner::new(self.threads).with_failure_counter(self.failures.clone());
         match &self.cache {
             Some(cache) => runner.with_cache(cache.clone()),
             None => runner,
         }
+    }
+
+    /// Failed replications across every runner built from these
+    /// options so far.
+    pub fn failure_count(&self) -> u64 {
+        self.failures.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -212,7 +222,7 @@ pub fn fig07_agg_size(opts: &Opts) -> Table {
         Table::new(caption("fig07_agg_size"), &["max agg (KB)", "0.65 Mbps", "1.30 Mbps", "1.95 Mbps"]);
     for (kb, row) in sizes_kb.iter().zip(results) {
         let mut cells = vec![format!("{kb}")];
-        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
+        cells.extend(row.iter().map(|c| c.cell_with(|r| mbps(r.throughput_bps))));
         t.row(cells);
     }
     for (rate, thr) in paper::FIG7_THRESHOLDS {
@@ -251,16 +261,20 @@ pub fn table2_udp(opts: &Opts) -> Table {
     for ((&(rate, _), row), (p_rate, p_na, p_ua, p_gain)) in intervals.iter().zip(&results).zip(paper::TABLE2)
     {
         assert_eq!(rate.mbps(), p_rate);
-        let (na, ua) = (row[0].first().throughput_bps, row[1].first().throughput_bps);
-        let gain = (ua / na - 1.0) * 100.0;
+        let (na, ua) = (row[0].mean_throughput_bps(), row[1].mean_throughput_bps());
+        let gain = if row[0].failed() || row[1].failed() || na == 0.0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", (ua / na - 1.0) * 100.0)
+        };
         t.row(vec![
             format!("{rate}"),
             format!("{p_na:.3}"),
-            mbps(na),
+            row[0].mean_cell(),
             format!("{p_ua:.3}"),
-            mbps(ua),
+            row[1].mean_cell(),
             format!("{p_gain:.1}%"),
-            format!("{gain:.1}%"),
+            gain,
         ]);
     }
     t.note("offered load set to the paper's UA operating point (~1.1x NA capacity)");
@@ -334,7 +348,7 @@ pub fn fig09_flooding(opts: &Opts) -> Table {
     );
     for (f, row) in floods.iter().zip(&results) {
         let mut cells = vec![format!("{:.2}s", *f as f64 / 1000.0)];
-        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
+        cells.extend(row.iter().map(|c| c.cell_with(|r| mbps(r.throughput_bps))));
         t.row(cells);
     }
     t.note("paper: gap between aggregation and NA widens as the flooding interval shrinks");
@@ -552,7 +566,7 @@ pub fn table3_relay_specs() -> Vec<ScenarioSpec> {
 pub fn table3_relay(opts: &Opts) -> Table {
     let policies = [(Policy::Na, "NA"), (Policy::Ua, "UA"), (Policy::Ba, "BA"), (Policy::Dba, "DBA")];
     let results = opts.runner().run_sweep(&table3_relay_specs(), 1);
-    let na_base = results[0].first().report.relay().tx_data_frames as f64;
+    let na_base = results[0].first().map(|r| r.report.relay().tx_data_frames as f64);
 
     let mut t = Table::new(
         caption("table3_relay"),
@@ -562,13 +576,31 @@ pub fn table3_relay(opts: &Opts) -> Table {
         policies.iter().zip(&results).zip(paper::TABLE3)
     {
         assert_eq!(name, p_name);
-        let rel = cell.first().report.relay();
+        let Some(run) = cell.first() else {
+            let failed = cell.failed_label();
+            t.row(vec![
+                name.into(),
+                bytes(p_size),
+                failed.clone(),
+                format!("{p_tx:.1}%"),
+                failed.clone(),
+                format!("{p_ovh:.2}%"),
+                failed,
+            ]);
+            continue;
+        };
+        let rel = run.report.relay();
+        let txs = match na_base {
+            Some(base) => format!("{:.1}%", rel.tx_data_frames as f64 / base * 100.0),
+            // The NA baseline cell failed: the ratio is uncomputable.
+            None => results[0].failed_label(),
+        };
         t.row(vec![
             name.into(),
             bytes(p_size),
             bytes(rel.avg_frame_size),
             format!("{p_tx:.1}%"),
-            format!("{:.1}%", rel.tx_data_frames as f64 / na_base * 100.0),
+            txs,
             format!("{p_ovh:.2}%"),
             pct(rel.size_overhead),
         ]);
@@ -598,7 +630,7 @@ pub fn table4_time_overhead(opts: &Opts) -> Table {
         let rate = RATES.iter().find(|r| r.mbps() == *p_rate).copied().unwrap();
         let mut cells = vec![format!("{rate}")];
         for (p, cell) in [p_na, p_ua, p_ba, p_dba].into_iter().zip(row) {
-            cells.push(format!("{p:.1} / {:.1}", cell.first().report.time_overhead_pct(1)));
+            cells.push(cell.cell_with(|r| format!("{p:.1} / {:.1}", r.report.time_overhead_pct(1))));
         }
         t.row(cells);
     }
@@ -634,12 +666,23 @@ pub fn table5_6_7_star(opts: &Opts) -> Vec<Table> {
         Table::new("Table 6 — relay size overhead (paper / here, %)", &["policy", "2-hop", "star"]);
     let mut tx_t =
         Table::new("Table 7 — relay TXs relative to NA (paper / here, %)", &["policy", "2-hop", "star"]);
-    let na2 = results[0].first().report.relay().tx_data_frames as f64;
+    // Every column is a ratio against the shared NA baseline, so a
+    // single failed cell makes the whole comparison uncomputable:
+    // degrade all three tables explicitly rather than abort the grid.
+    if let Some(bad) = results.iter().find(|c| c.first().is_none()) {
+        let label = bad.failed_label();
+        for t in [&mut size_t, &mut ovh_t, &mut tx_t] {
+            t.note(format!("unavailable: a replication {label}; rerun after the failure is fixed"));
+        }
+        return vec![size_t, ovh_t, tx_t];
+    }
+    let first = |i: usize| results[i].first().expect("no failures past the guard");
+    let na2 = first(0).report.relay().tx_data_frames as f64;
     // Paper convention: star NA baseline = 2x the 2-hop NA count.
     let na_star = na2 * 2.0;
     for (i, (_, name)) in policies.into_iter().enumerate() {
-        let r2 = results[1 + 2 * i].first().report.relay();
-        let rs = results[2 + 2 * i].first().report.relay();
+        let r2 = first(1 + 2 * i).report.relay();
+        let rs = first(2 + 2 * i).report.relay();
         size_t.row(vec![
             name.into(),
             format!("{:.0} / {:.0}", paper::TABLE5[i].1, r2.avg_frame_size),
@@ -689,8 +732,19 @@ pub fn table8_frame_sizes(opts: &Opts) -> Table {
         &["policy", "server(2)", "relay(2)", "client(2)", "server(3)", "relay1(3)", "relay2(3)", "client(3)"],
     );
     for ((i, (_, name)), row) in policies.into_iter().enumerate().zip(&results) {
-        let two = &row[0].first().report;
-        let three = &row[1].first().report;
+        let (Some(two), Some(three)) = (row[0].first(), row[1].first()) else {
+            let mark = |c: &CellResult| {
+                if c.first().is_none() {
+                    c.failed_label()
+                } else {
+                    "-".to_string()
+                }
+            };
+            let (m2, m3) = (mark(&row[0]), mark(&row[1]));
+            t.row(vec![name.into(), m2.clone(), m2.clone(), m2, m3.clone(), m3.clone(), m3.clone(), m3]);
+            continue;
+        };
+        let (two, three) = (&two.report, &three.report);
         let p = paper::TABLE8[i].1;
         let g = |r: &hydra_netsim::RunReport, n: usize| r.nodes[n].avg_frame_size;
         t.row(vec![
@@ -823,10 +877,14 @@ pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
         &["hops", "shared NA", "shared BA", "spatial NA", "spatial BA", "BA spatial gain"],
     );
     for (hops, row) in lengths.iter().zip(&results) {
-        let m: Vec<f64> = row.iter().map(|c| c.first().throughput_bps).collect();
         let mut cells = vec![format!("{hops}")];
-        cells.extend(m.iter().map(|&x| mbps(x)));
-        cells.push(format!("{:+.1}%", (m[3] / m[1] - 1.0) * 100.0));
+        cells.extend(row.iter().map(|c| c.cell_with(|r| mbps(r.throughput_bps))));
+        cells.push(match (row[1].first(), row[3].first()) {
+            (Some(shared), Some(spatial)) => {
+                format!("{:+.1}%", (spatial.throughput_bps / shared.throughput_bps - 1.0) * 100.0)
+            }
+            _ => "-".to_string(),
+        });
         reuse.row(cells);
     }
     reuse.note(
@@ -845,12 +903,17 @@ pub fn ext_spatial(opts: &Opts) -> Vec<Table> {
         &["spacing (m)", "RTS/CTS on", "RTS/CTS off", "handshake effect"],
     );
     for (spacing, row) in spacings.iter().zip(&results) {
-        let (on, off) = (row[0].first().throughput_bps, row[1].first().throughput_bps);
+        let effect = match (row[0].first(), row[1].first()) {
+            (Some(on), Some(off)) => {
+                format!("{:+.1}%", (on.throughput_bps / off.throughput_bps - 1.0) * 100.0)
+            }
+            _ => "-".to_string(),
+        };
         rts.row(vec![
             format!("{spacing}"),
-            mbps(on),
-            mbps(off),
-            format!("{:+.1}%", (on / off - 1.0) * 100.0),
+            row[0].cell_with(|r| mbps(r.throughput_bps)),
+            row[1].cell_with(|r| mbps(r.throughput_bps)),
+            effect,
         ]);
     }
     rts.note("2.5 m: one carrier-sense domain, the handshake is pure overhead (paper regime)");
@@ -896,9 +959,19 @@ pub fn ext_mixed_specs() -> Vec<Vec<ScenarioSpec>> {
         .collect()
 }
 
-/// Mean throughput of flow `idx` across a cell's replications, bit/s.
+/// Mean throughput of flow `idx` across a cell's *successful*
+/// replications, bit/s; 0.0 when none survived.
 fn mean_flow_bps(cell: &CellResult, idx: usize) -> f64 {
-    cell.runs.iter().map(|r| r.per_flow[idx].bps).sum::<f64>() / cell.runs.len() as f64
+    let (mut sum, mut n) = (0.0, 0u32);
+    for r in cell.ok_runs() {
+        sum += r.per_flow[idx].bps;
+        n += 1;
+    }
+    if n > 0 {
+        sum / f64::from(n)
+    } else {
+        0.0
+    }
 }
 
 /// Extension: the per-flow traffic engine runs a TCP file transfer and
@@ -927,7 +1000,12 @@ pub fn ext_mixed(opts: &Opts) -> Table {
         let mut cells = vec![label];
         // Flow 0 is the transfer, flow 1 (when present) the background.
         for cell in row {
-            let starved = cell.runs.iter().any(|r| !r.completed);
+            if cell.first().is_none() {
+                cells.push(cell.failed_label());
+                cells.push(cell.failed_label());
+                continue;
+            }
+            let starved = cell.ok_runs().any(|r| !r.completed);
             cells.push(format!("{}{}", mbps(mean_flow_bps(cell, 0)), if starved { "*" } else { "" }));
             cells.push(if cell.spec.effective_flows().len() > 1 {
                 mbps(mean_flow_bps(cell, 1))
@@ -936,7 +1014,13 @@ pub fn ext_mixed(opts: &Opts) -> Table {
             });
         }
         let (na, ba) = (mean_flow_bps(&row[0], 0), mean_flow_bps(&row[2], 0));
-        cells.push(if na > 0.0 { format!("{:+.1}%", (ba / na - 1.0) * 100.0) } else { "NA starved".into() });
+        cells.push(if row[0].first().is_none() || row[2].first().is_none() {
+            "-".into()
+        } else if na > 0.0 {
+            format!("{:+.1}%", (ba / na - 1.0) * 100.0)
+        } else {
+            "NA starved".into()
+        });
         t.row(cells);
     }
     t.note("one world per cell: 0.2 MB transfer 0->2:5001 + CBR background 0->2:9000 (160 B datagrams)");
@@ -1003,13 +1087,16 @@ pub fn ext_scale_specs() -> Vec<Vec<ScenarioSpec>> {
 fn flow_class_stats(cell: &CellResult, file: bool) -> (f64, usize, usize) {
     let mut sum = 0.0;
     let mut count = 0;
-    for run in &cell.runs {
+    for run in cell.ok_runs() {
         for f in run.per_flow.iter().filter(|f| f.flow.traffic.is_file() == file) {
             sum += f.bps;
             count += 1;
         }
     }
-    let first = &cell.first().per_flow;
+    let Some(first_run) = cell.first() else {
+        return (0.0, 0, 0);
+    };
+    let first = &first_run.per_flow;
     let total = first.iter().filter(|f| f.flow.traffic.is_file() == file).count();
     let good = first
         .iter()
@@ -1041,12 +1128,16 @@ pub fn ext_scale(opts: &Opts) -> Table {
         let (_, _, cbr_n) = flow_class_stats(&row[0], false);
         let mut cells = vec![format!("{nodes} nodes / {side} m"), format!("{tcp_n} tcp + {cbr_n} cbr")];
         for cell in row {
-            let (bps, done, n) = flow_class_stats(cell, true);
-            cells.push(format!("{} ({done}/{n})", kbps(bps)));
+            cells.push(cell.cell_with(|_| {
+                let (bps, done, n) = flow_class_stats(cell, true);
+                format!("{} ({done}/{n})", kbps(bps))
+            }));
         }
         for cell in row {
-            let (bps, alive, n) = flow_class_stats(cell, false);
-            cells.push(format!("{} ({alive}/{n})", kbps(bps)));
+            cells.push(cell.cell_with(|_| {
+                let (bps, alive, n) = flow_class_stats(cell, false);
+                format!("{} ({alive}/{n})", kbps(bps))
+            }));
         }
         t.row(cells);
     }
@@ -1196,7 +1287,7 @@ pub fn ablation_block_ack(opts: &Opts) -> Table {
     let mut t = Table::new(caption("ablation_block_ack"), &["max agg (KB)", "normal ACK", "block ACK"]);
     for (kb, row) in sizes_kb.iter().zip(&results) {
         let mut cells = vec![format!("{kb}")];
-        cells.extend(row.iter().map(|c| mbps(c.first().throughput_bps)));
+        cells.extend(row.iter().map(|c| c.cell_with(|r| mbps(r.throughput_bps))));
         t.row(cells);
     }
     t.note("block ACK retries only failed subframes, so it degrades gracefully past the cliff");
@@ -1355,8 +1446,12 @@ pub fn ablation_broadcast_position(opts: &Opts) -> Table {
         &["max agg (KB)", "bcast CRC loss rate", "unicast portion drop rate"],
     );
     for (kb, cell) in sizes_kb.iter().zip(&results) {
+        let Some(run) = cell.first() else {
+            t.row(vec![format!("{kb}"), cell.failed_label(), cell.failed_label()]);
+            continue;
+        };
         let (mut b_ok, mut b_fail, mut u_ok, mut u_fail) = (0u64, 0u64, 0u64, 0u64);
-        for n in &cell.first().report.nodes {
+        for n in &run.report.nodes {
             b_ok += n.bcast_ok + n.bcast_filtered;
             b_fail += n.bcast_crc_fail;
             u_ok += n.unicast_ok;

@@ -30,4 +30,4 @@ pub mod sweeps;
 
 pub use report::Table;
 pub use runner::{CellResult, ExperimentRunner};
-pub use sweeps::{CacheStats, ResultCache, SharedCache, CACHE_SCHEMA};
+pub use sweeps::{lock_cache, CacheStats, ResultCache, SharedCache, CACHE_SCHEMA};

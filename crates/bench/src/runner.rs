@@ -18,33 +18,89 @@
 //! `seed` field verbatim for compatibility with the paper-era
 //! `TcpScenario`/`UdpScenario` front-ends.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use hydra_netsim::{RunOutcome, ScenarioSpec};
+use hydra_netsim::{RunError, RunOutcome, ScenarioSpec};
 use hydra_sim::stream_seed;
 
-use crate::sweeps::SharedCache;
+use crate::sweeps::{lock_cache, SharedCache};
 
-/// All replications of one sweep cell.
+/// All replications of one sweep cell — failure-aware: a replication
+/// that panicked, tripped its [`hydra_netsim::RunBudget`], or hit a
+/// hard IO fault is an `Err` entry, and every accessor below stays
+/// total over such cells (no NaN means, no index panics).
 #[derive(Debug, Clone)]
 pub struct CellResult {
     /// The cell's spec (seed field as submitted; per-run seeds derived).
     pub spec: ScenarioSpec,
-    /// One outcome per replication, in replication order (1..=seeds).
-    pub runs: Vec<RunOutcome>,
+    /// One result per replication, in replication order (1..=seeds).
+    pub runs: Vec<Result<RunOutcome, RunError>>,
 }
 
 impl CellResult {
-    /// Mean headline throughput across replications, bit/s.
-    pub fn mean_throughput_bps(&self) -> f64 {
-        let sum: f64 = self.runs.iter().map(|r| r.throughput_bps).sum();
-        sum / self.runs.len() as f64
+    /// The successful replications, in replication order.
+    pub fn ok_runs(&self) -> impl Iterator<Item = &RunOutcome> {
+        self.runs.iter().filter_map(|r| r.as_ref().ok())
     }
 
-    /// The first replication (for single-run detail tables).
-    pub fn first(&self) -> &RunOutcome {
-        &self.runs[0]
+    /// Mean headline throughput across *successful* replications,
+    /// bit/s; 0.0 when every replication failed (never NaN).
+    pub fn mean_throughput_bps(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u32);
+        for r in self.ok_runs() {
+            sum += r.throughput_bps;
+            n += 1;
+        }
+        if n > 0 {
+            sum / f64::from(n)
+        } else {
+            0.0
+        }
+    }
+
+    /// The first successful replication (for single-run detail tables);
+    /// `None` when the whole cell failed.
+    pub fn first(&self) -> Option<&RunOutcome> {
+        self.ok_runs().next()
+    }
+
+    /// True when at least one replication failed.
+    pub fn failed(&self) -> bool {
+        self.runs.iter().any(|r| r.is_err())
+    }
+
+    /// The first failure, if any.
+    pub fn failure(&self) -> Option<&RunError> {
+        self.runs.iter().find_map(|r| r.as_ref().err())
+    }
+
+    /// The `FAILED(reason)` table cell for a cell with no usable run.
+    pub fn failed_label(&self) -> String {
+        match self.failure() {
+            Some(e) => format!("FAILED({})", e.reason()),
+            None => "FAILED(?)".to_string(),
+        }
+    }
+
+    /// Renders this cell via `f` over the first successful run, or the
+    /// explicit `FAILED(reason)` label when none survived — the
+    /// one-liner detail tables use instead of indexing into `runs`.
+    pub fn cell_with(&self, f: impl FnOnce(&RunOutcome) -> String) -> String {
+        match self.first() {
+            Some(run) => f(run),
+            None => self.failed_label(),
+        }
+    }
+
+    /// The standard mean-throughput cell: Mbps to three decimals over
+    /// the successful runs, or `FAILED(reason)` when none survived.
+    pub fn mean_cell(&self) -> String {
+        if self.first().is_some() {
+            crate::report::mbps(self.mean_throughput_bps())
+        } else {
+            self.failed_label()
+        }
     }
 }
 
@@ -57,12 +113,15 @@ pub struct ExperimentRunner {
     pub threads: usize,
     /// Persistent result store; `None` = always simulate.
     cache: Option<SharedCache>,
+    /// Failed replications seen by this runner (shared across clones,
+    /// so a whole session of sweeps can gate its exit code on it).
+    failures: Arc<AtomicU64>,
 }
 
 impl ExperimentRunner {
     /// A runner with an explicit thread count (0 = auto).
     pub fn new(threads: usize) -> Self {
-        ExperimentRunner { threads, cache: None }
+        ExperimentRunner { threads, cache: None, failures: Arc::new(AtomicU64::new(0)) }
     }
 
     /// A sequential runner (also the reference for determinism tests).
@@ -76,6 +135,19 @@ impl ExperimentRunner {
     pub fn with_cache(mut self, cache: SharedCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Shares an external failure counter (so several runners — e.g.
+    /// one per experiment in `--bin all` — feed one exit-code gate).
+    pub fn with_failure_counter(mut self, failures: Arc<AtomicU64>) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Failed replications recorded so far (by this runner and every
+    /// runner sharing its counter).
+    pub fn failure_count(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
     }
 
     fn thread_count(&self, jobs: usize) -> usize {
@@ -104,11 +176,11 @@ impl ExperimentRunner {
                 jobs.push((cell, rep, hash));
             }
         }
-        let mut results: Vec<Option<RunOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<RunOutcome, RunError>>> = (0..jobs.len()).map(|_| None).collect();
         if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("result cache poisoned");
+            let mut cache = lock_cache(cache);
             for (slot, &(_, rep, hash)) in results.iter_mut().zip(&jobs) {
-                *slot = cache.lookup(hash, rep);
+                *slot = cache.lookup(hash, rep).map(Ok);
             }
         }
         let todo: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
@@ -121,12 +193,18 @@ impl ExperimentRunner {
             })
             .collect();
         let fresh = self.execute(work);
+        self.failures.fetch_add(fresh.iter().filter(|r| r.is_err()).count() as u64, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("result cache poisoned");
-            for (&i, outcome) in todo.iter().zip(&fresh) {
-                let (cell, rep, hash) = jobs[i];
-                if let Err(e) = cache.record(hash, rep, &specs[cell], outcome) {
-                    eprintln!("warning: result cache append failed: {e}");
+            let mut cache = lock_cache(cache);
+            for (&i, result) in todo.iter().zip(&fresh) {
+                // Only successful runs are cached: a failed replication
+                // stays cold so a fixed spec (or a chaos-free rerun)
+                // simulates it again instead of replaying the failure.
+                if let Ok(outcome) = result {
+                    let (cell, rep, hash) = jobs[i];
+                    if let Err(e) = cache.record(hash, rep, &specs[cell], outcome) {
+                        eprintln!("warning: result cache append failed: {e}");
+                    }
                 }
             }
         }
@@ -156,20 +234,51 @@ impl ExperimentRunner {
             .collect()
     }
 
-    /// Runs a single spec once with the derived replication-1 seed.
-    pub fn run_one(&self, spec: ScenarioSpec) -> RunOutcome {
+    /// Runs a single spec once with the derived replication-1 seed,
+    /// surfacing any failure as the [`RunError`] it was.
+    pub fn try_run_one(&self, spec: ScenarioSpec) -> Result<RunOutcome, RunError> {
         self.run_sweep(std::slice::from_ref(&spec), 1).remove(0).runs.remove(0)
     }
 
-    /// Executes the prepared work list; outcomes come back in job order.
-    fn execute(&self, jobs: Vec<ScenarioSpec>) -> Vec<RunOutcome> {
+    /// Runs a single spec once with the derived replication-1 seed.
+    /// Panics on a failed run — callers that must survive failures use
+    /// [`ExperimentRunner::try_run_one`].
+    pub fn run_one(&self, spec: ScenarioSpec) -> RunOutcome {
+        self.try_run_one(spec).unwrap_or_else(|e| panic!("run failed: {e}"))
+    }
+
+    /// One fault-isolated job: panics are contained by
+    /// [`ScenarioSpec::try_run`], and transient IO failures retry with
+    /// a short bounded backoff (1 ms, 2 ms — deterministic in attempt
+    /// count, so a chaos schedule that injects one transient fault
+    /// still converges to the fault-free outcome).
+    fn run_isolated(spec: &ScenarioSpec) -> Result<RunOutcome, RunError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match spec.try_run() {
+                Err(RunError::Io(_)) if attempt < 2 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Executes the prepared work list; results come back in job order.
+    /// A job that fails — panic, budget, IO — yields its `Err` entry
+    /// without disturbing any other job: worker threads never unwind
+    /// (the panic is caught inside `try_run`), and even a poisoned
+    /// result slot is recovered rather than propagated.
+    fn execute(&self, jobs: Vec<ScenarioSpec>) -> Vec<Result<RunOutcome, RunError>> {
         let n = jobs.len();
         let threads = self.thread_count(n);
         if threads <= 1 {
-            return jobs.iter().map(ScenarioSpec::run).collect();
+            return jobs.iter().map(Self::run_isolated).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<RunOutcome, RunError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -177,14 +286,21 @@ impl ExperimentRunner {
                     if i >= n {
                         break;
                     }
-                    let outcome = jobs[i].run();
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                    let result = Self::run_isolated(&jobs[i]);
+                    // A slot mutex can only be poisoned if a *storing*
+                    // thread panicked mid-assignment; the data is a
+                    // plain Option either way, so recover it.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("result slot poisoned").expect("job completed"))
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| Err(RunError::Panicked("worker died before storing a result".into())))
+            })
             .collect()
     }
 }
@@ -225,5 +341,66 @@ mod tests {
         assert_eq!(cells[0].runs.len(), 2);
         let grid = ExperimentRunner::sequential().run_grid(vec![vec![tiny_udp_spec()], specs], 1);
         assert_eq!(grid.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_and_the_cell_stays_total() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let specs = vec![tiny_udp_spec(), tiny_udp_spec().with_seed(2)];
+        let clean = ExperimentRunner::sequential().run_sweep(&specs, 1);
+
+        // Sequential runners execute jobs in order, so a one-shot panic
+        // 100 events in lands inside the first job only.
+        hydra_sim::failpoint::arm("run.mid_event", hydra_sim::failpoint::FailAction::Panic, 100, 1);
+        let runner = ExperimentRunner::sequential();
+        let cells = runner.run_sweep(&specs, 1);
+        hydra_sim::failpoint::disarm_all();
+
+        assert_eq!(
+            cells[0].runs[0],
+            Err(hydra_netsim::RunError::Panicked("failpoint run.mid_event fired".into()))
+        );
+        assert!(cells[0].failed());
+        assert_eq!(cells[0].failed_label(), "FAILED(panic)");
+        assert!(cells[0].first().is_none(), "no usable run in the failed cell");
+        assert_eq!(cells[0].mean_throughput_bps(), 0.0, "total, not NaN");
+        assert_eq!(runner.failure_count(), 1);
+        // The surviving cell is byte-identical to the fault-free sweep.
+        assert_eq!(cells[1].runs, clean[1].runs);
+    }
+
+    #[test]
+    fn every_job_can_fail_without_poisoning_the_parallel_pool() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        hydra_sim::failpoint::arm("run.mid_event", hydra_sim::failpoint::FailAction::Panic, 0, u64::MAX);
+        let specs = vec![tiny_udp_spec(), tiny_udp_spec().with_seed(2)];
+        let runner = ExperimentRunner::new(2);
+        let cells = runner.run_sweep(&specs, 2);
+        hydra_sim::failpoint::disarm_all();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.runs.len() == 2 && c.runs.iter().all(Result::is_err)));
+        assert_eq!(runner.failure_count(), 4);
+    }
+
+    #[test]
+    fn transient_io_faults_retry_and_hard_ones_fail_the_cell() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let spec = tiny_udp_spec();
+        let clean = ExperimentRunner::sequential().try_run_one(spec.clone()).expect("clean run");
+
+        // One transient fault: the bounded retry recovers and the
+        // outcome matches the fault-free run exactly.
+        hydra_sim::failpoint::arm("run.io", hydra_sim::failpoint::FailAction::Io, 0, 1);
+        let retried = ExperimentRunner::sequential().try_run_one(spec.clone());
+        assert_eq!(retried, Ok(clean));
+
+        // A persistent fault exhausts the retries and fails the cell.
+        hydra_sim::failpoint::arm("run.io", hydra_sim::failpoint::FailAction::Io, 0, u64::MAX);
+        let failed = ExperimentRunner::sequential().try_run_one(spec.clone());
+        assert!(matches!(failed, Err(hydra_netsim::RunError::Io(_))), "{failed:?}");
+        hydra_sim::failpoint::disarm_all();
     }
 }

@@ -23,11 +23,22 @@
 //! deliberately small JSON reader/writer that covers exactly what the
 //! records need (objects, arrays, strings, integers, shortest-form
 //! floats, booleans).
+//!
+//! ## Crash safety
+//!
+//! Every line carries a CRC-32 trailer (`{json}#crc:xxxxxxxx`, the
+//! same polynomial the wire format uses) over the JSON bytes. A torn
+//! append — power loss, `kill -9`, a full disk — leaves a record whose
+//! trailer is missing or wrong; [`ResultCache::open`] quarantines such
+//! lines to `runs.corrupt.jsonl`, compacts the live file, and the
+//! affected keys simply degrade to cold (they re-simulate and re-append
+//! on the next sweep). A corrupt cache never aborts a run and never
+//! serves a damaged outcome.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use hydra_netsim::{RunOutcome, RunPerf, RunReport, ScenarioSpec};
 use hydra_sim::Instant;
@@ -49,6 +60,17 @@ pub const CACHE_SCHEMA: &str = "hydra-agg.run.v2";
 /// A cache shared between experiment functions and runner threads.
 pub type SharedCache = Arc<Mutex<ResultCache>>;
 
+/// Locks a shared cache, recovering from poisoning.
+///
+/// A worker that panics while holding the lock (the runner isolates
+/// such panics) poisons the mutex, but the cache's state is always
+/// coherent — every mutation is a single insert or a single append —
+/// so the guard is safe to reuse. One failed replication must not take
+/// the whole grid's cache down with it.
+pub fn lock_cache(cache: &SharedCache) -> MutexGuard<'_, ResultCache> {
+    cache.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Session counters: how the cache performed since it was opened.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -56,9 +78,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed and were simulated.
     pub misses: u64,
-    /// Records on disk that were unreadable or carried a foreign
-    /// schema tag and were ignored at load.
+    /// Records on disk that were intact (valid CRC) but carried a
+    /// foreign schema tag or an unknown shape; they are kept in the
+    /// file for other tools but ignored this session.
     pub skipped: u64,
+    /// Torn or corrupt lines (missing/wrong CRC trailer, unparseable
+    /// bytes) moved to `runs.corrupt.jsonl` at load; their keys
+    /// degraded to cold.
+    pub quarantined: u64,
 }
 
 /// A persistent `(stable_hash, replication) → RunOutcome` store backed
@@ -83,27 +110,61 @@ impl ResultCache {
 
     /// Opens (creating if needed) the cache file `runs.jsonl` under
     /// `dir`, loading every readable record with the current schema.
+    ///
+    /// Lines that fail their CRC trailer (torn appends, bit flips,
+    /// pre-CRC caches) are moved to `runs.corrupt.jsonl` in the same
+    /// directory and the live file is compacted, so their keys come
+    /// back cold instead of serving damaged outcomes. Intact records
+    /// with a foreign schema tag stay in the file but are skipped.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultCache> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.as_ref().join("runs.jsonl");
         let mut cache = ResultCache { path, entries: HashMap::new(), stats: CacheStats::default() };
-        match std::fs::read_to_string(&cache.path) {
-            Ok(text) => {
-                for line in text.lines() {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    match decode_record(line) {
+        let text = match std::fs::read_to_string(&cache.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e),
+        };
+        let mut kept = Vec::new();
+        let mut quarantined = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match unseal(line) {
+                Some(json) => {
+                    kept.push(line);
+                    match decode_record(json) {
                         Some((key, outcome)) => {
                             cache.entries.insert(key, outcome);
                         }
                         None => cache.stats.skipped += 1,
                     }
                 }
+                None => quarantined.push(line),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+        }
+        if !quarantined.is_empty() {
+            cache.stats.quarantined = quarantined.len() as u64;
+            let dir = dir.as_ref();
+            let mut corrupt =
+                std::fs::OpenOptions::new().create(true).append(true).open(dir.join("runs.corrupt.jsonl"))?;
+            for line in &quarantined {
+                corrupt.write_all(line.as_bytes())?;
+                corrupt.write_all(b"\n")?;
+            }
+            // Compact via tmp + rename so a crash mid-compaction
+            // leaves either the old file or the new one, never a
+            // half-written mixture.
+            let tmp = dir.join("runs.jsonl.tmp");
+            let mut clean = String::with_capacity(text.len());
+            for line in &kept {
+                clean.push_str(line);
+                clean.push('\n');
+            }
+            std::fs::write(&tmp, clean)?;
+            std::fs::rename(&tmp, &cache.path)?;
         }
         Ok(cache)
     }
@@ -153,17 +214,40 @@ impl ResultCache {
         spec: &ScenarioSpec,
         outcome: &RunOutcome,
     ) -> std::io::Result<()> {
-        let mut line = encode_record(hash, rep, &spec.to_scn(), outcome);
+        hydra_sim::failpoint::check_io("cache.append")?;
+        let mut line = seal(&encode_record(hash, rep, &spec.to_scn(), outcome));
         line.push('\n');
         // One write of the whole record: under O_APPEND concurrent
         // writers (e.g. `--bin all` and `--bin sweep` sharing the
         // default cache) interleave at write granularity, so a record
-        // must never be split across calls.
+        // must never be split across calls. If the write is torn
+        // anyway (crash, full disk) the CRC trailer won't verify and
+        // the next open quarantines the fragment.
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
         file.write_all(line.as_bytes())?;
         self.entries.insert((hash, rep), outcome.clone());
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------
+// CRC trailer
+// ---------------------------------------------------------------------
+
+/// Appends the integrity trailer: `{json}#crc:xxxxxxxx`, CRC-32 over
+/// the JSON bytes. `#` cannot occur inside a record (the JSON string
+/// escapes hold none, and `.scn` text has no `#`), so the trailer is
+/// recoverable with a plain reverse split.
+fn seal(json: &str) -> String {
+    format!("{json}#crc:{:08x}", hydra_wire::crc::crc32(json.as_bytes()))
+}
+
+/// Splits and verifies the trailer; `None` for a missing or failed
+/// check (a torn or corrupted line).
+fn unseal(line: &str) -> Option<&str> {
+    let (json, trailer) = line.rsplit_once('#')?;
+    let crc = u32::from_str_radix(trailer.strip_prefix("crc:")?, 16).ok()?;
+    (crc == hydra_wire::crc::crc32(json.as_bytes())).then_some(json)
 }
 
 // ---------------------------------------------------------------------
@@ -686,30 +770,128 @@ mod tests {
             assert!(c.is_empty());
             assert!(c.lookup(spec.stable_hash(), 1).is_none());
             c.record(spec.stable_hash(), 1, &spec, &outcome).unwrap();
-            assert_eq!(c.stats(), CacheStats { hits: 0, misses: 1, skipped: 0 });
+            assert_eq!(c.stats(), CacheStats { hits: 0, misses: 1, skipped: 0, quarantined: 0 });
         }
         let mut c = ResultCache::open(&dir).unwrap();
         assert_eq!(c.len(), 1);
         let cached = c.lookup(spec.stable_hash(), 1).expect("reload from disk");
         assert_eq!(cached, outcome);
         assert!(c.lookup(spec.stable_hash(), 2).is_none(), "other reps stay cold");
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, skipped: 0 });
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, skipped: 0, quarantined: 0 });
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn foreign_schema_and_corrupt_lines_are_skipped() {
+    fn foreign_schema_is_skipped_and_garbage_is_quarantined() {
         let dir = tmp_dir("schema");
         std::fs::create_dir_all(&dir).unwrap();
         let spec = tiny_spec();
         let outcome = spec.run();
-        let good = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
-        let foreign = good.replace(CACHE_SCHEMA, "hydra-agg.run.v0");
+        let good = seal(&encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome));
+        // An intact (valid-CRC) record from another schema revision.
+        let foreign = seal(
+            &encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome)
+                .replace(CACHE_SCHEMA, "hydra-agg.run.v0"),
+        );
         std::fs::write(dir.join("runs.jsonl"), format!("{foreign}\nnot json at all\n{good}\n")).unwrap();
         let c = ResultCache::open(&dir).unwrap();
         assert_eq!(c.len(), 1, "only the current-schema record loads");
-        assert_eq!(c.stats().skipped, 2);
+        assert_eq!(c.stats().skipped, 1, "intact foreign record is skipped, not quarantined");
+        assert_eq!(c.stats().quarantined, 1, "trailer-less garbage is quarantined");
+        // The garbage moved out; the intact lines (foreign included) stay.
+        let live = std::fs::read_to_string(dir.join("runs.jsonl")).unwrap();
+        assert_eq!(live.lines().count(), 2);
+        assert!(!live.contains("not json at all"));
+        let corrupt = std::fs::read_to_string(dir.join("runs.corrupt.jsonl")).unwrap();
+        assert_eq!(corrupt.trim(), "not json at all");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_appends_quarantine_and_degrade_to_cold() {
+        let dir = tmp_dir("torn");
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        {
+            let mut c = ResultCache::open(&dir).unwrap();
+            c.record(spec.stable_hash(), 1, &spec, &outcome).unwrap();
+            c.record(spec.stable_hash(), 2, &spec, &outcome).unwrap();
+        }
+        // Tear the file mid-record, as a crash during the second
+        // append would: keep the first line and half of the second.
+        let path = dir.join("runs.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first_len = text.find('\n').unwrap() + 1;
+        let torn = &text[..first_len + (text.len() - first_len) / 2];
+        std::fs::write(&path, torn).unwrap();
+
+        let mut c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.stats().quarantined, 1);
+        assert!(c.lookup(spec.stable_hash(), 1).is_some(), "intact record survives");
+        assert!(c.lookup(spec.stable_hash(), 2).is_none(), "torn record degrades to cold");
+        // The torn fragment is preserved for forensics, out of band.
+        assert!(dir.join("runs.corrupt.jsonl").exists());
+        // Re-recording the cold key heals the cache for the next open.
+        c.record(spec.stable_hash(), 2, &spec, &outcome).unwrap();
+        drop(c);
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_flipped_crc_byte_is_caught() {
+        let dir = tmp_dir("bitflip");
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        {
+            let mut c = ResultCache::open(&dir).unwrap();
+            c.record(spec.stable_hash(), 1, &spec, &outcome).unwrap();
+        }
+        let path = dir.join("runs.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip one digit inside a numeric field (valid JSON, wrong data).
+        let at = text.find("\"rep\":1").expect("rep field") + "\"rep\":".len();
+        text.replace_range(at..at + 1, "7");
+        std::fs::write(&path, &text).unwrap();
+        let mut c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.stats().quarantined, 1, "CRC catches silent data damage");
+        assert!(c.lookup(spec.stable_hash(), 1).is_none());
+        assert!(c.lookup(spec.stable_hash(), 7).is_none(), "damaged record must not load");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_append_failpoint_surfaces_as_io_error() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let dir = tmp_dir("failpoint");
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        let mut c = ResultCache::open(&dir).unwrap();
+        hydra_sim::failpoint::arm("cache.append", hydra_sim::failpoint::FailAction::Io, 0, 1);
+        let err = c.record(spec.stable_hash(), 1, &spec, &outcome);
+        assert!(err.is_err(), "armed failpoint injects an IO error");
+        // The failed append wrote nothing; the retry lands cleanly.
+        c.record(spec.stable_hash(), 1, &spec, &outcome).unwrap();
+        hydra_sim::failpoint::disarm_all();
+        drop(c);
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_and_unseal_round_trip_and_reject_damage() {
+        let sealed = seal("{\"a\":1}");
+        assert!(sealed.starts_with("{\"a\":1}#crc:"));
+        assert_eq!(unseal(&sealed), Some("{\"a\":1}"));
+        assert_eq!(unseal("{\"a\":1}"), None, "no trailer");
+        assert_eq!(unseal("{\"a\":1}#crc:00000000"), None, "wrong crc");
+        let tampered = sealed.replace("{\"a\":1}", "{\"a\":2}");
+        assert_eq!(unseal(&tampered), None, "payload edit breaks the seal");
     }
 
     #[test]

@@ -88,7 +88,11 @@ fn smoke_sweep_table_numbers_are_golden() {
     assert_eq!(specs.len(), GOLDEN_SMOKE_MBPS.len());
     let cells = ExperimentRunner::sequential().run_sweep(&specs, 2);
     for (cell, golden) in cells.iter().zip(GOLDEN_SMOKE_MBPS) {
-        let got: Vec<String> = cell.runs.iter().map(|r| format!("{:.3}", r.throughput_bps / 1e6)).collect();
+        let got: Vec<String> = cell
+            .runs
+            .iter()
+            .map(|r| format!("{:.3}", r.as_ref().expect("smoke run failed").throughput_bps / 1e6))
+            .collect();
         assert_eq!(got.join(" "), *golden, "throughput drifted for `{}`", cell.spec.to_scn());
     }
 }

@@ -61,9 +61,8 @@ fn render(runner: &ExperimentRunner, seeds: u64) -> String {
         t.row(vec![
             format!("{i}"),
             format!("{:.6}", cell.mean_throughput_bps()),
-            cell.runs.iter().map(|r| format!("{:.6}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
-            cell.runs
-                .iter()
+            cell.ok_runs().map(|r| format!("{:.6}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
+            cell.ok_runs()
                 .map(|r| {
                     r.per_flow
                         .iter()
@@ -73,8 +72,9 @@ fn render(runner: &ExperimentRunner, seeds: u64) -> String {
                 })
                 .collect::<Vec<_>>()
                 .join(" "),
-            cell.runs.iter().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
+            cell.ok_runs().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
         ]);
+        assert!(!cell.failed(), "determinism probe cell {i} failed: {}", cell.failed_label());
     }
     t.render()
 }
@@ -99,7 +99,8 @@ fn mixed_tcp_cbr_parallel_equals_sequential() {
     let par = ExperimentRunner::new(4).run_sweep(std::slice::from_ref(&spec), 2);
     let seq = ExperimentRunner::sequential().run_sweep(std::slice::from_ref(&spec), 2);
     assert_eq!(par[0].runs, seq[0].runs, "mixed TCP+CBR runs diverged between runners");
-    for run in &par[0].runs {
+    assert!(!par[0].failed(), "mixed sweep must not fail");
+    for run in par[0].ok_runs() {
         assert_eq!(run.per_flow.len(), 2);
         assert!(run.per_flow[0].flow.traffic.is_file());
         assert!(!run.per_flow[1].flow.traffic.is_file());
@@ -175,7 +176,8 @@ fn run_order_does_not_leak_between_cells() {
     let full = ExperimentRunner::new(4).run_sweep(&specs, 1);
     for (spec, in_sweep) in specs.iter().zip(&full) {
         let alone = ExperimentRunner::sequential().run_one(spec.clone());
-        assert_eq!(alone.throughput_bps, in_sweep.runs[0].throughput_bps);
-        assert_eq!(alone.report.total_data_txs(), in_sweep.runs[0].report.total_data_txs());
+        let first = in_sweep.first().expect("sweep run failed");
+        assert_eq!(alone.throughput_bps, first.throughput_bps);
+        assert_eq!(alone.report.total_data_txs(), first.report.total_data_txs());
     }
 }

@@ -26,10 +26,11 @@ fn render(runner: &ExperimentRunner, specs: &[ScenarioSpec], seeds: u64) -> Stri
     let cells = runner.run_sweep(specs, seeds);
     let mut t = Table::new("cache probe", &["scenario", "per-run bps", "TXs"]);
     for cell in &cells {
+        assert!(!cell.failed(), "cache probe cell failed: {}", cell.failed_label());
         t.row(vec![
             cell.spec.to_scn(),
-            cell.runs.iter().map(|r| format!("{:.17e}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
-            cell.runs.iter().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
+            cell.ok_runs().map(|r| format!("{:.17e}", r.throughput_bps)).collect::<Vec<_>>().join(" "),
+            cell.ok_runs().map(|r| r.report.total_data_txs().to_string()).collect::<Vec<_>>().join(" "),
         ]);
     }
     t.render()
@@ -52,7 +53,7 @@ fn warm_rerun_simulates_nothing_and_matches_byte_for_byte() {
     let runner = ExperimentRunner::new(2).with_cache(cache.clone());
     let cold = render(&runner, &specs, seeds);
     let stats = cache.lock().unwrap().stats();
-    assert_eq!(stats, CacheStats { hits: 0, misses: specs.len() as u64 * seeds, skipped: 0 });
+    assert_eq!(stats, CacheStats { hits: 0, misses: specs.len() as u64 * seeds, skipped: 0, quarantined: 0 });
 
     // Warm, new process simulated by reopening from disk: zero misses,
     // identical bytes.
@@ -68,6 +69,48 @@ fn warm_rerun_simulates_nothing_and_matches_byte_for_byte() {
     // results).
     let uncached = render(&ExperimentRunner::new(2), &specs, seeds);
     assert_eq!(uncached, cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_degrades_to_cold_and_tables_stay_byte_identical() {
+    let dir = tmp_dir("corrupt");
+    let specs = sweep();
+    let seeds = 2;
+
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    let cold = render(&ExperimentRunner::new(2).with_cache(cache), &specs, seeds);
+
+    // Crash simulation: tear the last record mid-line and flip a byte
+    // in the first one.
+    let path = dir.join("runs.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let torn = lines.last().unwrap().len() / 2;
+    let last = lines.last_mut().unwrap();
+    last.truncate(torn);
+    let first = &mut lines[0];
+    let at = first.find("\"rep\":").unwrap() + "\"rep\":".len();
+    first.replace_range(at..at + 1, "9");
+    std::fs::write(&path, lines.join("\n")).unwrap();
+
+    // Reopen: both damaged records are quarantined, their keys go
+    // cold, the rerun re-simulates exactly them, and the rendered
+    // table is byte-identical to the cold run.
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    let recovered = render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
+    let stats = hydra_bench::lock_cache(&cache).stats();
+    assert_eq!(stats.quarantined, 2, "both damaged records quarantined");
+    assert_eq!(stats.misses, 2, "exactly the damaged replications re-simulate");
+    assert_eq!(stats.hits, specs.len() as u64 * seeds - 2);
+    assert_eq!(recovered, cold, "recovery must not change a single byte of the tables");
+    assert!(dir.join("runs.corrupt.jsonl").exists());
+
+    // And the healed cache serves everything warm again.
+    let cache = ResultCache::open(&dir).unwrap().shared();
+    let warm = render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
+    assert_eq!(hydra_bench::lock_cache(&cache).stats().misses, 0);
+    assert_eq!(warm, cold);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

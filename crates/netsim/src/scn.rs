@@ -24,7 +24,8 @@ use hydra_sim::Duration;
 use hydra_tcp::TcpConfig;
 
 use crate::spec::{
-    Flooding, Flow, FlowSpec, FlowTraffic, LinkErrorSpec, Policy, ScenarioSpec, TopologyKind, Traffic,
+    Flooding, Flow, FlowSpec, FlowTraffic, LinkErrorSpec, Policy, RunBudget, ScenarioSpec, TopologyKind,
+    Traffic,
 };
 use crate::world::MediumKind;
 
@@ -530,6 +531,20 @@ impl ScenarioSpec {
         if let Some(fl) = self.flooding {
             f.push(format!("flood={}:{}", dur_to_text(fl.interval), fl.payload));
         }
+        if let Some(b) = self.budget {
+            let mut clauses = Vec::new();
+            if let Some(events) = b.max_events {
+                clauses.push(format!("events:{events}"));
+            }
+            if let Some(wall) = b.max_wall {
+                clauses.push(format!("wall:{}", dur_to_text(wall)));
+            }
+            // A fully-default RunBudget (no limit set) is behaviourally
+            // inert and has no canonical spelling; omit it.
+            if !clauses.is_empty() {
+                f.push(format!("budget={}", clauses.join(",")));
+            }
+        }
         if self.warmup != base.warmup {
             f.push(format!("warmup={}", dur_to_text(self.warmup)));
         }
@@ -657,6 +672,7 @@ impl ScenarioSpec {
                     spec.flooding =
                         Some(Flooding { interval: dur_from_text(i)?, payload: usize_from(p, key)? });
                 }
+                "budget" => spec.budget = Some(parse_budget(value)?),
                 "warmup" => spec.warmup = dur_from_text(value)?,
                 "duration" => spec.duration = dur_from_text(value)?,
                 "seed" => spec.seed = u64_from(value, key)?,
@@ -769,6 +785,38 @@ fn parse_link_error(s: &str) -> Result<LinkErrorSpec, String> {
     Ok(le)
 }
 
+/// Parses one `budget=` value: comma-separated clauses in canonical
+/// order `events:N` (max dispatched events), then `wall:DURATION` (max
+/// wall-clock run time). At least one clause is required: an empty
+/// budget is inert and has no canonical spelling.
+fn parse_budget(s: &str) -> Result<RunBudget, String> {
+    let mut budget = RunBudget { max_events: None, max_wall: None };
+    for clause in s.split(',') {
+        if let Some(n) = clause.strip_prefix("events:") {
+            if budget.max_events.is_some() {
+                return Err("duplicate budget clause `events:`".into());
+            }
+            let events = u64_from(n, "budget events")?;
+            if events == 0 {
+                return Err("budget events must be positive".into());
+            }
+            budget.max_events = Some(events);
+        } else if let Some(d) = clause.strip_prefix("wall:") {
+            if budget.max_wall.is_some() {
+                return Err("duplicate budget clause `wall:`".into());
+            }
+            let wall = dur_from_text(d)?;
+            if wall.is_zero() {
+                return Err("budget wall time must be positive".into());
+            }
+            budget.max_wall = Some(wall);
+        } else {
+            return Err(format!("unknown budget clause `{clause}` (events:N|wall:DURATION)"));
+        }
+    }
+    Ok(budget)
+}
+
 fn parse_sizing(s: &str) -> Result<AggSizing, String> {
     if let Some(b) = s.strip_prefix("fixed:") {
         return Ok(AggSizing::Fixed(usize_from(b, "sizing fixed bytes")?));
@@ -864,6 +912,8 @@ mod tests {
             reorder: 0.01,
         });
         spec.flooding = Some(Flooding { interval: Duration::from_millis(250), payload: 120 });
+        spec.budget =
+            Some(RunBudget { max_events: Some(2_000_000), max_wall: Some(Duration::from_secs(30)) });
         spec.warmup = Duration::from_millis(500);
         spec.duration = Duration::from_secs(5);
         spec.seed = 42;
@@ -904,10 +954,34 @@ mod tests {
             ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 fault=10:0", "probability > 1"),
             ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 fault=-0.1:0", "negative probability"),
             ("topo=star policy=ba rate=1.3 traffic=file:1 flows=2>0:5001,3>0:5001", "duplicate flow port"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 budget=events:0", "zero event budget"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 budget=wall:0s", "zero wall budget"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 budget=events:5,events:6", "dup clause"),
+            ("topo=linear:2 policy=ba rate=1.3 traffic=file:1 budget=fuel:5", "unknown budget clause"),
             ("notakv", "not key=value"),
         ] {
             assert!(ScenarioSpec::from_scn(broken).is_err(), "{why}: `{broken}`");
         }
+    }
+
+    #[test]
+    fn budget_round_trips_and_the_inert_form_is_omitted() {
+        let base = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
+        let mut spec = base.clone();
+        spec.budget = Some(RunBudget::events(1_500_000));
+        assert!(spec.to_scn().ends_with("budget=events:1500000"), "{}", spec.to_scn());
+        roundtrip(&spec);
+        spec.budget = Some(RunBudget { max_events: None, max_wall: Some(Duration::from_millis(750)) });
+        assert!(spec.to_scn().ends_with("budget=wall:750ms"), "{}", spec.to_scn());
+        roundtrip(&spec);
+        spec.budget = Some(RunBudget { max_events: Some(9_000_000), max_wall: Some(Duration::from_secs(2)) });
+        assert!(spec.to_scn().ends_with("budget=events:9000000,wall:2s"), "{}", spec.to_scn());
+        roundtrip(&spec);
+        // An inert budget (no limits) renders identically to no budget —
+        // the one corner where `to_scn` canonicalises a value away
+        // (same accepted divergence as an all-default link_error).
+        spec.budget = Some(RunBudget { max_events: None, max_wall: None });
+        assert_eq!(spec.to_scn(), base.to_scn());
     }
 
     #[test]

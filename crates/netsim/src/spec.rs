@@ -347,6 +347,80 @@ impl LinkErrorSpec {
     }
 }
 
+/// Hard limits on one run, for sweeps that must survive pathological
+/// cells (a livelocked mesh, a blackout channel that never converges).
+///
+/// `None` on [`ScenarioSpec::budget`] (the default) is byte-for-byte
+/// the unbudgeted engine: no extra per-event work, no
+/// [`ScenarioSpec::stable_hash`] change (pinned by the goldens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum events the run may dispatch (`None` = unlimited).
+    /// Deterministic: the same spec trips at the same event on every
+    /// machine.
+    pub max_events: Option<u64>,
+    /// Maximum *wall-clock* time the run may take (`None` = unlimited).
+    /// A safety valve, not a reproducible limit: where it trips depends
+    /// on machine speed, so budget-sensitive sweeps should prefer
+    /// `max_events`.
+    pub max_wall: Option<Duration>,
+}
+
+impl RunBudget {
+    /// Limit events only (the deterministic form).
+    pub fn events(max_events: u64) -> Self {
+        RunBudget { max_events: Some(max_events), max_wall: None }
+    }
+
+    /// True when neither limit is set — behaviourally identical to no
+    /// budget at all.
+    pub fn is_inert(&self) -> bool {
+        self.max_events.is_none() && self.max_wall.is_none()
+    }
+}
+
+/// Why a fallible run ([`ScenarioSpec::try_run`]) produced no
+/// [`RunOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The run's [`RunBudget`] ran out before the scenario finished.
+    BudgetExhausted {
+        /// Events dispatched before the budget tripped.
+        events: u64,
+    },
+    /// The run panicked; the payload message is preserved.
+    Panicked(String),
+    /// An IO failure on the run path (transient by convention: the
+    /// experiment runner retries these with bounded backoff).
+    Io(String),
+}
+
+impl RunError {
+    /// A short machine-greppable reason tag, used by table rendering
+    /// (`FAILED(budget)` cells) and exit summaries.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            RunError::BudgetExhausted { .. } => "budget",
+            RunError::Panicked(_) => "panic",
+            RunError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::BudgetExhausted { events } => {
+                write!(f, "run budget exhausted after {events} events")
+            }
+            RunError::Panicked(msg) => write!(f, "run panicked: {msg}"),
+            RunError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// A complete, declarative description of one simulation run.
 ///
 /// `build()` turns it into a ready [`World`]; `run()` executes it and
@@ -401,6 +475,12 @@ pub struct ScenarioSpec {
     /// mixed run's horizon is `warmup + duration`: CBR flows measure
     /// over the window and file transfers must finish by the horizon.
     pub duration: Duration,
+    /// Optional hard limits on the run itself (event count, wall
+    /// clock). `None` — the default for every legacy spec — leaves the
+    /// engine unbudgeted and the [`ScenarioSpec::stable_hash`]
+    /// untouched. A budgeted run that trips reports
+    /// [`RunError::BudgetExhausted`] through [`ScenarioSpec::try_run`].
+    pub budget: Option<RunBudget>,
     /// RNG seed. The world's random streams depend only on this value
     /// and the spec itself.
     pub seed: u64,
@@ -464,6 +544,7 @@ impl std::fmt::Debug for ScenarioSpec {
             .field("flooding", &self.flooding)
             .field("warmup", &self.warmup)
             .field("duration", &self.duration)
+            .field("budget", &self.budget)
             .field("seed", &self.seed)
             .finish()
     }
@@ -491,6 +572,7 @@ impl ScenarioSpec {
             flooding: None,
             warmup: Duration::ZERO,
             duration: Duration::from_secs(300),
+            budget: None,
             seed: 1,
         }
     }
@@ -587,6 +669,11 @@ impl ScenarioSpec {
         // single legacy hash. Configured specs hash the field as usual.
         if self.link_error.is_none() {
             repr = repr.replacen("link_error: None, ", "", 1);
+        }
+        // And for the run budget: an unbudgeted spec is the pre-budget
+        // engine exactly, so the absent key must keep every legacy hash.
+        if self.budget.is_none() {
+            repr = repr.replacen("budget: None, ", "", 1);
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
@@ -707,6 +794,29 @@ impl ScenarioSpec {
     ///   `throughput_bps` is the worst *file-transfer* flow (the
     ///   foreground), so background intensity sweeps stay comparable.
     pub fn run(&self) -> RunOutcome {
+        // Infallible by construction for unbudgeted specs with no armed
+        // failpoint — the only `RunError` sources are the budget gate
+        // and injected faults. Budgeted specs should go through
+        // [`ScenarioSpec::try_run`]; here a tripped budget panics (and
+        // the experiment runner's `catch_unwind` still contains it).
+        self.run_fallible().unwrap_or_else(|e| panic!("scenario run failed: {e}"))
+    }
+
+    /// Runs the scenario, containing every failure as a [`RunError`]:
+    /// a tripped [`RunBudget`] comes back as
+    /// [`RunError::BudgetExhausted`], a panic anywhere in build/run is
+    /// caught and preserved as [`RunError::Panicked`], and injected IO
+    /// faults surface as [`RunError::Io`]. This is the entry point the
+    /// experiment runner uses for every job.
+    pub fn try_run(&self) -> Result<RunOutcome, RunError> {
+        hydra_sim::failpoint::check_io("run.io").map_err(|e| RunError::Io(e.to_string()))?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_fallible()))
+            .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(payload))))
+    }
+
+    /// Build + run with the budget armed; shared by [`ScenarioSpec::run`]
+    /// and [`ScenarioSpec::try_run`]. Panics are NOT caught here.
+    fn run_fallible(&self) -> Result<RunOutcome, RunError> {
         let flows = self.effective_flows();
         let started = std::time::Instant::now();
         let allocs0 = hydra_sim::alloc_stats();
@@ -727,6 +837,7 @@ impl ScenarioSpec {
         let mut world = self.build();
         world.densify_medium();
         self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
+            .unwrap_or_else(|e| panic!("reference run failed: {e}"))
     }
 
     /// [`ScenarioSpec::run`] with the event queue swapped to its
@@ -742,6 +853,7 @@ impl ScenarioSpec {
         let mut world = self.build();
         world.use_heap_reference_queue();
         self.run_in(world, &flows, Self::run_mode(&flows), started, allocs0)
+            .unwrap_or_else(|e| panic!("reference run failed: {e}"))
     }
 
     /// The orchestration mode a flow mix selects: `(has_file, has_window)`.
@@ -752,15 +864,20 @@ impl ScenarioSpec {
     }
 
     /// Runs a pre-built world under `mode` over `flows` (which must be
-    /// exactly the flows installed in `world`, in original order).
+    /// exactly the flows installed in `world`, in original order),
+    /// arming the spec's [`RunBudget`] first. `Err` only when the
+    /// budget trips.
     fn run_in(
         &self,
-        world: World,
+        mut world: World,
         flows: &[FlowSpec],
         mode: (bool, bool),
         started: std::time::Instant,
         allocs0: hydra_sim::AllocStats,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, RunError> {
+        if let Some(budget) = self.budget {
+            world.set_budget(budget);
+        }
         match mode {
             (true, false) => self.run_tcp(world, flows, started, allocs0),
             (false, true) => self.run_cbr(world, flows, started, allocs0),
@@ -828,7 +945,12 @@ impl ScenarioSpec {
         let run_component = |c: u32| {
             let sub: Vec<FlowSpec> = flows.iter().filter(|f| comp_of[f.src] == c).copied().collect();
             let world = self.build_component(Some(c));
+            // Sharded runs stay infallible: each domain world gets the
+            // full budget (documented in docs/ROBUSTNESS.md), and a
+            // trip here — like any panic in a domain worker — is
+            // contained by the experiment runner's `catch_unwind`.
             self.run_in(world, &sub, mode, std::time::Instant::now(), hydra_sim::alloc_stats())
+                .unwrap_or_else(|e| panic!("domain run failed: {e}"))
         };
         let mut by_comp: Vec<Option<RunOutcome>> = (0..k).map(|_| None).collect();
         if threads <= 1 {
@@ -957,7 +1079,7 @@ impl ScenarioSpec {
         flows: &[FlowSpec],
         started: std::time::Instant,
         allocs0: hydra_sim::AllocStats,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, RunError> {
         world.start();
         // The same horizon a mixed run uses (warmup is zero for every
         // legacy file-transfer spec, so this is the paper's `duration`
@@ -965,15 +1087,16 @@ impl ScenarioSpec {
         // sweep varies only the background flows.
         let deadline = Instant::ZERO + self.warmup + self.duration;
         let done = world.run_until_transfers_complete(deadline);
+        world.check_budget()?;
         let now = world.now();
         let per_flow = Self::file_outcomes(&world, flows);
-        RunOutcome {
+        Ok(RunOutcome {
             completed: done,
             throughput_bps: Self::worst_bps(&per_flow),
             per_flow,
             report: RunReport::collect(&world, now),
             perf: Self::collect_perf(&world, started, allocs0),
-        }
+        })
     }
 
     fn run_cbr(
@@ -982,22 +1105,23 @@ impl ScenarioSpec {
         flows: &[FlowSpec],
         started: std::time::Instant,
         allocs0: hydra_sim::AllocStats,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, RunError> {
         world.start();
         // One measurement per flow, keyed by its (sink node, port) pair —
         // flows sharing a sink node stay separate.
         world.run_until(Instant::ZERO + self.warmup);
         let start: Vec<u64> = flows.iter().map(|f| udp_bytes_at(&world, f)).collect();
         world.run_until(Instant::ZERO + self.warmup + self.duration);
+        world.check_budget()?;
         let per_flow = Self::window_outcomes(&world, flows, &start, self.duration);
         let now = world.now();
-        RunOutcome {
+        Ok(RunOutcome {
             completed: true,
             throughput_bps: Self::worst_bps(&per_flow),
             per_flow,
             report: RunReport::collect(&world, now),
             perf: Self::collect_perf(&world, started, allocs0),
-        }
+        })
     }
 
     /// Labeled outcomes for window-measured (CBR/on-off) flows given
@@ -1030,7 +1154,7 @@ impl ScenarioSpec {
         flows: &[FlowSpec],
         started: std::time::Instant,
         allocs0: hydra_sim::AllocStats,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, RunError> {
         world.start();
         world.run_until(Instant::ZERO + self.warmup);
         let start: Vec<u64> = flows.iter().map(|f| udp_bytes_at(&world, f)).collect();
@@ -1040,6 +1164,7 @@ impl ScenarioSpec {
         let horizon = Instant::ZERO + self.warmup + self.duration;
         world.run_until_transfers_complete(horizon);
         world.run_until(horizon);
+        world.check_budget()?;
         let completed = world.transfers_complete();
         let file = Self::file_outcomes(&world, flows);
         let window = Self::window_outcomes(&world, flows, &start, self.duration);
@@ -1058,13 +1183,25 @@ impl ScenarioSpec {
         let foreground: Vec<FlowOutcome> =
             per_flow.iter().filter(|o| o.flow.traffic.is_file()).cloned().collect();
         let now = world.now();
-        RunOutcome {
+        Ok(RunOutcome {
             completed,
             throughput_bps: Self::worst_bps(&foreground),
             per_flow,
             report: RunReport::collect(&world, now),
             perf: Self::collect_perf(&world, started, allocs0),
-        }
+        })
+    }
+}
+
+/// Renders a caught panic payload as a message (the common `String`
+/// and `&str` payloads verbatim; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -1230,11 +1367,10 @@ mod tests {
         let spec = ScenarioSpec::tcp(TopologyKind::Linear(2), Policy::Ba, Rate::R1_30);
         assert!(format!("{spec:?}").contains("medium: SharedDomain"));
         let strip = |s: &ScenarioSpec| {
-            let repr = format!("{s:?}").replacen("medium: SharedDomain, ", "", 1).replacen(
-                "link_error: None, ",
-                "",
-                1,
-            );
+            let repr = format!("{s:?}")
+                .replacen("medium: SharedDomain, ", "", 1)
+                .replacen("link_error: None, ", "", 1)
+                .replacen("budget: None, ", "", 1);
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in repr.bytes() {
                 h ^= u64::from(b);
@@ -1289,7 +1425,7 @@ mod tests {
              delayed_ack_timeout: Duration { nanos: 40000000 }, max_retransmits: 12, \
              time_wait: Duration { nanos: 500000000 } }, fault: None, link_error: None, \
              flooding: None, warmup: Duration { nanos: 0 }, \
-             duration: Duration { nanos: 300000000000 }, seed: 1 }"
+             duration: Duration { nanos: 300000000000 }, budget: None, seed: 1 }"
         );
         assert_eq!(plain.stable_hash(), 0xf4a8_be67_a0cd_9e2b);
 
@@ -1383,5 +1519,81 @@ mod tests {
         assert_eq!(flows[1], bg);
         // The CBR endpoints are not relays.
         assert_eq!(spec.relays(), vec![1]);
+    }
+
+    /// A tiny spec that finishes fast — the budget/failure tests' workhorse.
+    fn small_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::tcp(TopologyKind::Linear(1), Policy::Na, Rate::R5_20);
+        spec.traffic = Traffic::FileTransfer { bytes: 10 * 1024 };
+        spec
+    }
+
+    #[test]
+    fn absent_budget_keeps_the_legacy_hash_and_a_set_budget_changes_it() {
+        let plain = small_spec();
+        // The field renders in the canonical Debug form …
+        assert!(format!("{plain:?}").contains("budget: None, "), "{plain:?}");
+        // … but the hash strips `budget: None` (the absent-key rule),
+        // while a configured budget is a distinct cell.
+        let mut budgeted = plain.clone();
+        budgeted.budget = Some(RunBudget::events(1_000_000));
+        assert_ne!(plain.stable_hash(), budgeted.stable_hash());
+        let mut walled = plain.clone();
+        walled.budget = Some(RunBudget { max_events: None, max_wall: Some(Duration::from_secs(60)) });
+        assert_ne!(budgeted.stable_hash(), walled.stable_hash());
+    }
+
+    #[test]
+    fn event_budget_trips_deterministically_and_try_run_reports_it() {
+        let mut spec = small_spec();
+        spec.budget = Some(RunBudget::events(500));
+        let err = spec.try_run().expect_err("500 events cannot finish a transfer");
+        assert_eq!(err, RunError::BudgetExhausted { events: 500 });
+        assert_eq!(err.reason(), "budget");
+        // Deterministic: same spec, same trip point.
+        assert_eq!(spec.try_run().expect_err("still budgeted"), err);
+    }
+
+    #[test]
+    fn a_generous_budget_changes_nothing_but_the_hash() {
+        let plain = small_spec();
+        let mut roomy = small_spec();
+        roomy.budget = Some(RunBudget::events(u64::MAX));
+        let a = plain.run();
+        let b = roomy.try_run().expect("budget never trips");
+        // Seeds derive from the *spec's own* seed field here (both 1),
+        // so the worlds are identical and outcomes must match exactly.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_run_contains_injected_panics_and_io_faults() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let spec = small_spec();
+
+        hydra_sim::failpoint::arm("run.mid_event", hydra_sim::failpoint::FailAction::Panic, 100, 1);
+        let err = spec.try_run().expect_err("armed panic failpoint");
+        assert_eq!(err, RunError::Panicked("failpoint run.mid_event fired".into()));
+        hydra_sim::failpoint::disarm_all();
+
+        hydra_sim::failpoint::arm("run.io", hydra_sim::failpoint::FailAction::Io, 0, 1);
+        let err = spec.try_run().expect_err("armed io failpoint");
+        assert!(matches!(err, RunError::Io(_)), "{err:?}");
+        // The site fired once; the next run is clean and matches an
+        // undisturbed one.
+        assert_eq!(spec.try_run().expect("failpoint exhausted"), spec.run());
+        hydra_sim::failpoint::disarm_all();
+    }
+
+    #[test]
+    fn mid_event_stall_reports_budget_exhaustion() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let spec = small_spec();
+        hydra_sim::failpoint::arm("run.mid_event", hydra_sim::failpoint::FailAction::Stall, 250, 1);
+        let err = spec.try_run().expect_err("armed stall failpoint");
+        assert!(matches!(err, RunError::BudgetExhausted { .. }), "{err:?}");
+        hydra_sim::failpoint::disarm_all();
     }
 }

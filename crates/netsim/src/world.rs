@@ -21,7 +21,7 @@ use hydra_wire::ipv4::IpProtocol;
 use hydra_wire::{MacAddr, Payload};
 
 use crate::node::{Apps, Node};
-use crate::spec::LinkErrorSpec;
+use crate::spec::{LinkErrorSpec, RunBudget, RunError};
 use crate::topology::Topology;
 
 /// Carrier-sense detection latency: a node whose backoff expires in the
@@ -144,7 +144,26 @@ pub struct World {
     /// [`World::run_until_transfers_complete`] skip the O(nodes × flows)
     /// predicate scan after non-TCP events).
     tcp_activity: bool,
+    /// Remaining event budget (`None` = unlimited); decremented once
+    /// per dispatched event by the budget gate.
+    event_budget: Option<u64>,
+    /// Wall-clock deadline for the whole run (`None` = unlimited).
+    /// Checked every `WALL_CHECK_PERIOD` events — the clock syscall is
+    /// too slow for every event.
+    wall_deadline: Option<std::time::Instant>,
+    /// Events left until the next wall-clock check.
+    wall_check_in: u32,
+    /// Fast-path flag: true iff any budget limit is armed (keeps the
+    /// unbudgeted run loop at one extra predictable branch per event).
+    budget_armed: bool,
+    /// Latched when a limit trips (or a `run.mid_event` stall failpoint
+    /// fires): every `run_until*` loop bails immediately, and
+    /// [`World::check_budget`] reports [`RunError::BudgetExhausted`].
+    pub budget_exhausted: bool,
 }
+
+/// Events between wall-clock budget checks (see [`World::set_budget`]).
+const WALL_CHECK_PERIOD: u32 = 4096;
 
 impl World {
     /// Builds a world over `topology` with the paper's single-domain
@@ -224,6 +243,11 @@ impl World {
             tcp_seg_pool: Vec::new(),
             app_out_pool: Vec::new(),
             tcp_activity: false,
+            event_budget: None,
+            wall_deadline: None,
+            wall_check_in: WALL_CHECK_PERIOD,
+            budget_armed: false,
+            budget_exhausted: false,
         }
     }
 
@@ -233,6 +257,86 @@ impl World {
     /// pre-link-error world and consumes zero extra RNG draws.
     pub fn set_link_error(&mut self, spec: LinkErrorSpec) {
         self.link_error = Some(spec);
+    }
+
+    /// Arms a [`RunBudget`]: the run loops dispatch at most
+    /// `max_events` events (deterministic — same trip point on every
+    /// machine) and stop within roughly `WALL_CHECK_PERIOD` events of
+    /// `max_wall` elapsing (a machine-dependent safety valve). Once a
+    /// limit trips, [`World::budget_exhausted`] latches and every
+    /// further `run_until*` call returns immediately.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.event_budget = budget.max_events;
+        self.wall_deadline = budget
+            .max_wall
+            .map(|d| std::time::Instant::now() + std::time::Duration::from_nanos(d.as_nanos()));
+        self.wall_check_in = WALL_CHECK_PERIOD;
+        self.budget_armed = self.event_budget.is_some() || self.wall_deadline.is_some();
+        // A zero event budget allows zero events.
+        if self.event_budget == Some(0) {
+            self.budget_exhausted = true;
+        }
+    }
+
+    /// `Err(RunError::BudgetExhausted)` when the armed budget tripped;
+    /// the spec layer calls this after its run loops to turn a
+    /// truncated run into a failure instead of a bogus outcome.
+    pub fn check_budget(&self) -> Result<(), RunError> {
+        if self.budget_exhausted {
+            Err(RunError::BudgetExhausted { events: self.events_processed })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Post-dispatch gate shared by every run loop: polls the
+    /// `run.mid_event` failpoint, then the armed budget. Returns true
+    /// when the loop must bail. One relaxed atomic load plus one bool
+    /// check when nothing is armed.
+    #[inline]
+    fn after_event(&mut self) -> bool {
+        if hydra_sim::failpoint::armed() {
+            match hydra_sim::failpoint::hit("run.mid_event") {
+                Some(hydra_sim::failpoint::FailAction::Panic) => {
+                    panic!("failpoint run.mid_event fired")
+                }
+                Some(hydra_sim::failpoint::FailAction::Stall) => {
+                    self.budget_exhausted = true;
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        if !self.budget_armed {
+            return false;
+        }
+        self.budget_gate()
+    }
+
+    /// The armed-budget slow path (out of line to keep the run loops'
+    /// common case small).
+    #[cold]
+    fn budget_gate(&mut self) -> bool {
+        if let Some(rem) = &mut self.event_budget {
+            if *rem > 0 {
+                *rem -= 1;
+            }
+            if *rem == 0 {
+                self.budget_exhausted = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.wall_deadline {
+            self.wall_check_in -= 1;
+            if self.wall_check_in == 0 {
+                self.wall_check_in = WALL_CHECK_PERIOD;
+                if std::time::Instant::now() >= deadline {
+                    self.budget_exhausted = true;
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Current virtual time.
@@ -328,11 +432,17 @@ impl World {
     /// number of events processed.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
         let mut processed = 0;
+        if self.budget_exhausted {
+            return processed;
+        }
         // `pop_before` locates-and-pops in one queue pass (the former
         // peek + pop walked the calendar buckets twice per event).
         while let Some((_, _, ev)) = self.events.pop_before(deadline) {
             self.dispatch(ev);
             processed += 1;
+            if self.after_event() {
+                break;
+            }
         }
         self.events_processed += processed;
         processed
@@ -341,11 +451,19 @@ impl World {
     /// Runs until `pred(world)` or the deadline; checks after each event.
     /// Returns true if the predicate fired.
     pub fn run_until_condition(&mut self, deadline: Instant, mut pred: impl FnMut(&World) -> bool) -> bool {
+        if self.budget_exhausted {
+            return false;
+        }
         while let Some((_, _, ev)) = self.events.pop_before(deadline) {
             self.dispatch(ev);
             self.events_processed += 1;
+            // A run that satisfies its predicate on the last budgeted
+            // event finished *within* budget — check the predicate first.
             if pred(self) {
                 return true;
+            }
+            if self.after_event() {
+                return false;
             }
         }
         false
@@ -358,6 +476,9 @@ impl World {
     /// instead of after every CS edge and MAC timer. Same result, same
     /// event counts.
     pub fn run_until_transfers_complete(&mut self, deadline: Instant) -> bool {
+        if self.budget_exhausted {
+            return false;
+        }
         // Mirror `run_until_condition`'s semantics, which checks the
         // predicate after the first event regardless of its kind.
         self.tcp_activity = true;
@@ -369,6 +490,9 @@ impl World {
                 if self.transfers_complete() {
                     return true;
                 }
+            }
+            if self.after_event() {
+                return false;
             }
         }
         false

@@ -1,0 +1,217 @@
+//! Deterministic fault injection — named failpoints for robustness tests.
+//!
+//! A *failpoint* is a named site in production code where a test (or the
+//! profiler's `--chaos` mode) can inject a failure: a panic, an IO error,
+//! or an event-budget stall. Sites are identified by string names (the
+//! catalog lives in `docs/ROBUSTNESS.md`); arming is process-global and
+//! explicit, so a disarmed failpoint costs one relaxed atomic load — the
+//! hot path never takes a lock unless at least one site is armed.
+//!
+//! ```
+//! use hydra_sim::failpoint;
+//!
+//! let _guard = failpoint::exclusive(); // serialize failpoint tests
+//! failpoint::arm("cache.append", failpoint::FailAction::Io, 0, 1);
+//! assert!(failpoint::check_io("cache.append").is_err());
+//! assert!(failpoint::check_io("cache.append").is_ok()); // fired once
+//! failpoint::disarm_all();
+//! ```
+//!
+//! Determinism: a failpoint fires based only on its per-site hit counter
+//! (`after` skips, then `times` firings), never on wall time or ambient
+//! randomness. A chaos schedule derives its (site, action, after) tuples
+//! from [`crate::rng::stream_seed`], so a given chaos seed reproduces the
+//! exact same faults on every machine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// What an armed failpoint injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a message naming the site (`failpoint <site> fired`).
+    Panic,
+    /// Report an injected IO error (via [`check_io`]).
+    Io,
+    /// Exhaust the run's event budget (the run loop bails as if the
+    /// budget hit zero).
+    Stall,
+}
+
+/// One armed site: fire `action` on hits `after .. after + times`.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    action: FailAction,
+    /// Hits to let through before firing.
+    after: u64,
+    /// Firings before the site exhausts itself (u64::MAX = forever).
+    times: u64,
+    /// Hits seen so far.
+    hits: u64,
+}
+
+/// Fast-path flag: true iff at least one site is armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Arm>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arm>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Arm>> {
+    // A panic injected *while holding* this lock (never done here, but
+    // cheap to defend) must not wedge every later test: the map is
+    // plain data, always valid.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes failpoint-using tests within one process.
+///
+/// The registry is process-global, so two tests arming sites
+/// concurrently would see each other's faults. Take this guard first in
+/// every test that arms failpoints.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `site`: skip the first `after` hits, then fire `action` on the
+/// next `times` hits, then fall dormant (but stay registered until
+/// [`disarm`]/[`disarm_all`]).
+pub fn arm(site: &str, action: FailAction, after: u64, times: u64) {
+    let mut reg = lock_registry();
+    reg.insert(site.to_string(), Arm { action, after, times, hits: 0 });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms `site` (no-op if not armed).
+pub fn disarm(site: &str) {
+    let mut reg = lock_registry();
+    reg.remove(site);
+    if reg.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    let mut reg = lock_registry();
+    reg.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Cheap hot-path check: is *any* failpoint armed?
+///
+/// Call this before [`hit`] on hot paths; it is a single relaxed atomic
+/// load, so a disarmed build pays (almost) nothing.
+#[inline]
+pub fn armed() -> bool {
+    ANY_ARMED.load(Ordering::Relaxed)
+}
+
+/// Records a hit on `site`; returns the action to inject if it fires.
+///
+/// Returns `None` when the site is unarmed, still within its `after`
+/// window, or already exhausted.
+pub fn hit(site: &str) -> Option<FailAction> {
+    if !armed() {
+        return None;
+    }
+    let mut reg = lock_registry();
+    let arm = reg.get_mut(site)?;
+    let n = arm.hits;
+    arm.hits += 1;
+    if n >= arm.after && n - arm.after < arm.times {
+        Some(arm.action)
+    } else {
+        None
+    }
+}
+
+/// Panics if `site` is armed with [`FailAction::Panic`] and fires.
+///
+/// Non-panic actions are ignored at this site (they are meaningless for
+/// a pure in-memory step).
+pub fn maybe_panic(site: &str) {
+    if let Some(FailAction::Panic) = hit(site) {
+        panic!("failpoint {site} fired");
+    }
+}
+
+/// IO-site check: `Err` with an injected error if `site` fires with
+/// [`FailAction::Io`]; panics if it fires with [`FailAction::Panic`].
+pub fn check_io(site: &str) -> std::io::Result<()> {
+    match hit(site) {
+        Some(FailAction::Io) => Err(std::io::Error::other(format!("failpoint {site} fired"))),
+        Some(FailAction::Panic) => panic!("failpoint {site} fired"),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_are_silent_and_cheap() {
+        let _guard = exclusive();
+        disarm_all();
+        assert!(!armed());
+        assert_eq!(hit("run.mid_event"), None);
+        assert!(check_io("cache.append").is_ok());
+        maybe_panic("run.mid_event"); // must not panic
+    }
+
+    #[test]
+    fn after_and_times_windows_are_exact() {
+        let _guard = exclusive();
+        disarm_all();
+        arm("w", FailAction::Stall, 2, 2);
+        assert!(armed());
+        // hits 0,1 pass; 2,3 fire; 4.. dormant.
+        assert_eq!(hit("w"), None);
+        assert_eq!(hit("w"), None);
+        assert_eq!(hit("w"), Some(FailAction::Stall));
+        assert_eq!(hit("w"), Some(FailAction::Stall));
+        assert_eq!(hit("w"), None);
+        assert_eq!(hit("w"), None);
+        disarm_all();
+    }
+
+    #[test]
+    fn io_sites_inject_then_recover() {
+        let _guard = exclusive();
+        disarm_all();
+        arm("io", FailAction::Io, 0, 1);
+        let err = check_io("io").unwrap_err();
+        assert!(err.to_string().contains("failpoint io fired"));
+        assert!(check_io("io").is_ok());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _guard = exclusive();
+        disarm_all();
+        arm("boom", FailAction::Panic, 0, 1);
+        let caught = std::panic::catch_unwind(|| maybe_panic("boom"));
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string payload");
+        assert_eq!(msg, "failpoint boom fired");
+        disarm_all();
+    }
+
+    #[test]
+    fn disarm_clears_single_site() {
+        let _guard = exclusive();
+        disarm_all();
+        arm("a", FailAction::Io, 0, u64::MAX);
+        arm("b", FailAction::Io, 0, u64::MAX);
+        disarm("a");
+        assert!(armed());
+        assert_eq!(hit("a"), None);
+        assert_eq!(hit("b"), Some(FailAction::Io));
+        disarm("b");
+        assert!(!armed());
+    }
+}

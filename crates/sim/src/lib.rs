@@ -11,7 +11,9 @@
 //! * [`stats`] — Welford accumulators and per-category time ledgers;
 //! * [`trace::Tracer`] — cheap, capturable event tracing;
 //! * [`alloc_count`] — an opt-in counting global allocator, the
-//!   measurement side of the zero-allocation hot-path work.
+//!   measurement side of the zero-allocation hot-path work;
+//! * [`failpoint`] — named, deterministic fault-injection sites
+//!   (zero-cost when disarmed) for proving recovery paths.
 //!
 //! Design note: the network layers in this workspace are written *sans-IO*
 //! (pure state machines with typed inputs/outputs, as in smoltcp). This
@@ -30,6 +32,7 @@
 
 pub mod alloc_count;
 pub mod event;
+pub mod failpoint;
 pub mod rng;
 pub mod stats;
 pub mod time;
