@@ -58,7 +58,7 @@ fn main() {
     f.write_all(text.as_bytes()).unwrap_or_else(|e| die(&format!("write results/experiments.txt: {e}")));
     eprintln!("wrote results/experiments.txt");
     if let Some(cache) = &opts.cache {
-        let stats = hydra_bench::lock_cache(cache).stats();
+        let stats = cache.stats();
         eprintln!(
             "result cache: {} hits, {} misses ({} runs simulated){}",
             stats.hits,

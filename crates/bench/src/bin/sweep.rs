@@ -169,7 +169,7 @@ fn main() {
         run_file(&runner, file, a.seeds);
     }
     if let Some(cache) = cache {
-        let stats = hydra_bench::lock_cache(&cache).stats();
+        let stats = cache.stats();
         eprintln!(
             "result cache: {} hits, {} misses ({} runs simulated){}",
             stats.hits,

@@ -26,8 +26,9 @@ pub mod microbench;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod sched;
 pub mod sweeps;
 
 pub use report::Table;
-pub use runner::{CellResult, ExperimentRunner};
-pub use sweeps::{lock_cache, CacheStats, ResultCache, SharedCache, CACHE_SCHEMA};
+pub use runner::{CellResult, ExperimentRunner, RunnerTelemetry, Scheduler};
+pub use sweeps::{CacheIndex, CacheStats, ConcurrentCache, ResultCache, SharedCache, CACHE_SCHEMA};

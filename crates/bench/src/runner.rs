@@ -3,8 +3,34 @@
 //! Every table and figure in this harness is a *sweep*: a list of
 //! [`ScenarioSpec`]s, each replicated over some number of seeds, with
 //! the per-run results folded into a table. [`ExperimentRunner`] expands
-//! a sweep into a flat work list, executes it across OS threads, and
+//! a sweep into a flat work list, predicts each job's cost, executes
+//! the list on a cost-aware work-stealing pool ([`crate::sched`]), and
 //! hands the outcomes back in sweep order.
+//!
+//! ## Scheduling
+//!
+//! The default [`Scheduler::WorkStealing`] dispatch places jobs
+//! longest-predicted-first (LPT) so a sweep's long pole — e.g. one
+//! 1000-node mesh among dozens of 20-node paper cells — starts
+//! immediately instead of landing last on a busy worker, and idle
+//! workers steal from busy ones through the tail. Costs come from
+//! [`ExperimentRunner::predicted_cost`], a spec-feature model
+//! (nodes × flows × span × rate), *calibrated* by recorded event counts
+//! when the attached cache has seen the spec before. Cost predictions
+//! only ever reorder work; results are byte-identical in any order.
+//!
+//! Sufficiently large multi-domain cells additionally decompose into
+//! per-collision-domain subtasks ([`hydra_netsim::ShardPlan`]) that run
+//! as first-class pool tasks — intra-cell parallelism on the *same*
+//! worker budget, cooperating with the pool instead of nesting blind
+//! thread spawns. The decomposition decision is a **pure function of
+//! the spec and runner configuration** — never of the thread count, the
+//! machine, or cache contents — so a given runner produces the same
+//! event totals at every thread count.
+//!
+//! [`Scheduler::FlatCursor`] keeps the previous dispatch (a shared
+//! atomic cursor over submission order) as the reference baseline the
+//! profile harness compares against.
 //!
 //! Determinism: each run's world seed is derived from the spec's
 //! [`ScenarioSpec::stable_hash`] (which covers every field, including
@@ -21,10 +47,11 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-use hydra_netsim::{RunError, RunOutcome, ScenarioSpec};
+use hydra_netsim::{FlowTraffic, RunError, RunOutcome, ScenarioSpec, ShardPlan, TopologyKind};
 use hydra_sim::stream_seed;
 
-use crate::sweeps::{lock_cache, SharedCache};
+use crate::sched::{self, JobStats, PoolTelemetry};
+use crate::sweeps::SharedCache;
 
 /// All replications of one sweep cell — failure-aware: a replication
 /// that panicked, tripped its [`hydra_netsim::RunBudget`], or hit a
@@ -104,6 +131,75 @@ impl CellResult {
     }
 }
 
+/// Which dispatch discipline drains the work list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The previous engine: workers pull jobs in submission order off a
+    /// shared atomic cursor. Kept as the baseline the profile harness
+    /// measures the scheduler against; never decomposes cells.
+    FlatCursor,
+    /// Cost-aware LPT placement with work stealing and intra-cell
+    /// domain decomposition (the default).
+    #[default]
+    WorkStealing,
+}
+
+/// Accumulated scheduler telemetry across a runner's sweeps (shared by
+/// clones, like the failure counter). Pure measurement: nothing here
+/// feeds back into any result.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerTelemetry {
+    /// Sweeps that dispatched at least one fresh (non-cached) job.
+    pub sweeps: u64,
+    /// Fresh jobs executed.
+    pub jobs: u64,
+    /// Pool tasks beyond one-per-job — intra-cell shard subtasks.
+    pub shard_tasks: u64,
+    /// Steal operations across all sweeps.
+    pub steals: u64,
+    /// Tasks that ran on a worker other than their LPT assignment.
+    pub stolen_tasks: u64,
+    /// Summed pool makespans, ms.
+    pub makespan_ms: f64,
+    /// Summed task execution time, ms.
+    pub busy_ms: f64,
+    /// Worker threads of the most recent dispatch.
+    pub threads: usize,
+    /// Per-job stats of the most recent dispatch, in job order.
+    pub per_job: Vec<JobStats>,
+}
+
+impl RunnerTelemetry {
+    /// `busy / (threads × makespan)` over everything accumulated:
+    /// 1.0 = every worker busy end to end; lower = idle tails.
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.threads == 0 || self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_ms / (self.threads as f64 * self.makespan_ms)).min(1.0)
+    }
+
+    fn absorb(&mut self, pool: &PoolTelemetry) {
+        self.sweeps += 1;
+        self.jobs += pool.jobs as u64;
+        self.shard_tasks += (pool.tasks - pool.jobs) as u64;
+        self.steals += pool.steals;
+        self.stolen_tasks += pool.stolen_tasks;
+        self.makespan_ms += pool.makespan_ms;
+        self.busy_ms += pool.busy_ms;
+        self.threads = pool.threads;
+        self.per_job = pool.per_job.clone();
+    }
+}
+
+/// Default decomposition threshold, in predicted events: roughly ten
+/// paper-scale cells. Below it a cell is cheaper to run whole than to
+/// pay the per-domain rebuild overhead; the shipped grids' multi-domain
+/// cells all sit below it, so decomposition is opt-in via
+/// [`ExperimentRunner::with_decompose_min_cost`] until a genuinely
+/// heavy multi-domain grid shows up.
+pub const DECOMPOSE_MIN_COST: f64 = 3e6;
+
 /// Executes sweeps of [`ScenarioSpec`]s across OS threads, optionally
 /// consulting a persistent [`crate::sweeps::ResultCache`] before
 /// dispatching any run and appending every fresh outcome to it.
@@ -111,17 +207,30 @@ impl CellResult {
 pub struct ExperimentRunner {
     /// Worker threads; 0 = one per available CPU.
     pub threads: usize,
+    /// Dispatch discipline (default: cost-aware work stealing).
+    scheduler: Scheduler,
+    /// Predicted-cost floor for intra-cell domain decomposition.
+    decompose_min_cost: f64,
     /// Persistent result store; `None` = always simulate.
     cache: Option<SharedCache>,
     /// Failed replications seen by this runner (shared across clones,
     /// so a whole session of sweeps can gate its exit code on it).
     failures: Arc<AtomicU64>,
+    /// Scheduler telemetry (shared across clones, like `failures`).
+    telemetry: Arc<Mutex<RunnerTelemetry>>,
 }
 
 impl ExperimentRunner {
     /// A runner with an explicit thread count (0 = auto).
     pub fn new(threads: usize) -> Self {
-        ExperimentRunner { threads, cache: None, failures: Arc::new(AtomicU64::new(0)) }
+        ExperimentRunner {
+            threads,
+            scheduler: Scheduler::default(),
+            decompose_min_cost: DECOMPOSE_MIN_COST,
+            cache: None,
+            failures: Arc::new(AtomicU64::new(0)),
+            telemetry: Arc::new(Mutex::new(RunnerTelemetry::default())),
+        }
     }
 
     /// A sequential runner (also the reference for determinism tests).
@@ -134,6 +243,20 @@ impl ExperimentRunner {
     /// simulation entirely, and fresh runs are appended for next time.
     pub fn with_cache(mut self, cache: SharedCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Selects the dispatch discipline.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the decomposition threshold (predicted events; 0.0
+    /// decomposes every eligible multi-domain cell — tests use this to
+    /// force the shard path on small specs).
+    pub fn with_decompose_min_cost(mut self, min_cost: f64) -> Self {
+        self.decompose_min_cost = min_cost;
         self
     }
 
@@ -150,8 +273,13 @@ impl ExperimentRunner {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the accumulated scheduler telemetry.
+    pub fn telemetry(&self) -> RunnerTelemetry {
+        self.telemetry.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
     fn thread_count(&self, jobs: usize) -> usize {
-        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let auto = hydra_sim::parallel::total();
         let want = if self.threads == 0 { auto } else { self.threads };
         want.max(1).min(jobs.max(1))
     }
@@ -161,11 +289,63 @@ impl ExperimentRunner {
         stream_seed(spec.stable_hash(), rep)
     }
 
+    /// Predicted work for one run of `spec`, in (approximate) events —
+    /// the scheduler's cost model. A deliberately crude feature model:
+    /// per-flow packet counts over the active span, an events-per-frame
+    /// constant, and a per-node build charge. It only has to *rank*
+    /// jobs (a 1000-node mesh must predict far above a 6-node chain);
+    /// recorded event counts from the cache override it for specs seen
+    /// before. Pure function of the spec: no machine state, no RNG.
+    pub fn predicted_cost(spec: &ScenarioSpec) -> f64 {
+        let n = spec.topology.node_count() as f64;
+        let span = (spec.warmup + spec.duration).as_secs_f64();
+        let rate_bps = spec.rate.bits_per_sec() as f64;
+        let mut frames = 0.0;
+        for flow in spec.effective_flows() {
+            frames += match flow.traffic {
+                FlowTraffic::Cbr { interval, .. } => span / interval.as_secs_f64().max(1e-9),
+                FlowTraffic::OnOff { burst, idle, interval, .. } => {
+                    let period =
+                        interval.as_secs_f64() * (burst.saturating_sub(1)) as f64 + idle.as_secs_f64();
+                    span / period.max(1e-9) * f64::from(burst)
+                }
+                FlowTraffic::FileTransfer { bytes } => {
+                    // Frames to move the file, capped by what the air
+                    // can carry in the span.
+                    let by_size = bytes as f64 / 1140.0;
+                    let by_air = rate_bps * span / (8.0 * 1140.0);
+                    by_size.min(by_air)
+                }
+            };
+        }
+        // Mesh media re-evaluate neighbourhoods per transmission, so a
+        // frame costs more there than on a fixed chain/star.
+        let events_per_frame = match spec.topology {
+            TopologyKind::RandomMesh { .. } => 40.0,
+            _ => 30.0,
+        };
+        frames * events_per_frame + n * 50.0
+    }
+
+    /// Whether this runner decomposes `spec` into per-domain subtasks.
+    /// A pure function of the spec and the runner's *configuration* —
+    /// never of the thread count — so event totals are identical at
+    /// every `threads` setting. Gated off under armed failpoints
+    /// (chaos schedules are phrased against whole-run event counts)
+    /// and for budgeted runs (a budget is a whole-run event cap).
+    fn wants_decompose(&self, spec: &ScenarioSpec) -> bool {
+        self.scheduler == Scheduler::WorkStealing
+            && spec.budget.is_none()
+            && !hydra_sim::failpoint::armed()
+            && Self::predicted_cost(spec) >= self.decompose_min_cost
+    }
+
     /// Expands `specs × (1..=seeds)` into a work list, satisfies what it
-    /// can from the attached cache, executes the rest in parallel, and
-    /// returns one [`CellResult`] per spec, in order. Fresh outcomes are
-    /// appended to the cache (in job order, so the store stays
-    /// deterministic for a given cold sweep).
+    /// can from the attached cache's snapshot index, executes the rest
+    /// on the scheduler, and returns one [`CellResult`] per spec, in
+    /// order. Fresh outcomes are appended to the cache as one batch, in
+    /// job order, so the store stays deterministic for a given cold
+    /// sweep.
     pub fn run_sweep(&self, specs: &[ScenarioSpec], seeds: u64) -> Vec<CellResult> {
         assert!(seeds >= 1, "a sweep needs at least one seed");
         // (cell index, replication, cache key) per job, in job order.
@@ -177,35 +357,55 @@ impl ExperimentRunner {
             }
         }
         let mut results: Vec<Option<Result<RunOutcome, RunError>>> = (0..jobs.len()).map(|_| None).collect();
-        if let Some(cache) = &self.cache {
-            let mut cache = lock_cache(cache);
+        let index = self.cache.as_ref().map(|c| c.index());
+        if let Some(index) = &index {
+            let (mut hits, mut misses) = (0u64, 0u64);
             for (slot, &(_, rep, hash)) in results.iter_mut().zip(&jobs) {
-                *slot = cache.lookup(hash, rep).map(Ok);
+                match index.get(hash, rep) {
+                    Some(outcome) => {
+                        hits += 1;
+                        *slot = Some(Ok((**outcome).clone()));
+                    }
+                    None => misses += 1,
+                }
+            }
+            if let Some(cache) = &self.cache {
+                cache.note(hits, misses);
             }
         }
         let todo: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
-        let work: Vec<ScenarioSpec> = todo
-            .iter()
-            .map(|&i| {
-                let (cell, rep, _) = jobs[i];
-                let spec = &specs[cell];
-                spec.clone().with_seed(stream_seed(spec.stable_hash(), rep))
-            })
-            .collect();
-        let fresh = self.execute(work);
+        let mut work = Vec::with_capacity(todo.len());
+        let mut lpt_costs = Vec::with_capacity(todo.len());
+        for &i in &todo {
+            let (cell, rep, hash) = jobs[i];
+            let spec = &specs[cell];
+            // LPT ordering cost: the recorded event count when the
+            // cache has seen this spec, the feature model otherwise.
+            // Ordering never affects results, so the hint is safe; the
+            // *decomposition* decision deliberately ignores it.
+            let cost = index
+                .as_ref()
+                .and_then(|ix| ix.events_hint(hash))
+                .map_or_else(|| Self::predicted_cost(spec), |n| n as f64);
+            lpt_costs.push(cost);
+            work.push(spec.clone().with_seed(stream_seed(spec.stable_hash(), rep)));
+        }
+        let fresh = self.execute(&work, &lpt_costs);
         self.failures.fetch_add(fresh.iter().filter(|r| r.is_err()).count() as u64, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
-            let mut cache = lock_cache(cache);
-            for (&i, result) in todo.iter().zip(&fresh) {
-                // Only successful runs are cached: a failed replication
-                // stays cold so a fixed spec (or a chaos-free rerun)
-                // simulates it again instead of replaying the failure.
-                if let Ok(outcome) = result {
+            // Only successful runs are cached: a failed replication
+            // stays cold so a fixed spec (or a chaos-free rerun)
+            // simulates it again instead of replaying the failure.
+            let records: Vec<_> = todo
+                .iter()
+                .zip(&fresh)
+                .filter_map(|(&i, result)| {
                     let (cell, rep, hash) = jobs[i];
-                    if let Err(e) = cache.record(hash, rep, &specs[cell], outcome) {
-                        eprintln!("warning: result cache append failed: {e}");
-                    }
-                }
+                    result.as_ref().ok().map(|outcome| (hash, rep, &specs[cell], outcome))
+                })
+                .collect();
+            if let Err(e) = cache.append_batch(&records) {
+                eprintln!("warning: result cache append failed: {e}");
             }
         }
         for (i, outcome) in todo.into_iter().zip(fresh) {
@@ -265,43 +465,157 @@ impl ExperimentRunner {
         }
     }
 
+    /// One fault-isolated *domain* subtask of a decomposed cell: a
+    /// panic anywhere in the domain run is caught here, inside the pool
+    /// task, so a stolen panicking job unwinds no worker and fails only
+    /// its own cell.
+    fn run_domain_isolated(plan: &ShardPlan<'_>, domain: u32) -> Result<RunOutcome, RunError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.run_domain(domain))).map_err(
+            |payload| {
+                RunError::Panicked(match payload.downcast::<String>() {
+                    Ok(s) => *s,
+                    Err(payload) => match payload.downcast::<&'static str>() {
+                        Ok(s) => (*s).to_string(),
+                        Err(_) => "non-string panic payload".to_string(),
+                    },
+                })
+            },
+        )
+    }
+
     /// Executes the prepared work list; results come back in job order.
     /// A job that fails — panic, budget, IO — yields its `Err` entry
     /// without disturbing any other job: worker threads never unwind
-    /// (the panic is caught inside `try_run`), and even a poisoned
+    /// (panics are caught inside every task), and even a poisoned
     /// result slot is recovered rather than propagated.
-    fn execute(&self, jobs: Vec<ScenarioSpec>) -> Vec<Result<RunOutcome, RunError>> {
-        let n = jobs.len();
-        let threads = self.thread_count(n);
-        if threads <= 1 {
-            return jobs.iter().map(Self::run_isolated).collect();
+    fn execute(&self, work: &[ScenarioSpec], lpt_costs: &[f64]) -> Vec<Result<RunOutcome, RunError>> {
+        if self.scheduler == Scheduler::FlatCursor {
+            return self.execute_flat(work);
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<RunOutcome, RunError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = Self::run_isolated(&jobs[i]);
-                    // A slot mutex can only be poisoned if a *storing*
-                    // thread panicked mid-assignment; the data is a
-                    // plain Option either way, so recover it.
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .unwrap_or_else(|| Err(RunError::Panicked("worker died before storing a result".into())))
+        // Decomposition plans are built (and the decision made)
+        // identically at every thread count; `exact()` excludes the
+        // pure-file-transfer mode whose merged bookkeeping differs
+        // from a whole run.
+        let plans: Vec<Option<ShardPlan<'_>>> = work
+            .iter()
+            .map(|spec| {
+                if !self.wants_decompose(spec) {
+                    return None;
+                }
+                spec.shard_plan().filter(|p| p.exact() && p.domains() > 1)
             })
-            .collect()
+            .collect();
+        let jobs: Vec<sched::Job<'_, Result<RunOutcome, RunError>>> = work
+            .iter()
+            .zip(&plans)
+            .zip(lpt_costs)
+            .map(|((spec, plan), &cost)| match plan {
+                None => sched::Job::one(cost, move || Self::run_isolated(spec)),
+                Some(plan) => {
+                    let parts = (0..plan.domains() as u32)
+                        .map(|c| {
+                            let thunk: sched::Thunk<'_, Result<RunOutcome, RunError>> =
+                                Box::new(move || Self::run_domain_isolated(plan, c));
+                            (cost * plan.cost_share(c), thunk)
+                        })
+                        .collect();
+                    sched::Job {
+                        cost,
+                        work: sched::Work::Parts {
+                            parts,
+                            merge: Box::new(move |outcomes| {
+                                let mut by_comp = Vec::with_capacity(outcomes.len());
+                                for o in outcomes {
+                                    by_comp.push(o?);
+                                }
+                                Ok(plan.merge(by_comp))
+                            }),
+                        },
+                    }
+                }
+            })
+            .collect();
+        let tasks = jobs
+            .iter()
+            .map(|j| match &j.work {
+                sched::Work::One(_) => 1,
+                sched::Work::Parts { parts, .. } => parts.len(),
+            })
+            .sum();
+        let threads = self.thread_count(tasks);
+        let (results, pool) = sched::execute(jobs, threads);
+        self.telemetry.lock().unwrap_or_else(PoisonError::into_inner).absorb(&pool);
+        results
+    }
+
+    /// The baseline dispatch: submission order off a shared cursor.
+    fn execute_flat(&self, work: &[ScenarioSpec]) -> Vec<Result<RunOutcome, RunError>> {
+        let n = work.len();
+        let threads = self.thread_count(n);
+        let t0 = std::time::Instant::now();
+        let mut per_job = vec![JobStats { parts: 1, ..JobStats::default() }; n];
+        let results: Vec<Result<RunOutcome, RunError>> = if threads <= 1 {
+            work.iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let started = t0.elapsed().as_secs_f64() * 1e3;
+                    let r = Self::run_isolated(spec);
+                    per_job[i].queue_wait_ms = started;
+                    per_job[i].wall_ms = t0.elapsed().as_secs_f64() * 1e3 - started;
+                    r
+                })
+                .collect()
+        } else {
+            type Slot = Mutex<Option<(Result<RunOutcome, RunError>, JobStats)>>;
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+            let _occupancy = hydra_sim::parallel::occupy(threads);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let started = t0.elapsed().as_secs_f64() * 1e3;
+                        let result = Self::run_isolated(&work[i]);
+                        let stats = JobStats {
+                            queue_wait_ms: started,
+                            wall_ms: t0.elapsed().as_secs_f64() * 1e3 - started,
+                            parts: 1,
+                            stolen_parts: 0,
+                        };
+                        // A slot mutex can only be poisoned if a *storing*
+                        // thread panicked mid-assignment; the data is a
+                        // plain Option either way, so recover it.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some((result, stats));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                    Some((result, stats)) => {
+                        per_job[i] = stats;
+                        result
+                    }
+                    None => Err(RunError::Panicked("worker died before storing a result".into())),
+                })
+                .collect()
+        };
+        let pool = PoolTelemetry {
+            threads,
+            jobs: n,
+            tasks: n,
+            steals: 0,
+            stolen_tasks: 0,
+            makespan_ms: t0.elapsed().as_secs_f64() * 1e3,
+            busy_ms: per_job.iter().map(|j| j.wall_ms).sum(),
+            per_job,
+        };
+        self.telemetry.lock().unwrap_or_else(PoisonError::into_inner).absorb(&pool);
+        results
     }
 }
 
@@ -341,6 +655,38 @@ mod tests {
         assert_eq!(cells[0].runs.len(), 2);
         let grid = ExperimentRunner::sequential().run_grid(vec![vec![tiny_udp_spec()], specs], 1);
         assert_eq!(grid.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn the_cost_model_ranks_big_worlds_far_above_paper_cells() {
+        let small = tiny_udp_spec();
+        let mut big = ScenarioSpec::udp(
+            TopologyKind::RandomMesh { nodes: 1000, area_m: 2000, seed: 7 },
+            Policy::Ba,
+            Rate::R1_30,
+            Duration::from_millis(20),
+        );
+        big.warmup = Duration::from_millis(200);
+        big.duration = Duration::from_secs(1);
+        let (cs, cb) = (ExperimentRunner::predicted_cost(&small), ExperimentRunner::predicted_cost(&big));
+        assert!(cb > 10.0 * cs, "1000-node mesh ({cb:.0}) must rank far above a 2-node chain ({cs:.0})");
+        // Pure function of the spec: the seed field does not move it.
+        assert_eq!(cs, ExperimentRunner::predicted_cost(&small.clone().with_seed(99)));
+    }
+
+    #[test]
+    fn both_schedulers_produce_identical_sweeps_at_any_thread_count() {
+        let specs = vec![tiny_udp_spec(), tiny_udp_spec().with_seed(2), tiny_udp_spec().with_seed(3)];
+        let reference =
+            ExperimentRunner::sequential().with_scheduler(Scheduler::FlatCursor).run_sweep(&specs, 2);
+        for scheduler in [Scheduler::FlatCursor, Scheduler::WorkStealing] {
+            for threads in [1, 2, 4, 8] {
+                let cells = ExperimentRunner::new(threads).with_scheduler(scheduler).run_sweep(&specs, 2);
+                for (cell, expect) in cells.iter().zip(&reference) {
+                    assert_eq!(cell.runs, expect.runs, "{scheduler:?} × {threads} threads diverged");
+                }
+            }
+        }
     }
 
     #[test]
@@ -402,5 +748,19 @@ mod tests {
         let failed = ExperimentRunner::sequential().try_run_one(spec.clone());
         assert!(matches!(failed, Err(hydra_netsim::RunError::Io(_))), "{failed:?}");
         hydra_sim::failpoint::disarm_all();
+    }
+
+    #[test]
+    fn telemetry_accumulates_across_sweeps() {
+        let runner = ExperimentRunner::sequential();
+        runner.run_sweep(&[tiny_udp_spec()], 2);
+        runner.run_sweep(&[tiny_udp_spec().with_seed(2)], 1);
+        let t = runner.telemetry();
+        assert_eq!(t.sweeps, 2);
+        assert_eq!(t.jobs, 3);
+        assert_eq!(t.shard_tasks, 0, "tiny chains never decompose");
+        assert!(t.makespan_ms > 0.0);
+        assert!(t.parallel_efficiency() > 0.0);
+        assert_eq!(t.per_job.len(), 1, "per-job stats track the last sweep");
     }
 }

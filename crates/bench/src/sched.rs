@@ -1,0 +1,496 @@
+//! A cost-aware work-stealing thread pool for coarse jobs.
+//!
+//! The experiment runner's unit of work is a whole simulation run —
+//! milliseconds to seconds each — so this pool optimises for *schedule
+//! quality* on heterogeneous job sets, not for nanosecond dispatch:
+//!
+//! * **LPT placement**: jobs are assigned to workers
+//!   longest-predicted-first onto the least-loaded deque, so the long
+//!   pole of a sweep starts immediately instead of landing last on a
+//!   busy worker (the classic 4/3-approximation to makespan).
+//! * **Work stealing**: a worker that drains its own deque steals the
+//!   *back half* of the fullest victim's deque (owners pop from the
+//!   front, so the front of every deque carries the biggest work and
+//!   thieves take the small tail), keeping every core busy through the
+//!   sweep's tail without a central contended cursor.
+//! * **Shard subtasks**: a job may decompose into parts
+//!   ([`Work::Parts`]) that run as independent pool tasks — this is how
+//!   multi-domain cells cooperate with
+//!   `hydra_netsim::ScenarioSpec::shard_plan` instead of nesting blind
+//!   thread spawns. The last part to finish runs the job's merge inline.
+//!
+//! Determinism: results land in **job order** regardless of placement,
+//! stealing, or thread count — each job's slot is fixed up front, and
+//! nothing a job computes can depend on which worker ran it. Telemetry
+//! (queue waits, steals, busy time) is measurement and never feeds back
+//! into results.
+//!
+//! Closures must not unwind: a panicking task takes the whole pool's
+//! scope down. The runner guarantees this by catching panics *inside*
+//! every task (`try_run` / `catch_unwind` around domain runs), which is
+//! also what confines a stolen panicking job to its own cell.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A boxed unit of work returning `T`.
+pub type Thunk<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// A boxed fold of part results (in part order) into a job result.
+pub type Merge<'a, T> = Box<dyn FnOnce(Vec<T>) -> T + Send + 'a>;
+
+/// How one job executes on the pool.
+pub enum Work<'a, T> {
+    /// One indivisible task.
+    One(Thunk<'a, T>),
+    /// Independent parts (each `(cost, thunk)`) scheduled as separate
+    /// pool tasks; `merge` folds the part results (in part order) into
+    /// the job result and runs inline on whichever worker finishes the
+    /// last part.
+    Parts {
+        /// The shard tasks, in a fixed order the merge relies on.
+        parts: Vec<(f64, Thunk<'a, T>)>,
+        /// Fold of the part results, in part order.
+        merge: Merge<'a, T>,
+    },
+}
+
+/// One schedulable job: a predicted cost (arbitrary but consistent
+/// units; only the ordering matters) plus its work.
+pub struct Job<'a, T> {
+    /// Predicted work, used for LPT placement (higher = earlier).
+    pub cost: f64,
+    /// The work itself.
+    pub work: Work<'a, T>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// A single-task job.
+    pub fn one(cost: f64, f: impl FnOnce() -> T + Send + 'a) -> Self {
+        Job { cost, work: Work::One(Box::new(f)) }
+    }
+
+    /// How many pool tasks this job expands into.
+    fn parts(&self) -> usize {
+        match &self.work {
+            Work::One(_) => 1,
+            Work::Parts { parts, .. } => parts.len(),
+        }
+    }
+}
+
+/// Per-job schedule telemetry (measurement only; never affects results).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobStats {
+    /// Time from pool start to the job's first task starting, ms.
+    pub queue_wait_ms: f64,
+    /// Time from the job's first task starting to its completion
+    /// (merge included), ms.
+    pub wall_ms: f64,
+    /// Pool tasks the job expanded into (1 unless decomposed).
+    pub parts: u32,
+    /// Parts executed by a worker other than the one LPT assigned.
+    pub stolen_parts: u32,
+}
+
+/// Whole-pool telemetry for one `execute` call.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Pool tasks executed (≥ jobs when cells decomposed).
+    pub tasks: usize,
+    /// Steal operations (each may move several tasks).
+    pub steals: u64,
+    /// Tasks that ran on a worker other than their LPT assignment.
+    pub stolen_tasks: u64,
+    /// Wall time of the whole pool run, ms.
+    pub makespan_ms: f64,
+    /// Summed task execution time across workers, ms.
+    pub busy_ms: f64,
+    /// Per-job stats, in job order.
+    pub per_job: Vec<JobStats>,
+}
+
+impl PoolTelemetry {
+    /// `busy / (threads × makespan)`: 1.0 = every worker busy the whole
+    /// run, lower = idle tails or placement waste. (On an oversubscribed
+    /// machine task walls include descheduled time, so this measures
+    /// schedule shape, not core utilisation.)
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.threads == 0 || self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_ms / (self.threads as f64 * self.makespan_ms)).min(1.0)
+    }
+}
+
+/// Executes `jobs` on `threads` workers, returning results **in job
+/// order** plus the schedule telemetry. `threads <= 1` runs every job
+/// (and every part) sequentially in order — the reference schedule.
+pub fn execute<'a, T: Send + 'a>(jobs: Vec<Job<'a, T>>, threads: usize) -> (Vec<T>, PoolTelemetry) {
+    let njobs = jobs.len();
+    let ntasks: usize = jobs.iter().map(Job::parts).sum();
+    let mut telemetry = PoolTelemetry {
+        threads: threads.max(1).min(ntasks.max(1)),
+        jobs: njobs,
+        tasks: ntasks,
+        per_job: vec![JobStats::default(); njobs],
+        ..PoolTelemetry::default()
+    };
+    if njobs == 0 {
+        return (Vec::new(), telemetry);
+    }
+    let t0 = Instant::now();
+    if telemetry.threads <= 1 {
+        let mut results = Vec::with_capacity(njobs);
+        for (j, job) in jobs.into_iter().enumerate() {
+            let started = t0.elapsed().as_secs_f64() * 1e3;
+            let parts = job.parts() as u32;
+            let r = match job.work {
+                Work::One(f) => f(),
+                Work::Parts { parts, merge } => merge(parts.into_iter().map(|(_, f)| f()).collect()),
+            };
+            let done = t0.elapsed().as_secs_f64() * 1e3;
+            telemetry.per_job[j] =
+                JobStats { queue_wait_ms: started, wall_ms: done - started, parts, stolen_parts: 0 };
+            telemetry.busy_ms += done - started;
+            results.push(r);
+        }
+        telemetry.makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
+        return (results, telemetry);
+    }
+
+    let nworkers = telemetry.threads;
+    // Flatten jobs into tasks. Each job owns a result slot; a Parts job
+    // also owns per-part slots, a remaining-parts counter, and its
+    // merge (run by the last finisher).
+    struct JobState<'a, T> {
+        result: Mutex<Option<T>>,
+        part_results: Vec<Mutex<Option<T>>>,
+        remaining: AtomicUsize,
+        merge: Mutex<Option<Merge<'a, T>>>,
+        /// ns since pool start of the first part starting (u64::MAX = not yet).
+        first_start_ns: AtomicU64,
+        /// ns since pool start of job completion (merge done).
+        done_ns: AtomicU64,
+        stolen: AtomicU64,
+        parts: u32,
+    }
+    struct Task<'a, T> {
+        job: usize,
+        part: usize,
+        thunk: Mutex<Option<Thunk<'a, T>>>,
+        assigned: AtomicUsize,
+    }
+    let mut states: Vec<JobState<'a, T>> = Vec::with_capacity(njobs);
+    let mut tasks: Vec<Task<'a, T>> = Vec::with_capacity(ntasks);
+    let mut job_costs: Vec<(usize, f64, Vec<usize>)> = Vec::with_capacity(njobs);
+    for (j, job) in jobs.into_iter().enumerate() {
+        let mut task_ids = Vec::new();
+        let (parts, state) = match job.work {
+            Work::One(f) => {
+                task_ids.push(tasks.len());
+                tasks.push(Task {
+                    job: j,
+                    part: 0,
+                    thunk: Mutex::new(Some(f)),
+                    assigned: AtomicUsize::new(0),
+                });
+                (
+                    1u32,
+                    JobState {
+                        result: Mutex::new(None),
+                        part_results: Vec::new(),
+                        remaining: AtomicUsize::new(1),
+                        merge: Mutex::new(None),
+                        first_start_ns: AtomicU64::new(u64::MAX),
+                        done_ns: AtomicU64::new(0),
+                        stolen: AtomicU64::new(0),
+                        parts: 1,
+                    },
+                )
+            }
+            Work::Parts { parts, merge } => {
+                let n = parts.len();
+                for (p, (_cost, f)) in parts.into_iter().enumerate() {
+                    task_ids.push(tasks.len());
+                    tasks.push(Task {
+                        job: j,
+                        part: p,
+                        thunk: Mutex::new(Some(f)),
+                        assigned: AtomicUsize::new(0),
+                    });
+                }
+                (
+                    n as u32,
+                    JobState {
+                        result: Mutex::new(None),
+                        part_results: (0..n).map(|_| Mutex::new(None)).collect(),
+                        remaining: AtomicUsize::new(n),
+                        merge: Mutex::new(Some(merge)),
+                        first_start_ns: AtomicU64::new(u64::MAX),
+                        done_ns: AtomicU64::new(0),
+                        stolen: AtomicU64::new(0),
+                        parts: n as u32,
+                    },
+                )
+            }
+        };
+        let _ = parts;
+        states.push(state);
+        job_costs.push((j, job.cost, task_ids));
+    }
+
+    // LPT placement: jobs in descending predicted cost, each onto the
+    // least-loaded worker; a job's parts stay together initially (the
+    // thieves spread them only if the schedule actually needs it).
+    job_costs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    let mut deques: Vec<VecDeque<usize>> = (0..nworkers).map(|_| VecDeque::new()).collect();
+    let mut loads = vec![0.0f64; nworkers];
+    for (_, cost, task_ids) in &job_costs {
+        let w = (0..nworkers).min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap()).unwrap();
+        loads[w] += cost.max(0.0);
+        for &t in task_ids {
+            tasks[t].assigned.store(w, Ordering::Relaxed);
+            deques[w].push_back(t);
+        }
+    }
+    let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let tasks_done = AtomicUsize::new(0);
+    let steals = AtomicU64::new(0);
+    let busy_ns = AtomicU64::new(0);
+    let _occupancy = hydra_sim::parallel::occupy(nworkers);
+    std::thread::scope(|scope| {
+        for me in 0..nworkers {
+            let deques = &deques;
+            let tasks = &tasks;
+            let states = &states;
+            let tasks_done = &tasks_done;
+            let steals = &steals;
+            let busy_ns = &busy_ns;
+            scope.spawn(move || {
+                let lock = |w: usize| deques[w].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                loop {
+                    // Own work first (front = biggest).
+                    let tid = lock(me).pop_front();
+                    let tid = match tid {
+                        Some(t) => Some(t),
+                        None => {
+                            // Steal the back half of the fullest deque.
+                            let victim = (0..nworkers)
+                                .filter(|&w| w != me)
+                                .max_by_key(|&w| lock(w).len())
+                                .filter(|&w| !lock(w).is_empty());
+                            match victim {
+                                Some(v) => {
+                                    let mut theirs = lock(v);
+                                    let take = theirs.len().div_ceil(2);
+                                    let at = theirs.len() - take;
+                                    let stolen: Vec<usize> = theirs.split_off(at).into();
+                                    drop(theirs);
+                                    if stolen.is_empty() {
+                                        None
+                                    } else {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        let mut mine = lock(me);
+                                        for &t in &stolen[1..] {
+                                            mine.push_back(t);
+                                        }
+                                        drop(mine);
+                                        Some(stolen[0])
+                                    }
+                                }
+                                None => None,
+                            }
+                        }
+                    };
+                    let Some(tid) = tid else {
+                        if tasks_done.load(Ordering::Acquire) >= ntasks {
+                            break;
+                        }
+                        // Jobs are coarse (ms+): a brief park while the
+                        // last tasks drain is honest and cheap.
+                        std::thread::park_timeout(std::time::Duration::from_micros(50));
+                        continue;
+                    };
+                    let task = &tasks[tid];
+                    let state = &states[task.job];
+                    let start_ns = t0.elapsed().as_nanos() as u64;
+                    state.first_start_ns.fetch_min(start_ns, Ordering::Relaxed);
+                    if task.assigned.load(Ordering::Relaxed) != me {
+                        state.stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let thunk = state_take(&task.thunk).expect("task runs once");
+                    let r = thunk();
+                    busy_ns.fetch_add(t0.elapsed().as_nanos() as u64 - start_ns, Ordering::Relaxed);
+                    if state.parts == 1 && state.part_results.is_empty() {
+                        *state.result.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                        state.done_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        tasks_done.fetch_add(1, Ordering::Release);
+                    } else {
+                        *state.part_results[task.part]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                        if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last part: merge inline, then publish.
+                            let merge = state_take(&state.merge).expect("merge runs once");
+                            let parts: Vec<T> = state
+                                .part_results
+                                .iter()
+                                .map(|s| state_take(s).expect("every part stored"))
+                                .collect();
+                            let merged = merge(parts);
+                            *state.result.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(merged);
+                            state.done_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        tasks_done.fetch_add(1, Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+    drop(_occupancy);
+
+    telemetry.makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    telemetry.steals = steals.load(Ordering::Relaxed);
+    telemetry.busy_ms = busy_ns.load(Ordering::Relaxed) as f64 / 1e6;
+    let mut results = Vec::with_capacity(njobs);
+    for (j, state) in states.into_iter().enumerate() {
+        let first = state.first_start_ns.load(Ordering::Relaxed);
+        let done = state.done_ns.load(Ordering::Relaxed);
+        let stolen = state.stolen.load(Ordering::Relaxed);
+        telemetry.stolen_tasks += stolen;
+        telemetry.per_job[j] = JobStats {
+            queue_wait_ms: if first == u64::MAX { 0.0 } else { first as f64 / 1e6 },
+            wall_ms: done.saturating_sub(if first == u64::MAX { done } else { first }) as f64 / 1e6,
+            parts: state.parts,
+            stolen_parts: stolen as u32,
+        };
+        results.push(
+            state
+                .result
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every job resolved"),
+        );
+    }
+    (results, telemetry)
+}
+
+/// Takes the value out of a `Mutex<Option<V>>`, recovering from poison.
+fn state_take<V>(slot: &Mutex<Option<V>>) -> Option<V> {
+    slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+}
+
+/// Replays a recorded schedule: given per-job measured costs, computes
+/// the makespan each dispatch discipline *would* achieve at `threads`
+/// workers — `(flat_cursor, lpt)` in the input cost units. The flat
+/// cursor hands jobs out in submission order; LPT sorts descending
+/// first. Both assume perfect stealing-free execution, so the numbers
+/// isolate *placement* quality from machine noise — the honest way to
+/// compare schedules on a loaded or single-core machine.
+pub fn replay_makespan(costs: &[f64], threads: usize) -> (f64, f64) {
+    let sim = |order: &[usize]| -> f64 {
+        // Greedy list scheduling: each job goes to the earliest-free
+        // worker (exactly what cursor dispatch and LPT placement do).
+        let mut free = vec![0.0f64; threads.max(1)];
+        for &j in order {
+            let w = (0..free.len()).min_by(|&a, &b| free[a].partial_cmp(&free[b]).unwrap()).unwrap();
+            free[w] += costs[j].max(0.0);
+        }
+        free.iter().cloned().fold(0.0, f64::max)
+    };
+    let submission: Vec<usize> = (0..costs.len()).collect();
+    let mut lpt = submission.clone();
+    lpt.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    (sim(&submission), sim(&lpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_job_order_at_any_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let jobs: Vec<Job<'_, usize>> =
+                (0..50).map(|i| Job::one(((i * 37) % 11) as f64, move || i * 2)).collect();
+            let (results, telemetry) = execute(jobs, threads);
+            assert_eq!(results, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(telemetry.jobs, 50);
+            assert_eq!(telemetry.tasks, 50);
+        }
+    }
+
+    #[test]
+    fn parts_merge_in_part_order_wherever_they_run() {
+        for threads in [1, 3, 8] {
+            let jobs: Vec<Job<'_, Vec<u32>>> = (0u32..8)
+                .map(|j| {
+                    let parts: Vec<(f64, Thunk<'_, Vec<u32>>)> = (0..5)
+                        .map(|p| {
+                            let cost = ((j * 5 + p) % 7) as f64;
+                            (cost, Box::new(move || vec![j * 10 + p]) as Thunk<'_, Vec<u32>>)
+                        })
+                        .collect();
+                    Job {
+                        cost: 10.0,
+                        work: Work::Parts {
+                            parts,
+                            merge: Box::new(|parts: Vec<Vec<u32>>| parts.into_iter().flatten().collect()),
+                        },
+                    }
+                })
+                .collect();
+            let (results, telemetry) = execute(jobs, threads);
+            for (j, r) in results.iter().enumerate() {
+                let j = j as u32;
+                assert_eq!(*r, (0..5).map(|p| j * 10 + p).collect::<Vec<_>>());
+            }
+            assert_eq!(telemetry.tasks, 40);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let jobs: Vec<Job<'_, ()>> = (0..100)
+            .map(|i| {
+                let hits = &hits;
+                Job::one(1.0, move || {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let (_, telemetry) = execute(jobs, 4);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(telemetry.per_job.len(), 100);
+    }
+
+    #[test]
+    fn lpt_replay_beats_submission_order_on_a_long_pole_at_the_end() {
+        // 7 small jobs then one huge one: cursor order starts the pole
+        // last; LPT starts it first.
+        let costs = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0];
+        let (flat, lpt) = replay_makespan(&costs, 4);
+        assert!(lpt < flat, "LPT must beat submission order: {lpt} vs {flat}");
+        assert_eq!(lpt, 10.0, "the pole bounds the LPT makespan");
+    }
+
+    #[test]
+    fn empty_and_single_job_pools_are_fine() {
+        let (r, t) = execute(Vec::<Job<'_, u8>>::new(), 8);
+        assert!(r.is_empty());
+        assert_eq!(t.jobs, 0);
+        let (r, _) = execute(vec![Job::one(1.0, || 7u8)], 8);
+        assert_eq!(r, vec![7]);
+    }
+}

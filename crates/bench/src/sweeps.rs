@@ -34,11 +34,26 @@
 //! affected keys simply degrade to cold (they re-simulate and re-append
 //! on the next sweep). A corrupt cache never aborts a run and never
 //! serves a damaged outcome.
+//!
+//! ## Concurrency
+//!
+//! Sweeps share the cache across worker threads (and across processes,
+//! via `O_APPEND`). [`ConcurrentCache`] is the shared form: lookups go
+//! through an immutable snapshot ([`CacheIndex`], an `Arc` republished
+//! under a read-mostly lock — workers never hold a mutex across a
+//! lookup), and fresh outcomes land via
+//! [`ConcurrentCache::append_batch`], a group commit that encodes every
+//! record up front and writes the whole batch with **one** `O_APPEND`
+//! write. Concurrent processes interleave at batch granularity instead
+//! of per record, a torn tail is still caught by the per-line CRC on
+//! the next open, and a sweep pays one file open per batch instead of
+//! one per run.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use hydra_netsim::{RunOutcome, RunPerf, RunReport, ScenarioSpec};
 use hydra_sim::Instant;
@@ -58,18 +73,7 @@ use hydra_sim::Instant;
 pub const CACHE_SCHEMA: &str = "hydra-agg.run.v2";
 
 /// A cache shared between experiment functions and runner threads.
-pub type SharedCache = Arc<Mutex<ResultCache>>;
-
-/// Locks a shared cache, recovering from poisoning.
-///
-/// A worker that panics while holding the lock (the runner isolates
-/// such panics) poisons the mutex, but the cache's state is always
-/// coherent — every mutation is a single insert or a single append —
-/// so the guard is safe to reuse. One failed replication must not take
-/// the whole grid's cache down with it.
-pub fn lock_cache(cache: &SharedCache) -> MutexGuard<'_, ResultCache> {
-    cache.lock().unwrap_or_else(PoisonError::into_inner)
-}
+pub type SharedCache = Arc<ConcurrentCache>;
 
 /// Session counters: how the cache performed since it was opened.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -94,6 +98,11 @@ pub struct CacheStats {
 pub struct ResultCache {
     path: PathBuf,
     entries: HashMap<(u64, u64), RunOutcome>,
+    /// Optional per-spec event counts (`stable_hash → events_processed`)
+    /// recorded alongside outcomes. Pure *scheduling* telemetry: the
+    /// runner uses them to order jobs longest-first; they never enter a
+    /// decoded outcome and never affect results.
+    events: HashMap<u64, u64>,
     stats: CacheStats,
 }
 
@@ -119,7 +128,12 @@ impl ResultCache {
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultCache> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.as_ref().join("runs.jsonl");
-        let mut cache = ResultCache { path, entries: HashMap::new(), stats: CacheStats::default() };
+        let mut cache = ResultCache {
+            path,
+            entries: HashMap::new(),
+            events: HashMap::new(),
+            stats: CacheStats::default(),
+        };
         let text = match std::fs::read_to_string(&cache.path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
@@ -136,7 +150,11 @@ impl ResultCache {
                 Some(json) => {
                     kept.push(line);
                     match decode_record(json) {
-                        Some((key, outcome)) => {
+                        Some((key, outcome, events)) => {
+                            if let Some(n) = events {
+                                let hint = cache.events.entry(key.0).or_insert(0);
+                                *hint = (*hint).max(n);
+                            }
                             cache.entries.insert(key, outcome);
                         }
                         None => cache.stats.skipped += 1,
@@ -171,7 +189,7 @@ impl ResultCache {
 
     /// Wraps a freshly opened cache for sharing across runners.
     pub fn shared(self) -> SharedCache {
-        Arc::new(Mutex::new(self))
+        Arc::new(ConcurrentCache::from_store(self))
     }
 
     /// Cached outcomes currently loaded.
@@ -204,6 +222,13 @@ impl ResultCache {
         }
     }
 
+    /// The recorded event count for the spec hashed to `hash`, if any —
+    /// a *scheduling hint* (the runner orders predicted-longest jobs
+    /// first); never part of an outcome.
+    pub fn events_hint(&self, hash: u64) -> Option<u64> {
+        self.events.get(&hash).copied()
+    }
+
     /// Records a finished run: appends one JSON line (carrying the
     /// spec's canonical `.scn` text for human inspection) and indexes
     /// the outcome in memory.
@@ -215,7 +240,8 @@ impl ResultCache {
         outcome: &RunOutcome,
     ) -> std::io::Result<()> {
         hydra_sim::failpoint::check_io("cache.append")?;
-        let mut line = seal(&encode_record(hash, rep, &spec.to_scn(), outcome));
+        let events = (outcome.perf.events_processed > 0).then_some(outcome.perf.events_processed);
+        let mut line = seal(&encode_record(hash, rep, &spec.to_scn(), outcome, events));
         line.push('\n');
         // One write of the whole record: under O_APPEND concurrent
         // writers (e.g. `--bin all` and `--bin sweep` sharing the
@@ -225,7 +251,165 @@ impl ResultCache {
         // the next open quarantines the fragment.
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
         file.write_all(line.as_bytes())?;
+        if let Some(n) = events {
+            let hint = self.events.entry(hash).or_insert(0);
+            *hint = (*hint).max(n);
+        }
         self.entries.insert((hash, rep), outcome.clone());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent form
+// ---------------------------------------------------------------------
+
+/// An immutable point-in-time view of the cache: workers resolve every
+/// lookup against one snapshot taken at sweep start, with no lock held
+/// per lookup. Outcomes are `Arc`-shared, so republishing after a batch
+/// append clones only the map's table, not the data.
+#[derive(Debug, Default, Clone)]
+pub struct CacheIndex {
+    entries: HashMap<(u64, u64), Arc<RunOutcome>>,
+    events: HashMap<u64, u64>,
+}
+
+impl CacheIndex {
+    /// The cached outcome for `(hash, rep)`, if any.
+    pub fn get(&self, hash: u64, rep: u64) -> Option<&Arc<RunOutcome>> {
+        self.entries.get(&(hash, rep))
+    }
+
+    /// The recorded event count for the spec hashed to `hash` — the
+    /// runner's cost-model calibration hint. Never part of an outcome.
+    pub fn events_hint(&self, hash: u64) -> Option<u64> {
+        self.events.get(&hash).copied()
+    }
+
+    /// Cached outcomes in this snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The shared, thread-safe cache: lock-free read path (an `Arc`
+/// snapshot per sweep), a single writer lock held only while a batch
+/// commits, and atomic session counters. See the module docs'
+/// *Concurrency* section for the full story.
+#[derive(Debug)]
+pub struct ConcurrentCache {
+    path: PathBuf,
+    /// Serialises appends from this handle. (Cross-*process* writers
+    /// are serialised by `O_APPEND` at write granularity instead.)
+    writer: Mutex<()>,
+    index: RwLock<Arc<CacheIndex>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Load-time counters, fixed at open.
+    skipped: u64,
+    quarantined: u64,
+}
+
+impl ConcurrentCache {
+    /// Opens (creating if needed) the cache under `dir` — the same
+    /// on-disk format, quarantine, and compaction as
+    /// [`ResultCache::open`].
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ConcurrentCache> {
+        Ok(Self::from_store(ResultCache::open(dir)?))
+    }
+
+    /// Opens (creating if needed) the cache under
+    /// [`ResultCache::default_dir`].
+    pub fn open_default() -> std::io::Result<ConcurrentCache> {
+        Ok(Self::from_store(ResultCache::open_default()?))
+    }
+
+    /// Builds the concurrent form from a loaded store, adopting its
+    /// entries, hints, and load-time stats.
+    pub fn from_store(store: ResultCache) -> ConcurrentCache {
+        let index = CacheIndex {
+            entries: store.entries.into_iter().map(|(k, v)| (k, Arc::new(v))).collect(),
+            events: store.events,
+        };
+        ConcurrentCache {
+            path: store.path,
+            writer: Mutex::new(()),
+            index: RwLock::new(Arc::new(index)),
+            hits: AtomicU64::new(store.stats.hits),
+            misses: AtomicU64::new(store.stats.misses),
+            skipped: store.stats.skipped,
+            quarantined: store.stats.quarantined,
+        }
+    }
+
+    /// The current snapshot. Take one per sweep and resolve every
+    /// lookup against it — stable, and free of per-lookup locking.
+    pub fn index(&self) -> Arc<CacheIndex> {
+        Arc::clone(&self.index.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Adds to the session hit/miss counters (the runner counts against
+    /// its snapshot, then reports here once per sweep).
+    pub fn note(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Cached outcomes currently indexed.
+    pub fn len(&self) -> usize {
+        self.index().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.index().is_empty()
+    }
+
+    /// Session hit/miss/skip counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            skipped: self.skipped,
+            quarantined: self.quarantined,
+        }
+    }
+
+    /// Group commit: encodes every record, then appends the whole batch
+    /// with one `O_APPEND` write and republishes the snapshot once.
+    /// All-or-nothing in this process (the failpoint / open / write
+    /// error path indexes nothing); a torn tail on disk is caught by
+    /// the per-line CRC at the next open.
+    pub fn append_batch(&self, records: &[(u64, u64, &ScenarioSpec, &RunOutcome)]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        hydra_sim::failpoint::check_io("cache.append")?;
+        let mut batch = String::with_capacity(records.len() * 512);
+        for (hash, rep, spec, outcome) in records {
+            let events = (outcome.perf.events_processed > 0).then_some(outcome.perf.events_processed);
+            batch.push_str(&seal(&encode_record(*hash, *rep, &spec.to_scn(), outcome, events)));
+            batch.push('\n');
+        }
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        file.write_all(batch.as_bytes())?;
+        // Publish: clone the table (Arc values, so outcomes are shared,
+        // not copied), fold the batch in, swap the snapshot.
+        let mut next = (*self.index()).clone();
+        for (hash, rep, _, outcome) in records {
+            if outcome.perf.events_processed > 0 {
+                let hint = next.events.entry(*hash).or_insert(0);
+                *hint = (*hint).max(outcome.perf.events_processed);
+            }
+            next.entries.insert((*hash, *rep), Arc::new((*outcome).clone()));
+        }
+        *self.index.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
         Ok(())
     }
 }
@@ -254,13 +438,20 @@ fn unseal(line: &str) -> Option<&str> {
 // Record encoding
 // ---------------------------------------------------------------------
 
-fn encode_record(hash: u64, rep: u64, scn: &str, outcome: &RunOutcome) -> String {
+fn encode_record(hash: u64, rep: u64, scn: &str, outcome: &RunOutcome, events: Option<u64>) -> String {
     let mut s = String::with_capacity(512);
     s.push('{');
     s.push_str(&format!("\"schema\":{},", quote(CACHE_SCHEMA)));
     s.push_str(&format!("\"hash\":\"{hash:#018x}\","));
     s.push_str(&format!("\"rep\":{rep},"));
     s.push_str(&format!("\"scn\":{},", quote(scn)));
+    if let Some(n) = events {
+        // Scheduling hint only (see `ResultCache::events_hint`). An
+        // *optional* key: the decoder looks fields up by name, so old
+        // records without it — and old readers seeing it — both work,
+        // which is why this is not a CACHE_SCHEMA bump.
+        s.push_str(&format!("\"events\":{n},"));
+    }
     s.push_str("\"outcome\":");
     encode_outcome(&mut s, outcome);
     s.push('}');
@@ -333,8 +524,9 @@ fn encode_outcome(s: &mut String, o: &RunOutcome) {
 }
 
 /// Decodes one cache line; `None` for anything unreadable or tagged
-/// with a foreign schema.
-fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
+/// with a foreign schema. The third element is the optional `events`
+/// scheduling hint — kept apart from the outcome on purpose.
+fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome, Option<u64>)> {
     let v = json::parse(line).ok()?;
     let obj = v.as_obj()?;
     if json::get_str(obj, "schema")? != CACHE_SCHEMA {
@@ -343,6 +535,7 @@ fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
     let hash_text = json::get_str(obj, "hash")?;
     let hash = u64::from_str_radix(hash_text.strip_prefix("0x")?, 16).ok()?;
     let rep = json::get_u64(obj, "rep")?;
+    let events = json::get_u64(obj, "events");
     let o = json::get(obj, "outcome")?.as_obj()?;
     let nodes_v = json::get(o, "nodes")?.as_arr()?;
     let mut nodes = Vec::with_capacity(nodes_v.len());
@@ -418,7 +611,7 @@ fn decode_record(line: &str) -> Option<((u64, u64), RunOutcome)> {
         // cost no simulation), keeping cached == fresh under PartialEq.
         perf: RunPerf::default(),
     };
-    Some(((hash, rep), outcome))
+    Some(((hash, rep), outcome, events))
 }
 
 /// Shortest-round-trip float text; non-finite values are quoted tokens
@@ -674,12 +867,17 @@ mod json {
                     *pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    *pos += c.len_utf8();
+                    // Consume the whole unescaped run in one go (the
+                    // input is a &str, so copying bytes up to the next
+                    // delimiter keeps UTF-8 boundaries intact). Runs
+                    // are validated once each — per-character
+                    // validation of the remaining slice made parsing a
+                    // 500 KB record quadratic.
+                    let start = *pos;
+                    while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                        *pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?);
                 }
             }
         }
@@ -726,10 +924,11 @@ mod tests {
     fn outcome_round_trips_bit_exactly() {
         let spec = tiny_spec();
         let outcome = spec.run();
-        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
-        let ((hash, rep), back) = decode_record(&line).expect("decode own record");
+        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome, None);
+        let ((hash, rep), back, events) = decode_record(&line).expect("decode own record");
         assert_eq!(hash, spec.stable_hash());
         assert_eq!(rep, 1);
+        assert_eq!(events, None);
         assert_eq!(back, outcome, "RunOutcome must survive the cache byte-exactly");
         // Exact float identity, not approximate.
         assert_eq!(back.throughput_bps.to_bits(), outcome.throughput_bps.to_bits());
@@ -751,8 +950,9 @@ mod tests {
         let outcome = spec.run();
         assert_eq!(outcome.per_flow.len(), 2);
         assert!(outcome.per_flow[0].completed_at.is_some(), "transfer should finish");
-        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome);
-        let (_, back) = decode_record(&line).expect("decode mixed record");
+        let line = encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome, Some(4321));
+        let (_, back, events) = decode_record(&line).expect("decode mixed record");
+        assert_eq!(events, Some(4321), "the scheduling hint rides along");
         assert_eq!(back, outcome, "labeled per-flow outcomes must survive the cache");
         assert_eq!(back.per_flow[0].kind, FlowKind::FileTransfer);
         assert_eq!(back.per_flow[1].kind, FlowKind::Cbr);
@@ -787,10 +987,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let spec = tiny_spec();
         let outcome = spec.run();
-        let good = seal(&encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome));
+        let good = seal(&encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome, None));
         // An intact (valid-CRC) record from another schema revision.
         let foreign = seal(
-            &encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome)
+            &encode_record(spec.stable_hash(), 1, &spec.to_scn(), &outcome, None)
                 .replace(CACHE_SCHEMA, "hydra-agg.run.v0"),
         );
         std::fs::write(dir.join("runs.jsonl"), format!("{foreign}\nnot json at all\n{good}\n")).unwrap();
@@ -910,5 +1110,63 @@ mod tests {
             let parsed = json::parse(&fnum(v)).unwrap().as_f64().unwrap();
             assert!(parsed.to_bits() == v.to_bits() || (parsed.is_nan() && v.is_nan()));
         }
+    }
+
+    #[test]
+    fn batch_append_commits_once_and_snapshots_stay_immutable() {
+        let dir = tmp_dir("batch");
+        let spec = tiny_spec();
+        let spec2 = tiny_spec().with_seed(2);
+        let (outcome, outcome2) = (spec.run(), spec2.run());
+        let cache = ResultCache::open(&dir).unwrap().shared();
+        let before = cache.index();
+        cache
+            .append_batch(&[
+                (spec.stable_hash(), 1, &spec, &outcome),
+                (spec.stable_hash(), 2, &spec, &outcome),
+                (spec2.stable_hash(), 1, &spec2, &outcome2),
+            ])
+            .unwrap();
+        assert!(before.is_empty(), "a snapshot never sees later appends");
+        let after = cache.index();
+        assert_eq!(after.len(), 3);
+        assert_eq!(**after.get(spec.stable_hash(), 2).unwrap(), outcome);
+        assert_eq!(
+            after.events_hint(spec.stable_hash()),
+            Some(outcome.perf.events_processed),
+            "fresh runs calibrate the cost model"
+        );
+        // Three records, three lines — and a cold reopen loads them all,
+        // hints included.
+        let text = std::fs::read_to_string(dir.join("runs.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let reopened = ConcurrentCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.index().events_hint(spec2.stable_hash()), Some(outcome2.perf.events_processed));
+        assert_eq!(reopened.stats().quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_failpoint_writes_and_indexes_nothing() {
+        let _guard = hydra_sim::failpoint::exclusive();
+        hydra_sim::failpoint::disarm_all();
+        let dir = tmp_dir("batch-fp");
+        let spec = tiny_spec();
+        let outcome = spec.run();
+        let cache = ResultCache::open(&dir).unwrap().shared();
+        hydra_sim::failpoint::arm("cache.append", hydra_sim::failpoint::FailAction::Io, 0, 1);
+        let err = cache.append_batch(&[(spec.stable_hash(), 1, &spec, &outcome)]);
+        hydra_sim::failpoint::disarm_all();
+        assert!(err.is_err(), "armed failpoint injects an IO error");
+        assert!(cache.is_empty(), "a failed batch indexes nothing");
+        assert!(
+            !dir.join("runs.jsonl").exists()
+                || std::fs::read_to_string(dir.join("runs.jsonl")).unwrap().is_empty()
+        );
+        // The retry lands the whole batch cleanly.
+        cache.append_batch(&[(spec.stable_hash(), 1, &spec, &outcome)]).unwrap();
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -52,7 +52,7 @@ fn warm_rerun_simulates_nothing_and_matches_byte_for_byte() {
     let cache = ResultCache::open(&dir).unwrap().shared();
     let runner = ExperimentRunner::new(2).with_cache(cache.clone());
     let cold = render(&runner, &specs, seeds);
-    let stats = cache.lock().unwrap().stats();
+    let stats = cache.stats();
     assert_eq!(stats, CacheStats { hits: 0, misses: specs.len() as u64 * seeds, skipped: 0, quarantined: 0 });
 
     // Warm, new process simulated by reopening from disk: zero misses,
@@ -60,7 +60,7 @@ fn warm_rerun_simulates_nothing_and_matches_byte_for_byte() {
     let cache = ResultCache::open(&dir).unwrap().shared();
     let runner = ExperimentRunner::new(2).with_cache(cache.clone());
     let warm = render(&runner, &specs, seeds);
-    let stats = cache.lock().unwrap().stats();
+    let stats = cache.stats();
     assert_eq!(stats.misses, 0, "warm rerun must not simulate");
     assert_eq!(stats.hits, specs.len() as u64 * seeds);
     assert_eq!(warm, cold, "cached tables must be byte-identical");
@@ -99,7 +99,7 @@ fn corrupted_cache_degrades_to_cold_and_tables_stay_byte_identical() {
     // table is byte-identical to the cold run.
     let cache = ResultCache::open(&dir).unwrap().shared();
     let recovered = render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
-    let stats = hydra_bench::lock_cache(&cache).stats();
+    let stats = cache.stats();
     assert_eq!(stats.quarantined, 2, "both damaged records quarantined");
     assert_eq!(stats.misses, 2, "exactly the damaged replications re-simulate");
     assert_eq!(stats.hits, specs.len() as u64 * seeds - 2);
@@ -109,7 +109,7 @@ fn corrupted_cache_degrades_to_cold_and_tables_stay_byte_identical() {
     // And the healed cache serves everything warm again.
     let cache = ResultCache::open(&dir).unwrap().shared();
     let warm = render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
-    assert_eq!(hydra_bench::lock_cache(&cache).stats().misses, 0);
+    assert_eq!(cache.stats().misses, 0);
     assert_eq!(warm, cold);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -127,14 +127,14 @@ fn editing_one_spec_invalidates_only_its_cells() {
     specs[1].duration = Duration::from_millis(1500);
     let cache = ResultCache::open(&dir).unwrap().shared();
     render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds);
-    let stats = cache.lock().unwrap().stats();
+    let stats = cache.stats();
     assert_eq!(stats.misses, seeds, "only the edited spec's replications re-run");
     assert_eq!(stats.hits, (specs.len() as u64 - 1) * seeds);
 
     // Asking for more seeds re-runs only the new replications.
     let cache = ResultCache::open(&dir).unwrap().shared();
     render(&ExperimentRunner::new(2).with_cache(cache.clone()), &specs, seeds + 1);
-    let stats = cache.lock().unwrap().stats();
+    let stats = cache.stats();
     assert_eq!(stats.misses, specs.len() as u64, "one new replication per spec");
     let _ = std::fs::remove_dir_all(&dir);
 }

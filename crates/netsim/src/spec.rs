@@ -909,13 +909,72 @@ impl ScenarioSpec {
     ///   bookkeeping (FIN exchanges after the last payload byte) can
     ///   differ from the sequential engine's tail.
     ///
-    /// `threads = 0` uses one thread per available CPU;
+    /// `threads = 0` asks for one worker per available CPU;
     /// `threads = 1` runs the domains sequentially (the reference
-    /// schedule the determinism tests compare against).
+    /// schedule the determinism tests compare against). The calling
+    /// thread always participates; *extra* workers are opportunistic
+    /// and must win permits from the global concurrency budget
+    /// ([`hydra_sim::parallel`]), so a `run_sharded` nested inside a
+    /// busy runner pool degrades to sequential on its own thread
+    /// instead of oversubscribing the machine.
     pub fn run_sharded(&self, threads: usize) -> RunOutcome {
-        let flows = self.effective_flows();
+        let Some(plan) = self.shard_plan() else { return self.run() };
+        let k = plan.domains();
+        let want = match threads {
+            0 => hydra_sim::parallel::total(),
+            t => t,
+        }
+        .clamp(1, k);
+        let permits = hydra_sim::parallel::acquire_up_to(want - 1);
+        let workers = 1 + permits.count();
+        // One job per domain, claimed off a shared counter. Job order
+        // never matters: every domain world is built and run in
+        // isolation and the merge is by domain index.
+        let slots: Vec<std::sync::Mutex<Option<RunOutcome>>> =
+            (0..k).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let drain = || loop {
+            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if c >= k {
+                break;
+            }
+            let out = plan.run_domain(c as u32);
+            *slots[c].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+        };
+        if workers <= 1 {
+            drain();
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (1..workers).map(|_| s.spawn(drain)).collect();
+                drain();
+                for h in handles {
+                    h.join().expect("domain worker panicked");
+                }
+            });
+        }
+        drop(permits);
+        let by_comp: Vec<RunOutcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every domain ran")
+            })
+            .collect();
+        plan.merge(by_comp)
+    }
+
+    /// The scenario's decomposition into collision domains, or `None`
+    /// when the world is a single domain (nothing to decompose). This
+    /// is the shard-task handoff external schedulers use: the bench
+    /// runner turns each domain into one pool task
+    /// ([`ShardPlan::run_domain`]) and reassembles the outcome with
+    /// [`ShardPlan::merge`]; [`ScenarioSpec::run_sharded`] is the
+    /// self-contained form of the same machinery.
+    pub fn shard_plan(&self) -> Option<ShardPlan<'_>> {
         let started = std::time::Instant::now();
         let allocs0 = hydra_sim::alloc_stats();
+        let flows = self.effective_flows();
         // Discover the collision domains from the medium alone (cheap
         // next to a run; routes are not needed for geometry).
         let topo = self.topology.build();
@@ -923,106 +982,23 @@ impl ScenarioSpec {
         let medium = self.medium.build_medium(&topo, &profile);
         let comps = medium.components();
         if comps.len() <= 1 {
-            return self.run();
+            return None;
         }
         let mut comp_of = vec![0u32; topo.n];
+        let mut domain_nodes = vec![0usize; comps.len()];
         for (c, members) in comps.iter().enumerate() {
+            domain_nodes[c] = members.len();
             for &i in members {
                 comp_of[i] = c as u32;
             }
         }
+        let mut domain_flows = vec![0usize; comps.len()];
+        for f in &flows {
+            domain_flows[comp_of[f.src] as usize] += 1;
+        }
         let mode = Self::run_mode(&flows);
-
-        // One job per domain, claimed by worker threads off a shared
-        // counter. Job order never matters: every domain world is built
-        // and run in isolation.
-        let k = comps.len();
-        let threads = match threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            t => t,
-        }
-        .min(k);
-        let run_component = |c: u32| {
-            let sub: Vec<FlowSpec> = flows.iter().filter(|f| comp_of[f.src] == c).copied().collect();
-            let world = self.build_component(Some(c));
-            // Sharded runs stay infallible: each domain world gets the
-            // full budget (documented in docs/ROBUSTNESS.md), and a
-            // trip here — like any panic in a domain worker — is
-            // contained by the experiment runner's `catch_unwind`.
-            self.run_in(world, &sub, mode, std::time::Instant::now(), hydra_sim::alloc_stats())
-                .unwrap_or_else(|e| panic!("domain run failed: {e}"))
-        };
-        let mut by_comp: Vec<Option<RunOutcome>> = (0..k).map(|_| None).collect();
-        if threads <= 1 {
-            for (c, slot) in by_comp.iter_mut().enumerate() {
-                *slot = Some(run_component(c as u32));
-            }
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let done: Vec<(usize, RunOutcome)> = std::thread::scope(|s| {
-                let workers: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let mut mine = Vec::new();
-                            loop {
-                                let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if c >= k {
-                                    return mine;
-                                }
-                                mine.push((c, run_component(c as u32)));
-                            }
-                        })
-                    })
-                    .collect();
-                workers.into_iter().flat_map(|w| w.join().expect("domain worker panicked")).collect()
-            });
-            for (c, out) in done {
-                by_comp[c] = Some(out);
-            }
-        }
-        let by_comp: Vec<RunOutcome> = by_comp.into_iter().map(|o| o.expect("every domain ran")).collect();
-
-        // Merge: each flow and node belongs to exactly one domain.
-        let mut sub_iters: Vec<std::vec::IntoIter<FlowOutcome>> =
-            by_comp.iter().map(|o| o.per_flow.clone().into_iter()).collect();
-        let per_flow: Vec<FlowOutcome> = flows
-            .iter()
-            .map(|f| sub_iters[comp_of[f.src] as usize].next().expect("one outcome per flow"))
-            .collect();
-        let (has_file, _) = mode;
-        let headline: Vec<FlowOutcome> = if has_file {
-            per_flow.iter().filter(|o| o.flow.traffic.is_file()).cloned().collect()
-        } else {
-            per_flow.clone()
-        };
-        let report = RunReport {
-            nodes: (0..topo.n).map(|i| by_comp[comp_of[i] as usize].report.nodes[i].clone()).collect(),
-            at: by_comp.iter().map(|o| o.report.at).max().expect("at least one domain"),
-            collisions: by_comp.iter().map(|o| o.report.collisions).sum(),
-        };
-        let allocs = hydra_sim::alloc_stats().since(allocs0);
-        RunOutcome {
-            completed: by_comp.iter().all(|o| o.completed),
-            throughput_bps: Self::worst_bps(&headline),
-            per_flow,
-            report,
-            perf: RunPerf {
-                events_processed: by_comp.iter().map(|o| o.perf.events_processed).sum(),
-                events_stale: by_comp.iter().map(|o| o.perf.events_stale).sum(),
-                timer_rearms: by_comp.iter().map(|o| o.perf.timer_rearms).sum(),
-                queue: by_comp.iter().fold(hydra_sim::QueueStats::default(), |acc, o| {
-                    hydra_sim::QueueStats {
-                        scheduled: acc.scheduled + o.perf.queue.scheduled,
-                        popped: acc.popped + o.perf.queue.popped,
-                        overflow_scheduled: acc.overflow_scheduled + o.perf.queue.overflow_scheduled,
-                        promoted: acc.promoted + o.perf.queue.promoted,
-                    }
-                }),
-                wall_ms: started.elapsed().as_secs_f64() * 1e3,
-                allocations: allocs.allocations,
-                allocated_bytes: allocs.allocated_bytes,
-            },
-        }
+        let n = topo.n;
+        Some(ShardPlan { spec: self, flows, mode, comp_of, domain_nodes, domain_flows, n, started, allocs0 })
     }
 
     /// Telemetry for a finished world (allocation deltas vs the marks
@@ -1195,6 +1171,134 @@ impl ScenarioSpec {
 
 /// Renders a caught panic payload as a message (the common `String`
 /// and `&str` payloads verbatim; anything else gets a placeholder).
+/// A scenario's decomposition into collision domains — the shard-task
+/// handoff between [`ScenarioSpec::run_sharded`] and external
+/// schedulers (the bench runner executes one pool task per domain).
+///
+/// Domains are causally independent (see
+/// [`ScenarioSpec::run_sharded`]'s contract), so [`ShardPlan::run_domain`]
+/// calls may execute in any order, on any threads, and
+/// [`ShardPlan::merge`] reassembles the sequential outcome. A plan
+/// whose [`ShardPlan::exact`] is `false` (pure file-transfer traffic
+/// on a multi-domain medium) still merges per-flow results exactly but
+/// may differ from [`ScenarioSpec::run`] in post-completion node
+/// bookkeeping — schedulers that promise byte-identical tables must
+/// not decompose such cells.
+#[derive(Debug)]
+pub struct ShardPlan<'a> {
+    spec: &'a ScenarioSpec,
+    flows: Vec<FlowSpec>,
+    /// `(has_file, has_window)` over the flow mix.
+    mode: (bool, bool),
+    comp_of: Vec<u32>,
+    domain_nodes: Vec<usize>,
+    domain_flows: Vec<usize>,
+    n: usize,
+    started: std::time::Instant,
+    allocs0: hydra_sim::AllocStats,
+}
+
+impl ShardPlan<'_> {
+    /// Number of collision domains (always ≥ 2: single-domain worlds
+    /// return no plan).
+    pub fn domains(&self) -> usize {
+        self.domain_nodes.len()
+    }
+
+    /// Nodes living in domain `c`.
+    pub fn domain_nodes(&self, c: u32) -> usize {
+        self.domain_nodes[c as usize]
+    }
+
+    /// Flows whose source lives in domain `c`.
+    pub fn domain_flows(&self, c: u32) -> usize {
+        self.domain_flows[c as usize]
+    }
+
+    /// Domain `c`'s estimated share of the whole run's work, in
+    /// `(0, 1]`: traffic dominates event counts, nodes dominate world
+    /// construction. Schedulers use this to split a cell's predicted
+    /// cost across its shard tasks.
+    pub fn cost_share(&self, c: u32) -> f64 {
+        let weight = |d: usize| self.domain_nodes[d] as f64 + 8.0 * self.domain_flows[d] as f64;
+        let total: f64 = (0..self.domains()).map(weight).sum();
+        weight(c as usize) / total.max(1.0)
+    }
+
+    /// True when the decomposed outcome is byte-identical to
+    /// [`ScenarioSpec::run`] — window-measured and mixed runs, which
+    /// run every domain to the same fixed horizon. Pure file-transfer
+    /// multi-domain runs are *not* exact (each domain stops at its own
+    /// completion instant, so post-completion bookkeeping can differ).
+    pub fn exact(&self) -> bool {
+        self.mode != (true, false)
+    }
+
+    /// Builds and runs domain `c`'s restricted world, replaying exactly
+    /// that domain's slice of the sequential schedule.
+    ///
+    /// Panics on a domain failure (a tripped budget — each domain world
+    /// gets the spec's full budget, as documented in
+    /// docs/ROBUSTNESS.md); callers that must survive failures wrap the
+    /// call in `catch_unwind`, as the experiment runner does.
+    pub fn run_domain(&self, c: u32) -> RunOutcome {
+        let sub: Vec<FlowSpec> = self.flows.iter().filter(|f| self.comp_of[f.src] == c).copied().collect();
+        let world = self.spec.build_component(Some(c));
+        self.spec
+            .run_in(world, &sub, self.mode, std::time::Instant::now(), hydra_sim::alloc_stats())
+            .unwrap_or_else(|e| panic!("domain run failed: {e}"))
+    }
+
+    /// Merges the per-domain outcomes (indexed by domain, one per
+    /// domain) back into the whole-run outcome: each flow and node
+    /// belongs to exactly one domain, event/queue tallies sum, and the
+    /// wall clock spans from plan creation to the merge.
+    pub fn merge(&self, by_comp: Vec<RunOutcome>) -> RunOutcome {
+        assert_eq!(by_comp.len(), self.domains(), "one outcome per domain");
+        let mut sub_iters: Vec<std::vec::IntoIter<FlowOutcome>> =
+            by_comp.iter().map(|o| o.per_flow.clone().into_iter()).collect();
+        let per_flow: Vec<FlowOutcome> = self
+            .flows
+            .iter()
+            .map(|f| sub_iters[self.comp_of[f.src] as usize].next().expect("one outcome per flow"))
+            .collect();
+        let (has_file, _) = self.mode;
+        let headline: Vec<FlowOutcome> = if has_file {
+            per_flow.iter().filter(|o| o.flow.traffic.is_file()).cloned().collect()
+        } else {
+            per_flow.clone()
+        };
+        let report = RunReport {
+            nodes: (0..self.n).map(|i| by_comp[self.comp_of[i] as usize].report.nodes[i].clone()).collect(),
+            at: by_comp.iter().map(|o| o.report.at).max().expect("at least one domain"),
+            collisions: by_comp.iter().map(|o| o.report.collisions).sum(),
+        };
+        let allocs = hydra_sim::alloc_stats().since(self.allocs0);
+        RunOutcome {
+            completed: by_comp.iter().all(|o| o.completed),
+            throughput_bps: ScenarioSpec::worst_bps(&headline),
+            per_flow,
+            report,
+            perf: RunPerf {
+                events_processed: by_comp.iter().map(|o| o.perf.events_processed).sum(),
+                events_stale: by_comp.iter().map(|o| o.perf.events_stale).sum(),
+                timer_rearms: by_comp.iter().map(|o| o.perf.timer_rearms).sum(),
+                queue: by_comp.iter().fold(hydra_sim::QueueStats::default(), |acc, o| {
+                    hydra_sim::QueueStats {
+                        scheduled: acc.scheduled + o.perf.queue.scheduled,
+                        popped: acc.popped + o.perf.queue.popped,
+                        overflow_scheduled: acc.overflow_scheduled + o.perf.queue.overflow_scheduled,
+                        promoted: acc.promoted + o.perf.queue.promoted,
+                    }
+                }),
+                wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+                allocations: allocs.allocations,
+                allocated_bytes: allocs.allocated_bytes,
+            },
+        }
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,

@@ -13,7 +13,10 @@
 //! * [`alloc_count`] — an opt-in counting global allocator, the
 //!   measurement side of the zero-allocation hot-path work;
 //! * [`failpoint`] — named, deterministic fault-injection sites
-//!   (zero-cost when disarmed) for proving recovery paths.
+//!   (zero-cost when disarmed) for proving recovery paths;
+//! * [`parallel`] — a process-wide concurrency budget, so nested
+//!   thread pools (runner workers × sharded domains) cannot
+//!   oversubscribe the machine.
 //!
 //! Design note: the network layers in this workspace are written *sans-IO*
 //! (pure state machines with typed inputs/outputs, as in smoltcp). This
@@ -33,6 +36,7 @@
 pub mod alloc_count;
 pub mod event;
 pub mod failpoint;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;

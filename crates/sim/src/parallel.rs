@@ -1,0 +1,212 @@
+//! A process-wide concurrency budget shared by every thread pool.
+//!
+//! The experiment runner's worker pool and the sharded scenario engine
+//! ([`run_sharded`]) can nest: a pool worker executing a multi-domain
+//! cell may itself want domain-level parallelism. Before this module,
+//! the inner layer spawned threads with no knowledge of pool occupancy,
+//! oversubscribing the machine exactly when it was busiest. The budget
+//! here is the fix:
+//!
+//! * **Explicit** thread counts (a user's `--threads 8`) are *honored*
+//!   and *registered* via [`occupy`] — they may exceed the hardware
+//!   budget (that is the user's call), but the budget now knows.
+//! * **Opportunistic** parallelism (extra domain workers inside
+//!   `run_sharded`) must *acquire* permits via [`acquire_up_to`], which
+//!   only grants while `in_use < total`. Inside a busy pool no permits
+//!   are free, so nested work degrades to sequential on the calling
+//!   thread instead of spawning blind.
+//!
+//! All state is a pair of atomics: disarmed cost is two relaxed loads.
+//! [`peak`]/[`reset_peak`] exist for telemetry and regression tests.
+//!
+//! [`run_sharded`]: https://docs.rs/hydra-netsim (ScenarioSpec::run_sharded)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Threads currently registered (occupied + acquired).
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`IN_USE`] since the last [`reset_peak`].
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Test override of the hardware budget; 0 = use the real core count.
+static TOTAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Serialises tests that assert on the global counters.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// The concurrency budget: available hardware parallelism, unless a
+/// test override ([`override_total`]) is active.
+pub fn total() -> usize {
+    match TOTAL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Threads currently registered against the budget.
+pub fn in_use() -> usize {
+    IN_USE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`in_use`] since the last [`reset_peak`].
+pub fn peak() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current [`in_use`] level.
+pub fn reset_peak() {
+    PEAK.store(IN_USE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn bump(n: usize) {
+    let now = IN_USE.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+/// Serialises a test that asserts on the global counters (the same
+/// pattern as `failpoint::exclusive`). Production code never takes it.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII guard for a *test-only* budget override; restores the previous
+/// override on drop. Combine with [`exclusive`] to keep concurrent
+/// tests from observing each other's budget.
+#[derive(Debug)]
+pub struct TotalOverride {
+    prev: usize,
+}
+
+/// Overrides [`total`] (0 restores the hardware budget) until the
+/// returned guard drops — lets tests exercise the multi-worker paths
+/// deterministically on single-core machines.
+pub fn override_total(n: usize) -> TotalOverride {
+    TotalOverride { prev: TOTAL_OVERRIDE.swap(n, Ordering::Relaxed) }
+}
+
+impl Drop for TotalOverride {
+    fn drop(&mut self) {
+        TOTAL_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Permits granted by [`acquire_up_to`]; each permit is the right to
+/// run one *extra* thread. Released on drop.
+#[derive(Debug)]
+pub struct Permits {
+    count: usize,
+}
+
+impl Permits {
+    /// An empty grant (no permits, nothing to release).
+    pub fn none() -> Permits {
+        Permits { count: 0 }
+    }
+
+    /// How many permits were granted.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl Drop for Permits {
+    fn drop(&mut self) {
+        if self.count > 0 {
+            IN_USE.fetch_sub(self.count, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Acquires up to `want` permits, granting only while the budget has
+/// headroom (`in_use < total`). Never blocks: a caller that gets fewer
+/// permits than it wanted — possibly zero — simply runs narrower.
+pub fn acquire_up_to(want: usize) -> Permits {
+    if want == 0 {
+        return Permits::none();
+    }
+    let budget = total();
+    let mut cur = IN_USE.load(Ordering::Relaxed);
+    loop {
+        let free = budget.saturating_sub(cur);
+        let take = want.min(free);
+        if take == 0 {
+            return Permits::none();
+        }
+        match IN_USE.compare_exchange_weak(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                PEAK.fetch_max(cur + take, Ordering::Relaxed);
+                return Permits { count: take };
+            }
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Registration of an *explicit* thread count (a user-mandated worker
+/// pool). Always granted — explicit counts may exceed the budget; the
+/// point is that nested opportunistic layers can now see the pool is
+/// busy and stand down. Released on drop.
+#[derive(Debug)]
+pub struct Occupancy {
+    count: usize,
+}
+
+/// Registers `count` explicit threads against the budget for the
+/// lifetime of the returned guard.
+pub fn occupy(count: usize) -> Occupancy {
+    bump(count);
+    Occupancy { count }
+}
+
+impl Drop for Occupancy {
+    fn drop(&mut self) {
+        if self.count > 0 {
+            IN_USE.fetch_sub(self.count, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_cap_at_the_budget_and_release_on_drop() {
+        let _guard = exclusive();
+        let _total = override_total(4);
+        reset_peak();
+        let base = in_use();
+        let a = acquire_up_to(3);
+        assert_eq!(a.count(), 3.min(4usize.saturating_sub(base)));
+        let granted_a = a.count();
+        let b = acquire_up_to(10);
+        assert_eq!(granted_a + b.count() + base, in_use());
+        assert!(in_use() <= 4.max(base), "opportunistic grants never exceed the budget");
+        drop(b);
+        drop(a);
+        assert_eq!(in_use(), base, "permits are returned on drop");
+        assert!(peak() <= 4.max(base));
+    }
+
+    #[test]
+    fn a_drained_budget_grants_nothing() {
+        let _guard = exclusive();
+        let _total = override_total(2);
+        let drain = acquire_up_to(2);
+        let extra = acquire_up_to(1);
+        assert_eq!(extra.count(), 0, "no headroom, no permits");
+        drop(extra);
+        drop(drain);
+    }
+
+    #[test]
+    fn explicit_occupancy_exceeds_the_budget_but_is_visible() {
+        let _guard = exclusive();
+        let _total = override_total(2);
+        let base = in_use();
+        let occ = occupy(8);
+        assert_eq!(in_use(), base + 8, "explicit counts register in full");
+        assert_eq!(acquire_up_to(1).count(), 0, "a busy pool starves nested acquires");
+        drop(occ);
+        assert_eq!(in_use(), base);
+    }
+}
